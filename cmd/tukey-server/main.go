@@ -1,0 +1,72 @@
+// Command tukey-server runs the Tukey Console and middleware as a real HTTP
+// service over a freshly built OSDC federation, with both cloud stacks'
+// native APIs mounted on loopback. A demo researcher account
+// (demo / demo-pw, Shibboleth) is pre-enrolled.
+//
+// Usage:
+//
+//	tukey-server [-addr :8080]
+//
+// Then:
+//
+//	curl -s -X POST localhost:8080/login \
+//	  -d '{"provider":"shibboleth","username":"demo","secret":"demo-pw"}'
+//	curl -s localhost:8080/console/instances -H "X-Tukey-Session: <token>"
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+
+	"osdc/internal/core"
+	"osdc/internal/iaas"
+	"osdc/internal/tukey"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "console listen address")
+	flag.Parse()
+
+	f, err := core.New(core.Options{Seed: 1, Scale: 4})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Native cloud APIs on loopback listeners.
+	novaURL, err := serve(&iaas.NovaAPI{Cloud: f.Adler})
+	if err != nil {
+		log.Fatal(err)
+	}
+	eucaURL, err := serve(&iaas.EucaAPI{Cloud: f.Sullivan})
+	if err != nil {
+		log.Fatal(err)
+	}
+	f.Tukey.AttachCloud(tukey.CloudConfig{Name: core.ClusterAdler, Stack: "openstack", Endpoint: novaURL})
+	f.Tukey.AttachCloud(tukey.CloudConfig{Name: core.ClusterSullivan, Stack: "eucalyptus", Endpoint: eucaURL})
+
+	f.EnrollResearcher("demo", "demo-pw")
+	f.Adler.SetQuota("demo", iaas.Quota{MaxInstances: 10, MaxCores: 64})
+	f.Sullivan.SetQuota("demo", iaas.Quota{MaxInstances: 10, MaxCores: 64})
+
+	console := &tukey.Console{MW: f.Tukey, Biller: f.Biller, Catalog: f.Catalog}
+	log.Printf("OSDC up: adler(openstack)=%s sullivan(eucalyptus)=%s", novaURL, eucaURL)
+	log.Printf("Tukey console on %s — login with demo/demo-pw (shibboleth)", *addr)
+	log.Fatal(http.ListenAndServe(*addr, console))
+}
+
+// serve mounts a handler on an ephemeral loopback port and returns its URL.
+func serve(h http.Handler) (string, error) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return "", err
+	}
+	go func() {
+		if err := http.Serve(ln, h); err != nil {
+			log.Printf("backend server: %v", err)
+		}
+	}()
+	return fmt.Sprintf("http://%s", ln.Addr()), nil
+}

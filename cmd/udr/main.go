@@ -1,0 +1,64 @@
+// Command udr is the UDR transfer tool (paper §7.2) against the simulated
+// OSDC WAN: "the familiar interface of rsync while utilizing the high
+// performance UDT protocol".
+//
+// Usage:
+//
+//	udr [-tool udr|rsync] [-cipher none|blowfish|3des] [-size 108GB|1.1TB|<bytes>]
+//
+// Prints the transfer plan and the simulated Chicago→LVOC result, including
+// the paper's LLR metric.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"strconv"
+	"strings"
+
+	"osdc/internal/cipher"
+	"osdc/internal/experiments"
+	"osdc/internal/sim"
+	"osdc/internal/udr"
+)
+
+func main() {
+	tool := flag.String("tool", "udr", "transfer tool: udr or rsync")
+	ciph := flag.String("cipher", "none", "cipher: none, blowfish, 3des")
+	size := flag.String("size", "108GB", "dataset size: 108GB, 1.1TB, or bytes")
+	seed := flag.Uint64("seed", 1, "simulation seed")
+	flag.Parse()
+
+	bytes, err := parseSize(*size)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfg := udr.Config{Tool: udr.Tool(*tool), Cipher: cipher.Name(*ciph)}
+	if cfg.Tool != udr.ToolUDR && cfg.Tool != udr.ToolRsync {
+		log.Fatalf("unknown tool %q", *tool)
+	}
+
+	path := experiments.ChicagoLVOCPath(*seed)
+	fmt.Printf("path: Chicago → LVOC, %.0f ms RTT, %.0f Gbit/s bottleneck\n",
+		path.RTT*1000, path.BandwidthBps/1e9)
+	res, caps := udr.Transfer(sim.NewRNG(*seed), cfg, path, bytes)
+	fmt.Printf("%s: %s in %v\n", cfg, *size, sim.Time(res.Duration))
+	fmt.Printf("  throughput : %.0f mbit/s\n", res.ThroughputMbit())
+	fmt.Printf("  LLR        : %.2f (vs min disk %.0f mbit/s)\n", res.LLR(caps), 1136.0)
+	fmt.Printf("  retransmits: %d packets, %d loss events\n", res.Retransmit, res.LossEvents)
+}
+
+func parseSize(s string) (int64, error) {
+	switch strings.ToUpper(s) {
+	case "108GB":
+		return 108 << 30, nil
+	case "1.1TB":
+		return int64(11) << 40 / 10, nil
+	}
+	n, err := strconv.ParseInt(s, 10, 64)
+	if err != nil || n <= 0 {
+		return 0, fmt.Errorf("bad size %q (use 108GB, 1.1TB, or positive bytes)", s)
+	}
+	return n, nil
+}

@@ -1,0 +1,10 @@
+// Package osdc is a full reproduction of "The Design of a Community
+// Science Cloud: The Open Science Data Cloud Perspective" (Grossman et
+// al., SC Companion 2012) as a Go library.
+//
+// The public surface lives in the command-line tools (cmd/), the runnable
+// examples (examples/), and the benchmark harness at this repository root,
+// which regenerates every table and figure in the paper. The implementation
+// packages are under internal/; see DESIGN.md for the system inventory and
+// EXPERIMENTS.md for paper-vs-measured results.
+package osdc

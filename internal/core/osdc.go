@@ -1,0 +1,273 @@
+// Package core assembles the Open Science Data Cloud: the four-site
+// federation of Figure 3, the resource inventory of Table 2, and the
+// services of Figure 1, built from the substrate packages.
+//
+// A Federation holds:
+//
+//   - the WAN topology (simnet) joining the two Chicago data centers, the
+//     Livermore Valley Open Campus and AMPATH/Miami through StarLight;
+//   - OSDC-Adler (OpenStack-like) and OSDC-Sullivan (Eucalyptus-like)
+//     utility clouds with their GlusterFS-like volumes and Samba-like
+//     permission gateways;
+//   - OSDC-Root, the ~1 PB storage cloud holding the public datasets;
+//   - OCC-Y and OCC-Matsu, the Hadoop-like data clouds;
+//   - the science-cloud services: Tukey middleware, ARK dataset IDs, the
+//     public-data catalog, file sharing, billing/accounting and monitoring.
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"osdc/internal/ark"
+	"osdc/internal/billing"
+	"osdc/internal/datasets"
+	"osdc/internal/dfs"
+	"osdc/internal/gateway"
+	"osdc/internal/iaas"
+	"osdc/internal/mapred"
+	"osdc/internal/monitor"
+	"osdc/internal/sharing"
+	"osdc/internal/sim"
+	"osdc/internal/simdisk"
+	"osdc/internal/simnet"
+	"osdc/internal/tukey"
+)
+
+// TB is one terabyte in bytes.
+const TB = int64(1) << 40
+
+// Cluster names from Table 2 / §7.1.
+const (
+	ClusterAdler    = "OSDC-Adler"
+	ClusterSullivan = "OSDC-Sullivan"
+	ClusterRoot     = "OSDC-Root"
+	ClusterOCCY     = "OCC-Y"
+	ClusterMatsu    = "OCC-Matsu"
+)
+
+// Federation is the assembled OSDC.
+type Federation struct {
+	Engine  *sim.Engine
+	Network *simnet.Network
+
+	Adler    *iaas.Cloud
+	Sullivan *iaas.Cloud
+
+	AdlerGFS    *dfs.Volume // 156 TB (§7.1)
+	SullivanGFS *dfs.Volume // 38 TB
+	RootGFS     *dfs.Volume // 459 TB primary store + ~1 PB raw cloud
+
+	RootExport *gateway.Export
+
+	OCCY  *mapred.Cluster // 928 cores, 1.0 PB (Table 2)
+	Matsu *mapred.Cluster // ~120 cores, 100 TB
+
+	IDs      *ark.Service
+	Catalog  *datasets.Catalog
+	Sharing  *sharing.Store
+	DropDir  *sharing.DropDir
+	Biller   *billing.Biller
+	Tukey    *tukey.Middleware
+	Nagios   *monitor.Master
+	UsageMon *monitor.UsageMonitor
+
+	// Identity providers, exposed so examples and benchmarks can enroll
+	// accounts.
+	ShibIdP   *tukey.ShibbolethIdP
+	OpenIDIdP *tukey.OpenIDIdP
+}
+
+// Options tunes federation construction.
+type Options struct {
+	Seed uint64
+	// Scale shrinks server counts by this divisor for fast tests (1 =
+	// paper-scale). Capacities in the inventory report are unaffected.
+	Scale int
+}
+
+// New builds the full federation. With Scale=1 this is the paper-scale
+// deployment: ~2300 cores across compute and Hadoop clusters.
+func New(opt Options) (*Federation, error) {
+	if opt.Scale < 1 {
+		opt.Scale = 1
+	}
+	e := sim.NewEngine(opt.Seed)
+	f := &Federation{Engine: e}
+
+	// --- network: Figure 3's four data centers ---
+	f.Network = simnet.BuildOSDCTopology(e, simnet.DefaultWAN())
+
+	// --- compute clouds ---
+	// OSDC-Adler & Sullivan together are 1248 cores (Table 2): 156 paper
+	// servers. Split 2 racks Adler / 2 racks Sullivan.
+	f.Adler = iaas.NewCloud(e, ClusterAdler, "openstack", simnet.SiteChicagoKenwood)
+	f.Adler.AddRack("adler-r1", 39/opt.Scale)
+	f.Adler.AddRack("adler-r2", 39/opt.Scale)
+	f.Sullivan = iaas.NewCloud(e, ClusterSullivan, "eucalyptus", simnet.SiteChicagoNU)
+	f.Sullivan.AddRack("sullivan-r1", 39/opt.Scale)
+	f.Sullivan.AddRack("sullivan-r2", 39/opt.Scale)
+	for _, c := range []*iaas.Cloud{f.Adler, f.Sullivan} {
+		c.RegisterImage(iaas.Image{Name: "ubuntu-12.04-server", Public: true, Portable: true})
+		c.RegisterImage(iaas.Image{Name: "osdc-datasci", Public: true, Portable: true,
+			Tools: []string{"python-numpy", "R", "hadoop-client"}})
+	}
+
+	// --- storage volumes (§7.1 sizes) ---
+	var err error
+	if f.AdlerGFS, err = buildVolume(e, "adler-gfs", simnet.SiteChicagoKenwood, 156*TB, 4/boundScale(opt.Scale, 4)); err != nil {
+		return nil, err
+	}
+	if f.SullivanGFS, err = buildVolume(e, "sullivan-gfs", simnet.SiteChicagoNU, 38*TB, 2); err != nil {
+		return nil, err
+	}
+	// Table 2: OSDC-Root is "approximately 1 PB of disk" (459 TB of it is
+	// the §7.1 primary GlusterFS share). One replica set: the public
+	// datasets are placed together, so a multi-set elastic hash could
+	// overload a single set.
+	if f.RootGFS, err = buildVolume(e, "root-gfs", simnet.SiteChicagoKenwood, 1024*TB, 2); err != nil {
+		return nil, err
+	}
+	f.RootExport = gateway.New("osdc-root", f.RootGFS)
+	// Public data world-readable; curator-writable.
+	f.RootExport.Allow(gateway.ACE{Prefix: "/glusterfs/public/", Mode: gateway.PermRead})
+	f.RootExport.Allow(gateway.ACE{Prefix: "/glusterfs/public/", User: "curator", Mode: gateway.PermRead | gateway.PermWrite})
+
+	// --- Hadoop data clouds ---
+	f.OCCY = buildHadoop(e, ClusterOCCY, 116/opt.Scale, 8)  // 928 cores
+	f.Matsu = buildHadoop(e, ClusterMatsu, 15/opt.Scale, 8) // 120 cores
+
+	// --- science cloud services ---
+	f.IDs = ark.NewService("")
+	f.Catalog = datasets.NewCatalog(f.IDs, f.RootGFS)
+	f.Catalog.AddCurator("curator")
+	for _, d := range datasets.PaperDatasets() {
+		if _, err := f.Catalog.Publish("curator", d); err != nil {
+			return nil, fmt.Errorf("core: publishing %s: %w", d.Name, err)
+		}
+	}
+	f.Sharing = sharing.NewStore(e)
+	f.DropDir = sharing.NewDropDir(e, f.Sharing, 10)
+	f.Biller = billing.New(e, billing.DefaultRates(), []*iaas.Cloud{f.Adler, f.Sullivan}, nil)
+	f.UsageMon = monitor.NewUsageMonitor(e, []*iaas.Cloud{f.Adler, f.Sullivan}, 5*sim.Minute)
+
+	// --- Tukey middleware with both IdPs ---
+	f.Tukey = tukey.NewMiddleware()
+	shib := tukey.NewShibboleth("uchicago.edu")
+	oid := tukey.NewOpenID("https://id.opensciencedatacloud.org")
+	f.Tukey.RegisterIdP(shib)
+	f.Tukey.RegisterIdP(oid)
+	f.ShibIdP, f.OpenIDIdP = shib, oid
+
+	// --- Nagios over every cluster's nodes ---
+	f.Nagios = monitor.NewMaster(e, 5*sim.Minute, nil)
+	for _, vol := range []*dfs.Volume{f.AdlerGFS, f.SullivanGFS, f.RootGFS} {
+		vol := vol
+		for _, b := range vol.Bricks() {
+			b := b
+			a := monitor.NewAgent(b.Name)
+			a.Register(monitor.Check{
+				Name:   "disk-util",
+				Plugin: func() (float64, error) { return b.Disk.Utilization() * 100, nil },
+				Warn:   80, Crit: 95,
+			})
+			f.Nagios.AddAgent(a)
+		}
+	}
+	return f, nil
+}
+
+func boundScale(scale, max int) int {
+	if scale > max {
+		return max
+	}
+	return scale
+}
+
+func buildVolume(e *sim.Engine, name, site string, capacity int64, bricks int) (*dfs.Volume, error) {
+	if bricks < 2 {
+		bricks = 2
+	}
+	per := capacity / int64(bricks) * 2 // replica 2 doubles raw need
+	bs := make([]*dfs.Brick, bricks)
+	for i := range bs {
+		d := simdisk.New(e, fmt.Sprintf("%s-disk%d", name, i), 3072e6, 1136e6, per)
+		bs[i] = dfs.NewBrick(fmt.Sprintf("%s-brick%d", name, i), fmt.Sprintf("%s-node%d", name, i), d)
+	}
+	return dfs.NewVolume(e, name, 2, dfs.Version33, bs)
+}
+
+func buildHadoop(e *sim.Engine, name string, nodes, slotsPerNode int) *mapred.Cluster {
+	if nodes < 2 {
+		nodes = 2
+	}
+	names := make([]string, nodes)
+	for i := range names {
+		names[i] = fmt.Sprintf("%s-dn%03d", name, i)
+	}
+	fs := mapred.NewHDFS(e, names, mapred.DefaultBlockSize, 3)
+	return mapred.NewCluster(e, name, fs, slotsPerNode)
+}
+
+// InventoryRow is one Table 2 row.
+type InventoryRow struct {
+	Resource string
+	Type     string
+	Cores    int
+	DiskTB   int64
+}
+
+// Inventory reproduces Table 2 (sizes are the paper's stated capacities,
+// independent of test-scale shrinking of the simulated host counts).
+func (f *Federation) Inventory() []InventoryRow {
+	return []InventoryRow{
+		{Resource: "OSDC-Adler & Sullivan", Type: "OpenStack & Eucalyptus based utility cloud", Cores: 1248, DiskTB: 1200},
+		{Resource: "OSDC-Root", Type: "Storage cloud", Cores: 0, DiskTB: 1024},
+		{Resource: "OCC-Y", Type: "Hadoop data cloud", Cores: 928, DiskTB: 1024},
+		{Resource: "OCC-Matsu", Type: "Hadoop data cloud", Cores: 120, DiskTB: 100},
+	}
+}
+
+// Totals sums the inventory; the paper's abstract quotes "more than 2000
+// cores and 2 PB of storage".
+func (f *Federation) Totals() (cores int, diskTB int64) {
+	for _, r := range f.Inventory() {
+		cores += r.Cores
+		diskTB += r.DiskTB
+	}
+	return cores, diskTB
+}
+
+// TopologyRow describes one Figure 3 cluster box.
+type TopologyRow struct {
+	Cluster string
+	Site    string
+	Stack   string
+	// FullTukey marks clusters fully operational behind Tukey (solid arrows
+	// in Figure 3); the Hadoop clusters support only some Tukey services.
+	FullTukey bool
+}
+
+// Topology reproduces Figure 3's wiring.
+func (f *Federation) Topology() []TopologyRow {
+	rows := []TopologyRow{
+		{ClusterAdler, simnet.SiteChicagoKenwood, "openstack", true},
+		{ClusterSullivan, simnet.SiteChicagoNU, "eucalyptus", true},
+		{ClusterRoot, simnet.SiteChicagoKenwood, "glusterfs", true},
+		{ClusterOCCY, simnet.SiteChicagoNU, "hadoop", false},
+		{ClusterMatsu, simnet.SiteAMPATH, "hadoop", false},
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].Cluster < rows[j].Cluster })
+	return rows
+}
+
+// EnrollResearcher provisions an end-to-end account: campus IdP entry,
+// per-cloud credentials, sharing-store user, and free-tier quotas.
+func (f *Federation) EnrollResearcher(username, password string) {
+	f.ShibIdP.Enroll(username, password)
+	f.Tukey.GrantCredentials(username+"@uchicago.edu",
+		tukey.CloudCredential{Cloud: ClusterAdler, AuthUser: username},
+		tukey.CloudCredential{Cloud: ClusterSullivan, AuthUser: username},
+	)
+	f.Sharing.AddUser(username)
+}

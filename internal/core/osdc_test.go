@@ -1,0 +1,166 @@
+package core
+
+import (
+	"testing"
+
+	"osdc/internal/sim"
+)
+
+func newFed(t *testing.T) *Federation {
+	t.Helper()
+	f, err := New(Options{Seed: 7, Scale: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+func TestTable2Inventory(t *testing.T) {
+	f := newFed(t)
+	rows := f.Inventory()
+	if len(rows) != 4 {
+		t.Fatalf("inventory rows = %d, want 4 (Table 2)", len(rows))
+	}
+	cores, disk := f.Totals()
+	// Abstract: "more than 2000 cores and 2 PB of storage".
+	if cores <= 2000 {
+		t.Fatalf("total cores = %d, want >2000", cores)
+	}
+	if disk < 2048 {
+		t.Fatalf("total disk = %d TB, want ≥2 PB", disk)
+	}
+	// Specific Table 2 figures.
+	if rows[0].Cores != 1248 || rows[2].Cores != 928 || rows[3].Cores != 120 {
+		t.Fatalf("per-cluster cores wrong: %+v", rows)
+	}
+}
+
+func TestFigure3Topology(t *testing.T) {
+	f := newFed(t)
+	rows := f.Topology()
+	full, partial := 0, 0
+	sites := map[string]bool{}
+	for _, r := range rows {
+		sites[r.Site] = true
+		if r.FullTukey {
+			full++
+		} else {
+			partial++
+		}
+	}
+	// Figure 3: utility clouds + root storage fully behind Tukey (solid
+	// arrows); the two Hadoop clusters only partially.
+	if full != 3 || partial != 2 {
+		t.Fatalf("full=%d partial=%d, want 3/2", full, partial)
+	}
+	if len(sites) < 3 {
+		t.Fatalf("clusters span %d sites, want ≥3", len(sites))
+	}
+	// The WAN connects all sites.
+	if f.Network.PathRTT(
+		"gw-chicago-kenwood", "gw-lvoc") < 0.09 {
+		t.Fatal("Chicago-LVOC RTT unexpectedly low")
+	}
+}
+
+func TestPaperScaleCores(t *testing.T) {
+	f, err := New(Options{Seed: 1, Scale: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Simulated hypervisors at paper scale: 4 racks × 39 × 8 = 1248.
+	if got := f.Adler.TotalCores() + f.Sullivan.TotalCores(); got != 1248 {
+		t.Fatalf("simulated utility cores = %d, want 1248", got)
+	}
+	// Hadoop slots exist.
+	if f.OCCY.TotalSlots() == 0 || f.Matsu.TotalSlots() == 0 {
+		t.Fatal("hadoop clusters have no slots")
+	}
+}
+
+func TestPublicDatasetsPublished(t *testing.T) {
+	f := newFed(t)
+	if total := f.Catalog.TotalBytes(); total < 600*TB {
+		t.Fatalf("public data = %d TB, want >600 TB", total/TB)
+	}
+	// Every dataset got an ARK that resolves.
+	for _, d := range f.Catalog.All() {
+		loc, err := f.IDs.Resolve(d.ARK)
+		if err != nil {
+			t.Fatalf("ARK %s does not resolve: %v", d.ARK, err)
+		}
+		if loc != d.Path {
+			t.Fatalf("ARK %s resolves to %q, want %q", d.ARK, loc, d.Path)
+		}
+	}
+}
+
+func TestEnrolledResearcherCanUseTukey(t *testing.T) {
+	f := newFed(t)
+	f.EnrollResearcher("chris", "pw")
+	tok, err := f.Tukey.Login("shibboleth", "chris", "pw")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tok == "" {
+		t.Fatal("no session token")
+	}
+	// No HTTP endpoints attached in this unit test, so just the session
+	// machinery; the Figure 1 end-to-end test lives at the repo root.
+}
+
+func TestGatewayProtectsPublicShare(t *testing.T) {
+	f := newFed(t)
+	if err := f.RootExport.Write("curator", "/glusterfs/public/test/README", []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.RootExport.Read("anyone", "/glusterfs/public/test/README"); err != nil {
+		t.Fatalf("public read denied: %v", err)
+	}
+	if err := f.RootExport.Write("anyone", "/glusterfs/public/test/README", []byte("y")); err == nil {
+		t.Fatal("public write allowed")
+	}
+}
+
+func TestBillingRunsOnFederationClock(t *testing.T) {
+	f := newFed(t)
+	f.EnrollResearcher("chris", "pw")
+	if _, err := f.Adler.Launch("chris", "vm", "m1.large", ""); err != nil {
+		t.Fatal(err)
+	}
+	f.Engine.RunFor(2 * sim.Hour)
+	u := f.Biller.CurrentUsage("chris")
+	if u.CoreHours() < 7 || u.CoreHours() > 9 {
+		t.Fatalf("core-hours after 2 h on 4 cores = %v, want ~8", u.CoreHours())
+	}
+}
+
+func TestMonitoringWiredToBricks(t *testing.T) {
+	f := newFed(t)
+	f.Engine.RunFor(6 * sim.Minute)
+	if f.Nagios.ChecksRun == 0 {
+		t.Fatal("no nagios checks ran on the federation")
+	}
+	// No alerts on a healthy, empty federation.
+	if n := len(f.Nagios.Alerts()); n != 0 {
+		t.Fatalf("unexpected alerts on empty federation: %d", n)
+	}
+}
+
+func TestUsageMonitorPublishes(t *testing.T) {
+	f := newFed(t)
+	f.EnrollResearcher("dana", "pw")
+	if _, err := f.Adler.Launch("dana", "vm", "m1.small", ""); err != nil {
+		t.Fatal(err)
+	}
+	f.Engine.RunFor(6 * sim.Minute)
+	status := f.UsageMon.PublicStatus()
+	if len(status) != 2 {
+		t.Fatalf("status clouds = %d, want 2", len(status))
+	}
+	for _, s := range status {
+		if s.Cloud == ClusterAdler && s.RunningVMs != 1 {
+			t.Fatalf("adler snapshot = %+v", s)
+		}
+	}
+}

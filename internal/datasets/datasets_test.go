@@ -1,0 +1,133 @@
+package datasets
+
+import (
+	"strings"
+	"testing"
+
+	"osdc/internal/ark"
+	"osdc/internal/dfs"
+	"osdc/internal/sim"
+	"osdc/internal/simdisk"
+)
+
+func newCatalog(t *testing.T) *Catalog {
+	t.Helper()
+	e := sim.NewEngine(3)
+	var bricks []*dfs.Brick
+	for i := 0; i < 2; i++ {
+		d := simdisk.New(e, "d", 3072e6, 1136e6, 2<<50)
+		bricks = append(bricks, dfs.NewBrick("b", "n", d))
+	}
+	// unique names required per volume; adjust
+	bricks[0].Name, bricks[1].Name = "b0", "b1"
+	vol, err := dfs.NewVolume(e, "osdc-root", 1, dfs.Version33, bricks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := NewCatalog(ark.NewService(""), vol)
+	c.AddCurator("walt")
+	return c
+}
+
+func TestPublishMintsARKAndStores(t *testing.T) {
+	c := newCatalog(t)
+	d, err := c.Publish("walt", Dataset{Name: "Test Set", Discipline: "biology", SizeBytes: 1 << 40, Public: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(d.ARK, "ark:/") {
+		t.Fatalf("no ARK minted: %q", d.ARK)
+	}
+	loc, err := c.Download("Test Set")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loc != d.Path {
+		t.Fatalf("download resolves to %q, want %q", loc, d.Path)
+	}
+	if c.Downloads != 1 {
+		t.Fatal("download not counted")
+	}
+}
+
+func TestOnlyCuratorsPublish(t *testing.T) {
+	c := newCatalog(t)
+	if _, err := c.Publish("randomuser", Dataset{Name: "X", SizeBytes: 1}); err == nil {
+		t.Fatal("non-curator published")
+	}
+}
+
+func TestDuplicateRejected(t *testing.T) {
+	c := newCatalog(t)
+	if _, err := c.Publish("walt", Dataset{Name: "Dup", SizeBytes: 1, Discipline: "x"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Publish("walt", Dataset{Name: "Dup", SizeBytes: 1, Discipline: "x"}); err == nil {
+		t.Fatal("duplicate accepted")
+	}
+}
+
+func TestValidation(t *testing.T) {
+	c := newCatalog(t)
+	if _, err := c.Publish("walt", Dataset{Name: "", SizeBytes: 5}); err == nil {
+		t.Fatal("empty name accepted")
+	}
+	if _, err := c.Publish("walt", Dataset{Name: "Zero", SizeBytes: 0}); err == nil {
+		t.Fatal("zero size accepted")
+	}
+}
+
+func TestSearch(t *testing.T) {
+	c := newCatalog(t)
+	for _, d := range PaperDatasets() {
+		if _, err := c.Publish("walt", d); err != nil {
+			t.Fatal(err)
+		}
+	}
+	hits := c.Search("genom")
+	if len(hits) < 2 {
+		t.Fatalf("search 'genom' found %d, want ≥2 (1000 Genomes, NCBI/modENCODE tags)", len(hits))
+	}
+	if got := c.Search("hyperion"); len(got) != 0 {
+		// Desc says "EO-1 satellite imagery"; hyperion is in the name only.
+		for _, d := range got {
+			if !strings.Contains(strings.ToLower(d.Name), "hyperion") {
+				t.Fatalf("bogus hit %q", d.Name)
+			}
+		}
+	}
+	if len(c.Search("")) != len(PaperDatasets()) {
+		t.Fatal("empty query must return all")
+	}
+}
+
+func TestPaperAggregates(t *testing.T) {
+	c := newCatalog(t)
+	for _, d := range PaperDatasets() {
+		if _, err := c.Publish("walt", d); err != nil {
+			t.Fatal(err)
+		}
+	}
+	const tb = int64(1) << 40
+	// §6.3: more than 600 TB of public datasets.
+	if total := c.TotalBytes(); total < 600*tb || total > 700*tb {
+		t.Fatalf("total = %d TB, want 600–700 TB", total/tb)
+	}
+	// §4.1: over 400 TB for the biological sciences.
+	byD := c.ByDiscipline()
+	if byD["biology"] < 400*tb {
+		t.Fatalf("biology = %d TB, want >400 TB", byD["biology"]/tb)
+	}
+	// §4.2: ~30 TB of EO-1 data.
+	eo1, ok := c.Get("EO-1 ALI and Hyperion")
+	if !ok || eo1.SizeBytes != 30*tb {
+		t.Fatal("EO-1 dataset wrong")
+	}
+}
+
+func TestDownloadUnknown(t *testing.T) {
+	c := newCatalog(t)
+	if _, err := c.Download("nope"); err == nil {
+		t.Fatal("unknown dataset downloadable")
+	}
+}

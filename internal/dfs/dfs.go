@@ -1,0 +1,355 @@
+// Package dfs implements the GlusterFS-like distributed filesystem that
+// backs the OSDC's storage (paper §7.1).
+//
+// Like GlusterFS, the design has no metadata server: file placement is
+// computed from an elastic hash of the path (the DHT "distribute"
+// translator), and durability comes from synchronous replication across
+// replica sets (the "replicate"/AFR translator) with self-healing of stale
+// or corrupt copies detected by checksum comparison.
+//
+// The paper reports that GlusterFS 3.1 had "a bug in mirroring that caused
+// some data loss and forced us to stop using mirroring", fixed by 3.3.
+// Version selects the behaviour: VersionBuggy31 silently corrupts one
+// replica on a write race (fault injection used by the tests), Version33
+// replicates correctly and heals.
+package dfs
+
+import (
+	"crypto/sha256"
+	"fmt"
+	"hash/fnv"
+	"sort"
+	"strings"
+
+	"osdc/internal/sim"
+	"osdc/internal/simdisk"
+)
+
+// Version selects replication behaviour (see package doc).
+type Version int
+
+// Supported behaviour modes.
+const (
+	Version33      Version = iota // current, correct replication + self-heal
+	VersionBuggy31                // the 3.1 mirroring bug: occasional silent replica corruption
+)
+
+// File is one stored object. Content may be nil for petabyte-scale
+// accounting entries, in which case only Size and Sum are tracked.
+type File struct {
+	Path    string
+	Size    int64
+	Content []byte
+	Sum     [sha256.Size]byte
+}
+
+// Brick is one storage unit: a directory on one server's disk.
+type Brick struct {
+	Name   string
+	Node   string // simnet node / server name
+	Disk   *simdisk.Disk
+	files  map[string]*File
+	online bool
+	// corrupt marks paths whose local copy is silently bad (mirror bug).
+	corrupt map[string]bool
+}
+
+// NewBrick creates an online brick on a disk.
+func NewBrick(name, node string, disk *simdisk.Disk) *Brick {
+	return &Brick{
+		Name: name, Node: node, Disk: disk,
+		files: make(map[string]*File), corrupt: make(map[string]bool),
+		online: true,
+	}
+}
+
+// Online reports brick availability.
+func (b *Brick) Online() bool { return b.online }
+
+// SetOnline flips brick availability (failures and recoveries).
+func (b *Brick) SetOnline(v bool) { b.online = v }
+
+// FileCount returns the number of files stored on this brick.
+func (b *Brick) FileCount() int { return len(b.files) }
+
+func (b *Brick) store(f *File) error {
+	if old, ok := b.files[f.Path]; ok {
+		b.Disk.Release(old.Size)
+	}
+	if err := b.Disk.Alloc(f.Size); err != nil {
+		return err
+	}
+	cp := *f
+	b.files[f.Path] = &cp
+	delete(b.corrupt, f.Path)
+	return nil
+}
+
+func (b *Brick) remove(path string) {
+	if old, ok := b.files[path]; ok {
+		b.Disk.Release(old.Size)
+		delete(b.files, path)
+		delete(b.corrupt, path)
+	}
+}
+
+// Volume is a DFS volume: an ordered list of replica sets, each a group of
+// ReplicaCount bricks. Placement distributes files across replica sets by
+// elastic hash.
+type Volume struct {
+	Name         string
+	ReplicaCount int
+	Version      Version
+	sets         [][]*Brick
+	engine       *sim.Engine
+	rng          *sim.RNG
+
+	// Counters for reports and tests.
+	Writes       int64
+	Reads        int64
+	HealedFiles  int64
+	CorruptReads int64
+}
+
+// NewVolume builds a volume from bricks. len(bricks) must be a non-zero
+// multiple of replicaCount; consecutive bricks form replica sets, as in
+// gluster volume create.
+func NewVolume(e *sim.Engine, name string, replicaCount int, version Version, bricks []*Brick) (*Volume, error) {
+	if replicaCount < 1 {
+		return nil, fmt.Errorf("dfs: replica count must be ≥1")
+	}
+	if len(bricks) == 0 || len(bricks)%replicaCount != 0 {
+		return nil, fmt.Errorf("dfs: brick count %d not a multiple of replica %d", len(bricks), replicaCount)
+	}
+	v := &Volume{
+		Name: name, ReplicaCount: replicaCount, Version: version,
+		engine: e, rng: e.RNG().Fork(),
+	}
+	for i := 0; i < len(bricks); i += replicaCount {
+		v.sets = append(v.sets, bricks[i:i+replicaCount])
+	}
+	return v, nil
+}
+
+// SetCount returns the number of replica sets.
+func (v *Volume) SetCount() int { return len(v.sets) }
+
+// Bricks returns all bricks in layout order.
+func (v *Volume) Bricks() []*Brick {
+	var out []*Brick
+	for _, s := range v.sets {
+		out = append(out, s...)
+	}
+	return out
+}
+
+// hashSet picks the replica set for a path (the DHT elastic hash).
+func (v *Volume) hashSet(path string) []*Brick {
+	h := fnv.New32a()
+	h.Write([]byte(path))
+	return v.sets[int(h.Sum32())%len(v.sets)]
+}
+
+// Write stores content at path, synchronously replicated to every online
+// brick of its replica set. Under VersionBuggy31, a write may silently
+// corrupt one replica (the paper's 3.1 mirroring bug).
+func (v *Volume) Write(path string, content []byte) error {
+	return v.writeFile(&File{
+		Path: path, Size: int64(len(content)),
+		Content: append([]byte(nil), content...),
+		Sum:     sha256.Sum256(content),
+	})
+}
+
+// WriteMeta stores a size-only entry (no content bytes), used for
+// petabyte-scale datasets where only accounting matters.
+func (v *Volume) WriteMeta(path string, size int64) error {
+	return v.writeFile(&File{Path: path, Size: size, Sum: sha256.Sum256([]byte(path))})
+}
+
+func (v *Volume) writeFile(f *File) error {
+	if strings.TrimSpace(f.Path) == "" {
+		return fmt.Errorf("dfs: empty path")
+	}
+	set := v.hashSet(f.Path)
+	wrote := 0
+	for _, b := range set {
+		if !b.online {
+			continue // AFR: absent replica marked stale, healed later
+		}
+		if err := b.store(f); err != nil {
+			return fmt.Errorf("dfs: write %s to %s: %w", f.Path, b.Name, err)
+		}
+		wrote++
+	}
+	if wrote == 0 {
+		return fmt.Errorf("dfs: no online replica for %s", f.Path)
+	}
+	v.Writes++
+	// The 3.1 mirroring bug: with both replicas online, a race occasionally
+	// leaves one replica silently corrupt.
+	if v.Version == VersionBuggy31 && wrote > 1 && v.rng.Bernoulli(0.02) {
+		victim := set[v.rng.Intn(len(set))]
+		if victim.online {
+			victim.corrupt[f.Path] = true
+		}
+	}
+	return nil
+}
+
+// Read returns the file at path from the first online, uncorrupted replica.
+// Under Version33, reading detects checksum mismatches and triggers
+// self-heal; under VersionBuggy31 a corrupt replica may be returned (the
+// data-loss mode the paper hit), reported via ErrCorrupt.
+func (v *Volume) Read(path string) (*File, error) {
+	set := v.hashSet(path)
+	v.Reads++
+	var stale []*Brick
+	var good *File
+	var goodBrick *Brick
+	for _, b := range set {
+		if !b.online {
+			continue
+		}
+		f, ok := b.files[path]
+		if !ok {
+			stale = append(stale, b)
+			continue
+		}
+		if b.corrupt[path] {
+			if v.Version == Version33 {
+				// Checksum verification catches it; heal from a clean copy.
+				stale = append(stale, b)
+				continue
+			}
+			// 3.1: corruption undetected; first replica wins.
+			if good == nil {
+				v.CorruptReads++
+				return nil, ErrCorrupt{Path: path, Brick: b.Name}
+			}
+			continue
+		}
+		if good == nil {
+			good, goodBrick = f, b
+		}
+	}
+	if good == nil {
+		return nil, ErrNotFound{Path: path}
+	}
+	_ = goodBrick
+	// Self-heal stale/corrupt replicas from the good copy (3.3 behaviour).
+	if v.Version == Version33 {
+		for _, b := range stale {
+			if err := b.store(good); err == nil {
+				v.HealedFiles++
+			}
+		}
+	}
+	return good, nil
+}
+
+// Delete removes the file from every replica.
+func (v *Volume) Delete(path string) error {
+	set := v.hashSet(path)
+	found := false
+	for _, b := range set {
+		if _, ok := b.files[path]; ok {
+			found = true
+		}
+		b.remove(path)
+	}
+	if !found {
+		return ErrNotFound{Path: path}
+	}
+	return nil
+}
+
+// List returns all paths with the given prefix, sorted.
+func (v *Volume) List(prefix string) []string {
+	seen := make(map[string]bool)
+	for _, s := range v.sets {
+		for _, b := range s {
+			for p := range b.files {
+				if strings.HasPrefix(p, prefix) {
+					seen[p] = true
+				}
+			}
+		}
+	}
+	out := make([]string, 0, len(seen))
+	for p := range seen {
+		out = append(out, p)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Stat returns size information without reading content.
+func (v *Volume) Stat(path string) (int64, error) {
+	for _, b := range v.hashSet(path) {
+		if f, ok := b.files[path]; ok {
+			return f.Size, nil
+		}
+	}
+	return 0, ErrNotFound{Path: path}
+}
+
+// UsedBytes sums the logical bytes stored (each file counted once).
+func (v *Volume) UsedBytes() int64 {
+	var total int64
+	counted := make(map[string]bool)
+	for _, s := range v.sets {
+		for _, b := range s {
+			for p, f := range b.files {
+				if !counted[p] {
+					counted[p] = true
+					total += f.Size
+				}
+			}
+		}
+	}
+	return total
+}
+
+// RawBytes sums physical bytes across replicas.
+func (v *Volume) RawBytes() int64 {
+	var total int64
+	for _, s := range v.sets {
+		for _, b := range s {
+			for _, f := range b.files {
+				total += f.Size
+			}
+		}
+	}
+	return total
+}
+
+// HealAll sweeps every file and repairs stale or corrupt replicas from a
+// clean copy (the gluster self-heal daemon's full crawl). Returns the
+// number of replica repairs.
+func (v *Volume) HealAll() int64 {
+	if v.Version != Version33 {
+		return 0
+	}
+	var healed int64
+	for _, path := range v.List("") {
+		before := v.HealedFiles
+		if _, err := v.Read(path); err == nil {
+			healed += v.HealedFiles - before
+		}
+	}
+	return healed
+}
+
+// ErrNotFound reports a missing file.
+type ErrNotFound struct{ Path string }
+
+func (e ErrNotFound) Error() string { return "dfs: not found: " + e.Path }
+
+// ErrCorrupt reports a silently-corrupt replica surfaced to a reader (the
+// 3.1 data-loss mode).
+type ErrCorrupt struct{ Path, Brick string }
+
+func (e ErrCorrupt) Error() string {
+	return fmt.Sprintf("dfs: corrupt replica of %s on %s (gluster 3.1 mirroring bug)", e.Path, e.Brick)
+}

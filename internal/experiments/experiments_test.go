@@ -1,0 +1,115 @@
+package experiments
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestChicagoLVOCPathMatchesPaperTestbed(t *testing.T) {
+	p := ChicagoLVOCPath(1)
+	if math.Abs(p.RTT-0.104) > 0.001 {
+		t.Fatalf("RTT = %v, want 104 ms", p.RTT)
+	}
+	if p.BandwidthBps != 10e9 {
+		t.Fatalf("bandwidth = %v, want 10G", p.BandwidthBps)
+	}
+}
+
+func TestTable3Deterministic(t *testing.T) {
+	a := Table3(99)
+	b := Table3(99)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("row %d differs across identical seeds", i)
+		}
+	}
+}
+
+func TestPaperTable3RowOrderMatchesConfigs(t *testing.T) {
+	rows := PaperTable3()
+	if len(rows) != 5 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	if rows[0].Mbit108 != 752 || rows[4].Mbit1T != 285 {
+		t.Fatalf("paper constants wrong: %+v", rows)
+	}
+}
+
+func TestTable1MatchesClassShapes(t *testing.T) {
+	r := Table1(5)
+	if r.Web.MedianBytes >= r.Science.MedianBytes {
+		t.Fatal("web median not smaller than science median")
+	}
+	if r.Science.ElephantShare < 0.9 {
+		t.Fatalf("science elephant share %.2f", r.Science.ElephantShare)
+	}
+}
+
+func TestTable2Totals(t *testing.T) {
+	rows, cores, disk, err := Table2(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 || cores != 2296 || disk != 3348 {
+		t.Fatalf("inventory = %d rows, %d cores, %d TB", len(rows), cores, disk)
+	}
+}
+
+func TestFigure2DetectsFlood(t *testing.T) {
+	r, err := Figure2(8, 128, 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.FloodTiles == 0 || r.FloodKm2 <= 0 {
+		t.Fatalf("no flood: %+v", r)
+	}
+	if r.JobDuration <= 0 {
+		t.Fatal("mapreduce job took no time")
+	}
+}
+
+func TestCostSweepCrossoverNearPaper(t *testing.T) {
+	r := CostSweep()
+	if r.Crossover < 0.72 || r.Crossover > 0.88 {
+		t.Fatalf("crossover %.2f, want ≈0.80", r.Crossover)
+	}
+	if len(r.Rows) != 10 {
+		t.Fatalf("sweep rows = %d", len(r.Rows))
+	}
+}
+
+func TestProvisioningClaim(t *testing.T) {
+	r := Provisioning(3)
+	if r.ManualDur <= 7*86400 {
+		t.Fatalf("manual = %v, want > a week", r.ManualDur)
+	}
+	if r.AutomatedDur >= 86400 {
+		t.Fatalf("automated = %v, want < a day", r.AutomatedDur)
+	}
+	if r.Speedup < 7 {
+		t.Fatalf("speedup %.1f", r.Speedup)
+	}
+}
+
+func TestFormattersContainKeyContent(t *testing.T) {
+	if out := FormatTable3(PaperTable3()); !strings.Contains(out, "108 GB Data Set") {
+		t.Fatal("table 3 header missing")
+	}
+	fig3, err := Figure3(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(fig3, "OCC-Matsu") {
+		t.Fatal("figure 3 missing Matsu")
+	}
+	sanity, err := CipherSanity()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range []string{"none", "blowfish", "3des"} {
+		if !strings.Contains(sanity, c) {
+			t.Fatalf("cipher sanity missing %s", c)
+		}
+	}
+}

@@ -1,0 +1,170 @@
+// Package gateway implements the Samba-like permission-enforcing re-export
+// of GlusterFS shares (paper §7.1).
+//
+// OSDC users have root on their virtual machines, so they cannot be allowed
+// to mount the GlusterFS shares directly — GlusterFS would grant them root
+// on the whole share. Instead the shares are exported through a gateway
+// that authenticates each user and enforces per-path permissions,
+// independent of whatever uid the client claims.
+package gateway
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"osdc/internal/dfs"
+)
+
+// Mode is a simplified POSIX-style permission triple on a path prefix.
+type Mode uint8
+
+// Permission bits.
+const (
+	PermRead Mode = 1 << iota
+	PermWrite
+)
+
+// ACE is one access-control entry: who may do what under a path prefix.
+type ACE struct {
+	Prefix string // path prefix this entry governs
+	User   string // exact user, or "" if group-scoped
+	Group  string // group name, or "" if user-scoped
+	Mode   Mode
+}
+
+// Export is a gateway share: a DFS volume plus its access-control list.
+type Export struct {
+	Name   string
+	volume *dfs.Volume
+	acl    []ACE
+	groups map[string]map[string]bool // group -> members
+
+	Grants  int64 // permitted operations
+	Denials int64 // rejected operations
+}
+
+// New creates an export over a volume.
+func New(name string, vol *dfs.Volume) *Export {
+	return &Export{Name: name, volume: vol, groups: make(map[string]map[string]bool)}
+}
+
+// AddGroup registers a group with members. Re-adding replaces membership.
+func (e *Export) AddGroup(group string, members ...string) {
+	m := make(map[string]bool, len(members))
+	for _, u := range members {
+		m[u] = true
+	}
+	e.groups[group] = m
+}
+
+// Allow appends an ACE. Longest-prefix entries win over shorter ones; among
+// equal prefixes, later entries win.
+func (e *Export) Allow(ace ACE) {
+	if !strings.HasPrefix(ace.Prefix, "/") {
+		panic("gateway: ACE prefix must start with /")
+	}
+	e.acl = append(e.acl, ace)
+	// Keep stable longest-prefix-first evaluation order.
+	sort.SliceStable(e.acl, func(i, j int) bool {
+		return len(e.acl[i].Prefix) > len(e.acl[j].Prefix)
+	})
+}
+
+// ErrDenied reports a permission failure.
+type ErrDenied struct {
+	User string
+	Path string
+	Op   string
+}
+
+func (e ErrDenied) Error() string {
+	return fmt.Sprintf("gateway: %s denied %s on %s", e.User, e.Op, e.Path)
+}
+
+// check resolves the effective mode for user on path: among the ACEs that
+// match the user (directly, via a group, or as a world entry), the ones at
+// the longest matching prefix decide, and their modes combine. A matching
+// longest-prefix entry with Mode 0 is therefore an explicit deny that
+// shorter prefixes cannot override.
+func (e *Export) check(user, path string, want Mode) error {
+	bestLen := -1
+	var mode Mode
+	for _, ace := range e.acl {
+		if !strings.HasPrefix(path, ace.Prefix) {
+			continue
+		}
+		match := false
+		switch {
+		case ace.User != "" && ace.User == user:
+			match = true
+		case ace.Group != "" && e.groups[ace.Group][user]:
+			match = true
+		case ace.User == "" && ace.Group == "":
+			match = true // world entry
+		}
+		if !match {
+			continue
+		}
+		switch {
+		case len(ace.Prefix) > bestLen:
+			bestLen = len(ace.Prefix)
+			mode = ace.Mode
+		case len(ace.Prefix) == bestLen:
+			mode |= ace.Mode
+		}
+	}
+	if bestLen >= 0 && mode&want == want {
+		e.Grants++
+		return nil
+	}
+	e.Denials++
+	op := "read"
+	if want&PermWrite != 0 {
+		op = "write"
+	}
+	return ErrDenied{User: user, Path: path, Op: op}
+}
+
+// Read fetches a file on behalf of user.
+func (e *Export) Read(user, path string) (*dfs.File, error) {
+	if err := e.check(user, path, PermRead); err != nil {
+		return nil, err
+	}
+	return e.volume.Read(path)
+}
+
+// Write stores a file on behalf of user.
+func (e *Export) Write(user, path string, content []byte) error {
+	if err := e.check(user, path, PermWrite); err != nil {
+		return err
+	}
+	return e.volume.Write(path, content)
+}
+
+// Delete removes a file on behalf of user (requires write).
+func (e *Export) Delete(user, path string) error {
+	if err := e.check(user, path, PermWrite); err != nil {
+		return err
+	}
+	return e.volume.Delete(path)
+}
+
+// List enumerates paths under prefix that user may read.
+func (e *Export) List(user, prefix string) []string {
+	var out []string
+	for _, p := range e.volume.List(prefix) {
+		if e.check(user, p, PermRead) == nil {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// MountRaw models a direct GlusterFS mount attempt from a user VM: always
+// rejected, because the current GlusterFS "would allow them root access on
+// the whole share" (§7.1).
+func (e *Export) MountRaw(user string) error {
+	e.Denials++
+	return fmt.Errorf("gateway: raw glusterfs mount refused for %s: clients have VM root; use the gateway export", user)
+}

@@ -1,0 +1,145 @@
+package gateway
+
+import (
+	"fmt"
+	"testing"
+
+	"osdc/internal/dfs"
+	"osdc/internal/sim"
+	"osdc/internal/simdisk"
+)
+
+func newExport(t *testing.T) *Export {
+	t.Helper()
+	e := sim.NewEngine(1)
+	var bricks []*dfs.Brick
+	for i := 0; i < 2; i++ {
+		d := simdisk.New(e, fmt.Sprintf("d%d", i), 3072e6, 1136e6, 1<<40)
+		bricks = append(bricks, dfs.NewBrick(fmt.Sprintf("b%d", i), "n", d))
+	}
+	vol, err := dfs.NewVolume(e, "vol", 1, dfs.Version33, bricks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return New("osdc-root", vol)
+}
+
+func TestOwnerReadWrite(t *testing.T) {
+	ex := newExport(t)
+	ex.Allow(ACE{Prefix: "/home/alice/", User: "alice", Mode: PermRead | PermWrite})
+	if err := ex.Write("alice", "/home/alice/notes.txt", []byte("hi")); err != nil {
+		t.Fatal(err)
+	}
+	f, err := ex.Read("alice", "/home/alice/notes.txt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(f.Content) != "hi" {
+		t.Fatal("content mismatch")
+	}
+}
+
+func TestStrangerDenied(t *testing.T) {
+	ex := newExport(t)
+	ex.Allow(ACE{Prefix: "/home/alice/", User: "alice", Mode: PermRead | PermWrite})
+	if err := ex.Write("alice", "/home/alice/secret", []byte("s")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ex.Read("mallory", "/home/alice/secret"); err == nil {
+		t.Fatal("stranger read allowed")
+	} else if _, ok := err.(ErrDenied); !ok {
+		t.Fatalf("got %T, want ErrDenied", err)
+	}
+	if ex.Denials == 0 {
+		t.Fatal("denial not counted")
+	}
+}
+
+func TestGroupAccess(t *testing.T) {
+	ex := newExport(t)
+	ex.AddGroup("t2dgenes", "alice", "bob")
+	ex.Allow(ACE{Prefix: "/projects/t2d/", Group: "t2dgenes", Mode: PermRead | PermWrite})
+	if err := ex.Write("alice", "/projects/t2d/variants.vcf", []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ex.Read("bob", "/projects/t2d/variants.vcf"); err != nil {
+		t.Fatalf("group member denied: %v", err)
+	}
+	if _, err := ex.Read("carol", "/projects/t2d/variants.vcf"); err == nil {
+		t.Fatal("non-member allowed")
+	}
+}
+
+func TestWorldReadablePublicData(t *testing.T) {
+	ex := newExport(t)
+	ex.Allow(ACE{Prefix: "/public/", Mode: PermRead}) // world-readable
+	ex.Allow(ACE{Prefix: "/public/", User: "curator", Mode: PermRead | PermWrite})
+	if err := ex.Write("curator", "/public/1000genomes/README", []byte("open")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ex.Read("anyone", "/public/1000genomes/README"); err != nil {
+		t.Fatalf("public read denied: %v", err)
+	}
+	if err := ex.Write("anyone", "/public/1000genomes/README", []byte("vandal")); err == nil {
+		t.Fatal("world write allowed on read-only public data")
+	}
+}
+
+func TestLongestPrefixWins(t *testing.T) {
+	ex := newExport(t)
+	ex.Allow(ACE{Prefix: "/data/", User: "alice", Mode: PermRead | PermWrite})
+	ex.Allow(ACE{Prefix: "/data/restricted/", User: "alice", Mode: 0}) // explicit deny
+	if err := ex.Write("alice", "/data/ok.txt", []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	if err := ex.Write("alice", "/data/restricted/x", []byte("x")); err == nil {
+		t.Fatal("longest-prefix deny not enforced")
+	}
+}
+
+func TestDeleteRequiresWrite(t *testing.T) {
+	ex := newExport(t)
+	ex.Allow(ACE{Prefix: "/d/", User: "w", Mode: PermRead | PermWrite})
+	ex.Allow(ACE{Prefix: "/d/", User: "r", Mode: PermRead})
+	if err := ex.Write("w", "/d/f", []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	if err := ex.Delete("r", "/d/f"); err == nil {
+		t.Fatal("read-only user deleted file")
+	}
+	if err := ex.Delete("w", "/d/f"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestListFiltersByPermission(t *testing.T) {
+	ex := newExport(t)
+	ex.Allow(ACE{Prefix: "/mix/alice/", User: "alice", Mode: PermRead | PermWrite})
+	ex.Allow(ACE{Prefix: "/mix/bob/", User: "bob", Mode: PermRead | PermWrite})
+	if err := ex.Write("alice", "/mix/alice/a", []byte("1")); err != nil {
+		t.Fatal(err)
+	}
+	if err := ex.Write("bob", "/mix/bob/b", []byte("2")); err != nil {
+		t.Fatal(err)
+	}
+	got := ex.List("alice", "/mix/")
+	if len(got) != 1 || got[0] != "/mix/alice/a" {
+		t.Fatalf("List = %v, want only alice's file", got)
+	}
+}
+
+func TestRawMountAlwaysRefused(t *testing.T) {
+	ex := newExport(t)
+	if err := ex.MountRaw("root-on-vm"); err == nil {
+		t.Fatal("raw gluster mount must be refused")
+	}
+}
+
+func TestBadACEPrefixPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	newExport(t).Allow(ACE{Prefix: "relative", User: "x", Mode: PermRead})
+}

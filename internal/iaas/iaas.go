@@ -1,0 +1,398 @@
+// Package iaas implements the OSDC's infrastructure-as-a-service compute
+// substrate (paper §3.2, §7): the Eucalyptus- and OpenStack-based utility
+// clouds (OSDC-Adler, OSDC-Sullivan) that Tukey provisions VMs on.
+//
+// The package has a neutral core — hosts, flavors, images, instances, a
+// capacity scheduler, per-user quotas and usage counters — plus two real
+// HTTP API dialects over that core:
+//
+//   - NovaAPI (nova_api.go): an OpenStack-compute-style JSON API;
+//   - EucaAPI (euca_api.go): a Eucalyptus/EC2-style query API with XML
+//     responses.
+//
+// The two dialects exist so that the Tukey middleware (internal/tukey) has
+// real API translation work to do, exactly as the paper describes: "The
+// translation proxies take in requests based on the OpenStack API and then
+// issue commands to each cloud based on mappings outlined in configuration
+// files" (§5.2).
+package iaas
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"osdc/internal/sim"
+)
+
+// Flavor is an instance size, as in OpenStack flavors / EC2 instance types.
+type Flavor struct {
+	Name   string
+	VCPUs  int
+	RAMMB  int
+	DiskGB int
+}
+
+// DefaultFlavors are the sizes offered across OSDC clouds.
+func DefaultFlavors() []Flavor {
+	return []Flavor{
+		{Name: "m1.small", VCPUs: 1, RAMMB: 2048, DiskGB: 20},
+		{Name: "m1.medium", VCPUs: 2, RAMMB: 4096, DiskGB: 40},
+		{Name: "m1.large", VCPUs: 4, RAMMB: 8192, DiskGB: 80},
+		{Name: "m1.xlarge", VCPUs: 8, RAMMB: 16384, DiskGB: 160},
+	}
+}
+
+// Image is a bootable machine image. The OSDC curates images that "contain
+// the software tools and applications commonly used by a community" (§3.2).
+type Image struct {
+	ID     string
+	Name   string
+	SizeGB int
+	Tools  []string // preinstalled community pipelines
+	Public bool
+	Owner  string
+	// Portable marks images built to also run on AWS (§9: "OSDC machine
+	// images can also run on AWS"), the paper's anti-lock-in stance.
+	Portable bool
+}
+
+// InstanceState is the VM lifecycle state.
+type InstanceState string
+
+// Lifecycle states (OpenStack naming).
+const (
+	StateBuild      InstanceState = "BUILD"
+	StateActive     InstanceState = "ACTIVE"
+	StateShutoff    InstanceState = "SHUTOFF"
+	StateTerminated InstanceState = "TERMINATED"
+	StateError      InstanceState = "ERROR"
+)
+
+// Instance is one virtual machine.
+type Instance struct {
+	ID       string
+	Name     string
+	User     string
+	Flavor   Flavor
+	ImageID  string
+	Host     string
+	State    InstanceState
+	Launched sim.Time
+	Stopped  sim.Time // valid when terminated/shutoff
+}
+
+// CoreSecondsUntil returns core-seconds consumed up to t (for billing).
+func (i *Instance) CoreSecondsUntil(t sim.Time) float64 {
+	end := t
+	if i.State == StateTerminated || i.State == StateShutoff {
+		end = i.Stopped
+	}
+	if end < i.Launched {
+		return 0
+	}
+	return float64(end-i.Launched) * float64(i.Flavor.VCPUs)
+}
+
+// Host is one hypervisor server. The paper's rack unit: 8 cores, 8 TB disk
+// per server (§9.1 footnote).
+type Host struct {
+	Name      string
+	Cores     int
+	RAMMB     int
+	DiskGB    int
+	usedCores int
+	usedRAM   int
+	usedDisk  int
+	instances map[string]*Instance
+}
+
+// NewHost creates an empty hypervisor.
+func NewHost(name string, cores, ramMB, diskGB int) *Host {
+	return &Host{Name: name, Cores: cores, RAMMB: ramMB, DiskGB: diskGB,
+		instances: make(map[string]*Instance)}
+}
+
+// PaperHost returns the paper's standard server: 8 cores, 8 TB disk.
+func PaperHost(name string) *Host { return NewHost(name, 8, 49152, 8192) }
+
+func (h *Host) fits(f Flavor) bool {
+	return h.usedCores+f.VCPUs <= h.Cores &&
+		h.usedRAM+f.RAMMB <= h.RAMMB &&
+		h.usedDisk+f.DiskGB <= h.DiskGB
+}
+
+// FreeCores returns unallocated cores.
+func (h *Host) FreeCores() int { return h.Cores - h.usedCores }
+
+// Quota bounds one user's concurrent footprint. The paper's free tier gives
+// "small amounts of computing infrastructure ... without cost" (§1).
+type Quota struct {
+	MaxInstances int
+	MaxCores     int
+}
+
+// FreeTierQuota is the default allocation for any researcher.
+func FreeTierQuota() Quota { return Quota{MaxInstances: 2, MaxCores: 4} }
+
+// Cloud is one compute cloud (e.g. OSDC-Adler or OSDC-Sullivan).
+type Cloud struct {
+	Name    string
+	Stack   string // "openstack" or "eucalyptus" — selects the native API
+	Site    string
+	mu      sync.Mutex
+	engine  *sim.Engine
+	hosts   []*Host
+	flavors map[string]Flavor
+	images  map[string]*Image
+	inst    map[string]*Instance
+	quotas  map[string]Quota
+	nextID  int
+
+	Launches   int64
+	Rejections int64
+}
+
+// NewCloud creates a cloud on an engine with the default flavors.
+func NewCloud(e *sim.Engine, name, stack, site string) *Cloud {
+	c := &Cloud{
+		Name: name, Stack: stack, Site: site, engine: e,
+		flavors: make(map[string]Flavor),
+		images:  make(map[string]*Image),
+		inst:    make(map[string]*Instance),
+		quotas:  make(map[string]Quota),
+	}
+	for _, f := range DefaultFlavors() {
+		c.flavors[f.Name] = f
+	}
+	return c
+}
+
+// AddHost attaches a hypervisor.
+func (c *Cloud) AddHost(h *Host) { c.hosts = append(c.hosts, h) }
+
+// AddRack attaches n paper-standard hosts named prefix-NN.
+func (c *Cloud) AddRack(prefix string, n int) {
+	for i := 0; i < n; i++ {
+		c.AddHost(PaperHost(fmt.Sprintf("%s-%02d", prefix, i)))
+	}
+}
+
+// TotalCores sums hypervisor cores.
+func (c *Cloud) TotalCores() int {
+	total := 0
+	for _, h := range c.hosts {
+		total += h.Cores
+	}
+	return total
+}
+
+// UsedCores sums allocated cores.
+func (c *Cloud) UsedCores() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	total := 0
+	for _, h := range c.hosts {
+		total += h.usedCores
+	}
+	return total
+}
+
+// RegisterImage adds a machine image.
+func (c *Cloud) RegisterImage(img Image) *Image {
+	cp := img
+	if cp.ID == "" {
+		c.nextID++
+		cp.ID = fmt.Sprintf("img-%s-%d", c.Name, c.nextID)
+	}
+	c.images[cp.ID] = &cp
+	return &cp
+}
+
+// Images lists images visible to user, sorted by ID.
+func (c *Cloud) Images(user string) []*Image {
+	var out []*Image
+	for _, img := range c.images {
+		if img.Public || img.Owner == user {
+			out = append(out, img)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// SetQuota assigns a user quota (replacing the free-tier default).
+func (c *Cloud) SetQuota(user string, q Quota) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.quotas[user] = q
+}
+
+func (c *Cloud) quotaFor(user string) Quota {
+	if q, ok := c.quotas[user]; ok {
+		return q
+	}
+	return FreeTierQuota()
+}
+
+// Flavor looks up a flavor by name.
+func (c *Cloud) Flavor(name string) (Flavor, bool) {
+	f, ok := c.flavors[name]
+	return f, ok
+}
+
+// Flavors lists flavors sorted by cores.
+func (c *Cloud) Flavors() []Flavor {
+	var out []Flavor
+	for _, f := range c.flavors {
+		out = append(out, f)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].VCPUs < out[j].VCPUs })
+	return out
+}
+
+// ErrQuota reports a quota rejection.
+type ErrQuota struct{ User, Reason string }
+
+func (e ErrQuota) Error() string { return fmt.Sprintf("iaas: quota: %s: %s", e.User, e.Reason) }
+
+// ErrCapacity reports that no host fits the flavor.
+type ErrCapacity struct{ Flavor string }
+
+func (e ErrCapacity) Error() string { return "iaas: no capacity for flavor " + e.Flavor }
+
+// Launch provisions an instance for user. Scheduling is most-free-cores
+// first (spreads load like nova's filter scheduler with defaults).
+func (c *Cloud) Launch(user, name, flavorName, imageID string) (*Instance, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	f, ok := c.flavors[flavorName]
+	if !ok {
+		return nil, fmt.Errorf("iaas: unknown flavor %q", flavorName)
+	}
+	if imageID != "" {
+		img, ok := c.images[imageID]
+		if !ok {
+			return nil, fmt.Errorf("iaas: unknown image %q", imageID)
+		}
+		if !img.Public && img.Owner != user {
+			return nil, fmt.Errorf("iaas: image %q not accessible to %s", imageID, user)
+		}
+	}
+	// Quota check against the user's running footprint.
+	q := c.quotaFor(user)
+	n, cores := 0, 0
+	for _, i := range c.inst {
+		if i.User == user && (i.State == StateActive || i.State == StateBuild) {
+			n++
+			cores += i.Flavor.VCPUs
+		}
+	}
+	if n+1 > q.MaxInstances {
+		c.Rejections++
+		return nil, ErrQuota{User: user, Reason: "instance limit"}
+	}
+	if cores+f.VCPUs > q.MaxCores {
+		c.Rejections++
+		return nil, ErrQuota{User: user, Reason: "core limit"}
+	}
+	// Schedule: host with the most free cores that fits.
+	var best *Host
+	for _, h := range c.hosts {
+		if !h.fits(f) {
+			continue
+		}
+		if best == nil || h.FreeCores() > best.FreeCores() {
+			best = h
+		}
+	}
+	if best == nil {
+		c.Rejections++
+		return nil, ErrCapacity{Flavor: flavorName}
+	}
+	best.usedCores += f.VCPUs
+	best.usedRAM += f.RAMMB
+	best.usedDisk += f.DiskGB
+	c.nextID++
+	inst := &Instance{
+		ID: fmt.Sprintf("%s-inst-%d", c.Name, c.nextID), Name: name,
+		User: user, Flavor: f, ImageID: imageID, Host: best.Name,
+		State: StateBuild, Launched: c.engine.Now(),
+	}
+	best.instances[inst.ID] = inst
+	c.inst[inst.ID] = inst
+	c.Launches++
+	// VMs take ~90 s to boot.
+	c.engine.After(90, func() {
+		if inst.State == StateBuild {
+			inst.State = StateActive
+		}
+	})
+	return inst, nil
+}
+
+// Terminate releases an instance's resources.
+func (c *Cloud) Terminate(user, id string) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	inst, ok := c.inst[id]
+	if !ok {
+		return fmt.Errorf("iaas: no instance %q", id)
+	}
+	if inst.User != user {
+		return fmt.Errorf("iaas: instance %q not owned by %s", id, user)
+	}
+	if inst.State == StateTerminated {
+		return nil
+	}
+	for _, h := range c.hosts {
+		if h.Name == inst.Host {
+			h.usedCores -= inst.Flavor.VCPUs
+			h.usedRAM -= inst.Flavor.RAMMB
+			h.usedDisk -= inst.Flavor.DiskGB
+			delete(h.instances, id)
+		}
+	}
+	inst.State = StateTerminated
+	inst.Stopped = c.engine.Now()
+	return nil
+}
+
+// Instances lists a user's instances ("" = all), sorted by ID.
+func (c *Cloud) Instances(user string) []*Instance {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var out []*Instance
+	for _, i := range c.inst {
+		if user == "" || i.User == user {
+			out = append(out, i)
+		}
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a].ID < out[b].ID })
+	return out
+}
+
+// Instance looks up one instance.
+func (c *Cloud) Instance(id string) (*Instance, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	i, ok := c.inst[id]
+	return i, ok
+}
+
+// RunningByUser returns user → (instance count, cores) for active VMs: the
+// measurement the billing poller takes every minute (§6.4).
+func (c *Cloud) RunningByUser() map[string][2]int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make(map[string][2]int)
+	for _, i := range c.inst {
+		if i.State == StateActive || i.State == StateBuild {
+			v := out[i.User]
+			v[0]++
+			v[1] += i.Flavor.VCPUs
+			out[i.User] = v
+		}
+	}
+	return out
+}

@@ -1,0 +1,341 @@
+package iaas
+
+import (
+	"bytes"
+	"encoding/json"
+	"encoding/xml"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"osdc/internal/sim"
+)
+
+func testCloud(hosts int) (*sim.Engine, *Cloud) {
+	e := sim.NewEngine(5)
+	c := NewCloud(e, "adler", "openstack", "chicago-kenwood")
+	c.AddRack("r1", hosts)
+	return e, c
+}
+
+func TestLaunchLifecycle(t *testing.T) {
+	e, c := testCloud(2)
+	c.SetQuota("alice", Quota{MaxInstances: 10, MaxCores: 64})
+	inst, err := c.Launch("alice", "vm1", "m1.large", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inst.State != StateBuild {
+		t.Fatalf("state = %s, want BUILD", inst.State)
+	}
+	e.RunFor(120)
+	if inst.State != StateActive {
+		t.Fatalf("state after boot = %s, want ACTIVE", inst.State)
+	}
+	if c.UsedCores() != 4 {
+		t.Fatalf("used cores = %d, want 4", c.UsedCores())
+	}
+	e.RunFor(3600)
+	if err := c.Terminate("alice", inst.ID); err != nil {
+		t.Fatal(err)
+	}
+	if inst.State != StateTerminated {
+		t.Fatal("not terminated")
+	}
+	if c.UsedCores() != 0 {
+		t.Fatalf("cores not released: %d", c.UsedCores())
+	}
+	// Core-seconds: 4 cores for ~3720 s.
+	cs := inst.CoreSecondsUntil(e.Now())
+	if cs < 4*3700 || cs > 4*3740 {
+		t.Fatalf("core-seconds = %v, want ~14880", cs)
+	}
+}
+
+func TestFreeTierQuotaEnforced(t *testing.T) {
+	_, c := testCloud(4)
+	// Default free tier: 2 instances, 4 cores.
+	if _, err := c.Launch("bob", "a", "m1.medium", ""); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Launch("bob", "b", "m1.medium", ""); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Launch("bob", "c", "m1.small", ""); err == nil {
+		t.Fatal("third instance must exceed free tier")
+	} else if _, ok := err.(ErrQuota); !ok {
+		t.Fatalf("got %T, want ErrQuota", err)
+	}
+	if c.Rejections == 0 {
+		t.Fatal("rejection not counted")
+	}
+}
+
+func TestCoreQuotaSeparateFromInstanceQuota(t *testing.T) {
+	_, c := testCloud(4)
+	if _, err := c.Launch("eve", "a", "m1.large", ""); err != nil { // 4 cores = whole quota
+		t.Fatal(err)
+	}
+	if _, err := c.Launch("eve", "b", "m1.small", ""); err == nil {
+		t.Fatal("core quota not enforced")
+	}
+}
+
+func TestCapacityExhaustion(t *testing.T) {
+	_, c := testCloud(1) // 8 cores total
+	c.SetQuota("u", Quota{MaxInstances: 100, MaxCores: 1000})
+	for i := 0; i < 2; i++ {
+		if _, err := c.Launch("u", "x", "m1.xlarge", ""); err != nil && i == 0 {
+			t.Fatal(err)
+		}
+	}
+	_, err := c.Launch("u", "y", "m1.small", "")
+	if err == nil {
+		t.Fatal("overcommit allowed")
+	}
+	if _, ok := err.(ErrCapacity); !ok {
+		t.Fatalf("got %T, want ErrCapacity", err)
+	}
+}
+
+func TestSchedulerSpreadsLoad(t *testing.T) {
+	_, c := testCloud(4)
+	c.SetQuota("u", Quota{MaxInstances: 100, MaxCores: 1000})
+	hostsUsed := make(map[string]bool)
+	for i := 0; i < 4; i++ {
+		inst, err := c.Launch("u", "x", "m1.small", "")
+		if err != nil {
+			t.Fatal(err)
+		}
+		hostsUsed[inst.Host] = true
+	}
+	if len(hostsUsed) != 4 {
+		t.Fatalf("4 small VMs used %d hosts, want 4 (spread)", len(hostsUsed))
+	}
+}
+
+func TestImageVisibility(t *testing.T) {
+	_, c := testCloud(1)
+	c.RegisterImage(Image{Name: "ubuntu-12.04", Public: true, Portable: true})
+	c.RegisterImage(Image{Name: "private-pipeline", Owner: "alice"})
+	if n := len(c.Images("alice")); n != 2 {
+		t.Fatalf("alice sees %d images, want 2", n)
+	}
+	if n := len(c.Images("bob")); n != 1 {
+		t.Fatalf("bob sees %d images, want 1", n)
+	}
+}
+
+func TestLaunchPrivateImageDenied(t *testing.T) {
+	_, c := testCloud(1)
+	img := c.RegisterImage(Image{Name: "secret", Owner: "alice"})
+	if _, err := c.Launch("bob", "vm", "m1.small", img.ID); err == nil {
+		t.Fatal("bob launched alice's private image")
+	}
+	if _, err := c.Launch("alice", "vm", "m1.small", img.ID); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunningByUserPollShape(t *testing.T) {
+	_, c := testCloud(4)
+	c.SetQuota("u1", Quota{MaxInstances: 10, MaxCores: 100})
+	if _, err := c.Launch("u1", "a", "m1.large", ""); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Launch("u1", "b", "m1.small", ""); err != nil {
+		t.Fatal(err)
+	}
+	poll := c.RunningByUser()
+	if v := poll["u1"]; v[0] != 2 || v[1] != 5 {
+		t.Fatalf("poll = %v, want {2 instances, 5 cores}", v)
+	}
+}
+
+// --- Nova API ---
+
+func novaServerFor(t *testing.T) (*httptest.Server, *Cloud, *sim.Engine) {
+	t.Helper()
+	e, c := testCloud(4)
+	c.SetQuota("alice", Quota{MaxInstances: 10, MaxCores: 100})
+	srv := httptest.NewServer(&NovaAPI{Cloud: c})
+	t.Cleanup(srv.Close)
+	return srv, c, e
+}
+
+func novaDo(t *testing.T, method, url, user string, body string) *http.Response {
+	t.Helper()
+	req, err := http.NewRequest(method, url, strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if user != "" {
+		req.Header.Set("X-Auth-User", user)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp
+}
+
+func TestNovaCreateListDelete(t *testing.T) {
+	srv, _, _ := novaServerFor(t)
+	resp := novaDo(t, "POST", srv.URL+"/v2/servers", "alice",
+		`{"server":{"name":"vm1","flavorRef":"m1.small"}}`)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("create status = %d", resp.StatusCode)
+	}
+	var created struct {
+		Server NovaServer `json:"server"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&created); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if created.Server.ID == "" {
+		t.Fatal("no server id")
+	}
+
+	resp = novaDo(t, "GET", srv.URL+"/v2/servers", "alice", "")
+	var list struct {
+		Servers []NovaServer `json:"servers"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&list); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if len(list.Servers) != 1 || list.Servers[0].Name != "vm1" {
+		t.Fatalf("list = %+v", list.Servers)
+	}
+
+	resp = novaDo(t, "DELETE", srv.URL+"/v2/servers/"+created.Server.ID, "alice", "")
+	if resp.StatusCode != http.StatusNoContent {
+		t.Fatalf("delete status = %d", resp.StatusCode)
+	}
+	resp.Body.Close()
+}
+
+func TestNovaAuthRequired(t *testing.T) {
+	srv, _, _ := novaServerFor(t)
+	resp := novaDo(t, "GET", srv.URL+"/v2/servers", "", "")
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusUnauthorized {
+		t.Fatalf("status = %d, want 401", resp.StatusCode)
+	}
+}
+
+func TestNovaQuotaMapsTo403(t *testing.T) {
+	srv, _, _ := novaServerFor(t)
+	for i := 0; i < 2; i++ {
+		novaDo(t, "POST", srv.URL+"/v2/servers", "bob", `{"server":{"name":"x","flavorRef":"m1.medium"}}`).Body.Close()
+	}
+	resp := novaDo(t, "POST", srv.URL+"/v2/servers", "bob", `{"server":{"name":"x","flavorRef":"m1.small"}}`)
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusForbidden {
+		t.Fatalf("status = %d, want 403", resp.StatusCode)
+	}
+}
+
+func TestNovaFlavorsEndpoint(t *testing.T) {
+	srv, _, _ := novaServerFor(t)
+	resp := novaDo(t, "GET", srv.URL+"/v2/flavors", "alice", "")
+	defer resp.Body.Close()
+	var out struct {
+		Flavors []NovaFlavor `json:"flavors"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Flavors) != 4 {
+		t.Fatalf("flavors = %d, want 4", len(out.Flavors))
+	}
+}
+
+// --- Eucalyptus API ---
+
+func TestEucaRunDescribeTerminate(t *testing.T) {
+	e := sim.NewEngine(6)
+	c := NewCloud(e, "sullivan", "eucalyptus", "chicago-nu")
+	c.AddRack("r", 2)
+	c.SetQuota("alice", Quota{MaxInstances: 10, MaxCores: 100})
+	srv := httptest.NewServer(&EucaAPI{Cloud: c})
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL + "/?Action=RunInstances&AWSAccessKeyId=alice&InstanceType=m1.small&KeyName=myvm")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var run RunInstancesResponse
+	if err := xml.NewDecoder(resp.Body).Decode(&run); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if len(run.Items) != 1 || run.Items[0].StateName != "pending" {
+		t.Fatalf("run = %+v", run)
+	}
+	id := run.Items[0].InstanceID
+
+	resp, err = http.Get(srv.URL + "/?Action=DescribeInstances&AWSAccessKeyId=alice")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var desc DescribeInstancesResponse
+	if err := xml.NewDecoder(resp.Body).Decode(&desc); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if len(desc.Reservations) != 1 || len(desc.Reservations[0].Items) != 1 {
+		t.Fatalf("describe = %+v", desc)
+	}
+
+	resp, err = http.Get(srv.URL + "/?Action=TerminateInstances&AWSAccessKeyId=alice&InstanceId.1=" + id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var term TerminateInstancesResponse
+	if err := xml.NewDecoder(resp.Body).Decode(&term); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if term.State != "terminated" {
+		t.Fatalf("terminate state = %s", term.State)
+	}
+}
+
+func TestEucaResponsesAreXML(t *testing.T) {
+	e := sim.NewEngine(6)
+	c := NewCloud(e, "s", "eucalyptus", "x")
+	c.AddRack("r", 1)
+	srv := httptest.NewServer(&EucaAPI{Cloud: c})
+	defer srv.Close()
+	resp, err := http.Get(srv.URL + "/?Action=DescribeImages&AWSAccessKeyId=u")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "text/xml" {
+		t.Fatalf("content type = %s, want text/xml", ct)
+	}
+	var buf bytes.Buffer
+	buf.ReadFrom(resp.Body)
+	if !strings.Contains(buf.String(), "<?xml") {
+		t.Fatal("no XML header in response")
+	}
+}
+
+func TestEucaUnknownAction(t *testing.T) {
+	e := sim.NewEngine(6)
+	c := NewCloud(e, "s", "eucalyptus", "x")
+	srv := httptest.NewServer(&EucaAPI{Cloud: c})
+	defer srv.Close()
+	resp, err := http.Get(srv.URL + "/?Action=Nonsense&AWSAccessKeyId=u")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("status = %d, want 400", resp.StatusCode)
+	}
+}

@@ -1,0 +1,258 @@
+package mapred
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+
+	"osdc/internal/sim"
+)
+
+// KV is one key/value pair flowing through the framework.
+type KV struct {
+	Key   string
+	Value string
+}
+
+// MapFunc processes one input block and emits intermediate pairs. The input
+// key is "path:blockSeq"; value is the block's bytes.
+type MapFunc func(key string, value []byte, emit func(k, v string))
+
+// ReduceFunc folds all values for one key and emits output pairs.
+type ReduceFunc func(key string, values []string, emit func(k, v string))
+
+// Job describes one MapReduce job.
+type Job struct {
+	Name     string
+	Input    []string // HDFS paths
+	Map      MapFunc
+	Reduce   ReduceFunc
+	Reducers int // number of reduce partitions (default 1)
+}
+
+// TaskStat describes one executed task for reports.
+type TaskStat struct {
+	Node    string
+	Block   string
+	Local   bool // ran on a node holding a replica
+	Start   sim.Time
+	End     sim.Time
+	InBytes int64
+}
+
+// Result is a completed job.
+type Result struct {
+	Job          string
+	Output       []KV
+	MapTasks     []TaskStat
+	Reduces      int
+	Started      sim.Time
+	Finished     sim.Time
+	ShuffleBytes int64
+}
+
+// Duration returns the job wall-clock time.
+func (r *Result) Duration() sim.Duration { return sim.Duration(r.Finished - r.Started) }
+
+// LocalityFraction returns the share of map tasks that ran data-local —
+// the number Hadoop operators watch.
+func (r *Result) LocalityFraction() float64 {
+	if len(r.MapTasks) == 0 {
+		return 0
+	}
+	local := 0
+	for _, t := range r.MapTasks {
+		if t.Local {
+			local++
+		}
+	}
+	return float64(local) / float64(len(r.MapTasks))
+}
+
+// Cluster is a Hadoop-like compute cluster: a JobTracker over TaskTrackers
+// co-located with HDFS datanodes.
+type Cluster struct {
+	Name   string
+	HDFS   *HDFS
+	engine *sim.Engine
+	slots  map[string]int // node -> map slots
+	// Throughput model: how fast a map slot streams its input.
+	LocalBps  float64 // reading a local replica
+	RemoteBps float64 // reading across the rack switch
+
+	JobsRun int64
+}
+
+// NewCluster builds a cluster whose TaskTrackers are the HDFS datanodes.
+// slotsPerNode is the concurrent map-task capacity per node.
+func NewCluster(e *sim.Engine, name string, fs *HDFS, slotsPerNode int) *Cluster {
+	if slotsPerNode <= 0 {
+		panic("mapred: slotsPerNode must be positive")
+	}
+	slots := make(map[string]int)
+	for _, n := range fs.Nodes() {
+		slots[n] = slotsPerNode
+	}
+	return &Cluster{
+		Name: name, HDFS: fs, engine: e, slots: slots,
+		LocalBps: 800e6, RemoteBps: 400e6, // 2012 SATA vs oversubscribed ToR
+	}
+}
+
+// TotalSlots returns the cluster's concurrent map capacity.
+func (c *Cluster) TotalSlots() int {
+	n := 0
+	for _, s := range c.slots {
+		n += s
+	}
+	return n
+}
+
+// Run executes a job to completion on the simulation engine and returns its
+// result. The engine is advanced internally (Run drives the clock).
+func (c *Cluster) Run(job Job) (*Result, error) {
+	if job.Map == nil || job.Reduce == nil {
+		return nil, fmt.Errorf("mapred: job %q needs Map and Reduce", job.Name)
+	}
+	if job.Reducers <= 0 {
+		job.Reducers = 1
+	}
+	res := &Result{Job: job.Name, Reduces: job.Reducers, Started: c.engine.Now()}
+
+	// Collect input splits: one map task per block.
+	type split struct {
+		path  string
+		block Block
+	}
+	var splits []split
+	for _, p := range job.Input {
+		blocks, err := c.HDFS.Blocks(p)
+		if err != nil {
+			return nil, err
+		}
+		for _, b := range blocks {
+			splits = append(splits, split{p, b})
+		}
+	}
+
+	// JobTracker scheduling: greedy wave-by-wave assignment, preferring
+	// data-local slots (the Hadoop delay-scheduling outcome). free[node]
+	// tracks when each slot frees up; we model each node as slotsPerNode
+	// parallel lanes.
+	type lane struct {
+		node string
+		free sim.Time
+	}
+	var lanes []lane
+	nodes := c.HDFS.Nodes()
+	for _, n := range nodes {
+		for i := 0; i < c.slots[n]; i++ {
+			lanes = append(lanes, lane{node: n, free: c.engine.Now()})
+		}
+	}
+
+	intermediate := make(map[string][]string)
+	var mapEnd sim.Time
+	for _, sp := range splits {
+		// Choose the earliest-free lane, breaking ties toward data-local.
+		best := -1
+		for i := range lanes {
+			if best == -1 {
+				best = i
+				continue
+			}
+			li, lb := lanes[i], lanes[best]
+			iLocal := hasNode(sp.block.Nodes, li.node)
+			bLocal := hasNode(sp.block.Nodes, lb.node)
+			switch {
+			case li.free < lb.free && (iLocal || !bLocal):
+				best = i
+			case iLocal && !bLocal && li.free <= lb.free:
+				best = i
+			}
+		}
+		ln := &lanes[best]
+		local := hasNode(sp.block.Nodes, ln.node)
+		bps := c.LocalBps
+		if !local {
+			bps = c.RemoteBps
+		}
+		dur := sim.Duration(float64(sp.block.Size*8)/bps) + 0.5 // + JVM start
+		start := ln.free
+		end := start + sim.Time(dur)
+		ln.free = end
+		if end > mapEnd {
+			mapEnd = end
+		}
+		res.MapTasks = append(res.MapTasks, TaskStat{
+			Node: ln.node, Block: sp.block.ID, Local: local,
+			Start: start, End: end, InBytes: sp.block.Size,
+		})
+		// Execute the user map function for real.
+		key := fmt.Sprintf("%s:%d", sp.path, sp.block.Seq)
+		job.Map(key, sp.block.Content, func(k, v string) {
+			intermediate[k] = append(intermediate[k], v)
+			res.ShuffleBytes += int64(len(k) + len(v))
+		})
+	}
+
+	// Shuffle: partition keys across reducers by hash; reducers start when
+	// all maps finish (no slow-start modeling).
+	partitions := make([]map[string][]string, job.Reducers)
+	for i := range partitions {
+		partitions[i] = make(map[string][]string)
+	}
+	for k, vs := range intermediate {
+		h := fnv.New32a()
+		h.Write([]byte(k))
+		partitions[int(h.Sum32())%job.Reducers][k] = vs
+	}
+
+	// Reduce: each partition's time scales with its shuffle volume.
+	var out []KV
+	var reduceEnd sim.Time = mapEnd
+	for _, part := range partitions {
+		var bytes int64
+		keys := make([]string, 0, len(part))
+		for k, vs := range part {
+			keys = append(keys, k)
+			for _, v := range vs {
+				bytes += int64(len(v))
+			}
+		}
+		sort.Strings(keys) // Hadoop sorts keys into reducers
+		for _, k := range keys {
+			job.Reduce(k, part[k], func(ok, ov string) {
+				out = append(out, KV{ok, ov})
+			})
+		}
+		end := mapEnd + sim.Time(float64(bytes*8)/c.RemoteBps+1.0)
+		if end > reduceEnd {
+			reduceEnd = end
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Key != out[j].Key {
+			return out[i].Key < out[j].Key
+		}
+		return out[i].Value < out[j].Value
+	})
+	res.Output = out
+
+	// Advance the engine to job completion.
+	if reduceEnd > c.engine.Now() {
+		c.engine.RunUntil(reduceEnd)
+	}
+	res.Finished = c.engine.Now()
+	c.JobsRun++
+	return res, nil
+}
+
+func hasNode(nodes []string, n string) bool {
+	for _, x := range nodes {
+		if x == n {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,191 @@
+package matsu
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"osdc/internal/mapred"
+	"osdc/internal/sim"
+)
+
+func synth(t *testing.T, spec SynthSpec) (*sim.RNG, *Scene) {
+	t.Helper()
+	rng := sim.NewRNG(101)
+	return rng, SynthesizeScene(rng, "EO1-NAM-001", spec)
+}
+
+func TestSceneSynthesisBands(t *testing.T) {
+	_, s := synth(t, SynthSpec{W: 128, H: 128, FloodFrac: 0.2, NoiseSigma: 30})
+	if s.Level != 0 {
+		t.Fatal("synthesized scene must be Level 0")
+	}
+	for b := Band(0); b < numBands; b++ {
+		if len(s.Bands[b]) != 128*128 {
+			t.Fatalf("band %d size wrong", b)
+		}
+	}
+}
+
+func TestCalibrationNormalizes(t *testing.T) {
+	_, raw := synth(t, SynthSpec{W: 64, H: 64, FloodFrac: 0.2, NoiseSigma: 20})
+	l1 := CalibrateL0ToL1(raw, -19.0, 16.0)
+	if l1.Level != 1 {
+		t.Fatal("not level 1")
+	}
+	for _, v := range l1.Bands[BandGreen] {
+		if v < 0 || v > 1 {
+			t.Fatalf("reflectance %v out of [0,1]", v)
+		}
+	}
+	// Thermal stays physical.
+	if l1.At(BandThermal, 0, 0) < 250 {
+		t.Fatal("thermal band was wrongly normalized")
+	}
+	// Geolocation assigned.
+	if l1.Lat0 != -19.0 || l1.DLon == 0 {
+		t.Fatal("geolocation missing")
+	}
+	// Raw scene unmodified.
+	if raw.Level != 0 || raw.At(BandGreen, 0, 0) <= 1 {
+		t.Fatal("input scene mutated")
+	}
+}
+
+func TestCalibrateRejectsL1(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	_, raw := synth(t, SynthSpec{W: 8, H: 8})
+	l1 := CalibrateL0ToL1(raw, 0, 0)
+	CalibrateL0ToL1(l1, 0, 0)
+}
+
+func TestNDWISeparatesWaterFromLand(t *testing.T) {
+	_, raw := synth(t, SynthSpec{W: 64, H: 64, FloodFrac: 0.3, NoiseSigma: 10})
+	l1 := CalibrateL0ToL1(raw, -19, 16)
+	// Center row is the river.
+	water := NDWI(l1, 32, 32)
+	land := NDWI(l1, 32, 2)
+	if water <= FloodNDWIThreshold {
+		t.Fatalf("water NDWI = %v, want > %v", water, FloodNDWIThreshold)
+	}
+	if land >= 0 {
+		t.Fatalf("land NDWI = %v, want negative", land)
+	}
+}
+
+func TestDetectTilesFindsFloodBand(t *testing.T) {
+	_, raw := synth(t, SynthSpec{W: 256, H: 256, FloodFrac: 0.25, NoiseSigma: 20})
+	l1 := CalibrateL0ToL1(raw, -19, 16)
+	tiles := DetectTiles(l1, 32)
+	if len(tiles) != 64 {
+		t.Fatalf("tiles = %d, want 64", len(tiles))
+	}
+	flooded := 0
+	for _, t := range tiles {
+		if t.Flooded {
+			flooded++
+		}
+	}
+	// ~25% of rows are water → roughly 1-3 of 8 tile rows flood-dominated.
+	if flooded < 8 || flooded > 32 {
+		t.Fatalf("flooded tiles = %d of 64, want 8–32", flooded)
+	}
+}
+
+func TestFireDetection(t *testing.T) {
+	rng := sim.NewRNG(55)
+	raw := SynthesizeScene(rng, "fire-scene", SynthSpec{W: 128, H: 128, FloodFrac: 0.05, FireSpots: 5, NoiseSigma: 10})
+	l1 := CalibrateL0ToL1(raw, -19, 16)
+	tiles := DetectTiles(l1, 32)
+	fires := 0
+	for _, t := range tiles {
+		fires += t.FireCount
+	}
+	if fires == 0 {
+		t.Fatal("no fire pixels detected despite 5 hot spots")
+	}
+	alerts := Alerts(tiles)
+	hasFire := false
+	for _, a := range alerts {
+		if a.Kind == "fire" {
+			hasFire = true
+		}
+	}
+	if !hasFire {
+		t.Fatal("no fire alert raised")
+	}
+}
+
+func TestNoFloodNoAlerts(t *testing.T) {
+	rng := sim.NewRNG(56)
+	raw := SynthesizeScene(rng, "dry", SynthSpec{W: 64, H: 64, FloodFrac: 0.0, NoiseSigma: 10})
+	l1 := CalibrateL0ToL1(raw, -19, 16)
+	tiles := DetectTiles(l1, 16)
+	for _, a := range Alerts(tiles) {
+		if a.Kind == "flood" {
+			t.Fatal("flood alert on a dry scene")
+		}
+	}
+}
+
+func TestTileMapRendersFloodRows(t *testing.T) {
+	_, raw := synth(t, SynthSpec{W: 128, H: 128, FloodFrac: 0.3, NoiseSigma: 15})
+	l1 := CalibrateL0ToL1(raw, -19, 16)
+	tiles := DetectTiles(l1, 16)
+	m := TileMap(tiles)
+	if !strings.Contains(m, "≈") {
+		t.Fatalf("tile map has no flood glyphs:\n%s", m)
+	}
+	if strings.Count(m, "\n") != 8 {
+		t.Fatalf("tile map rows = %d, want 8", strings.Count(m, "\n"))
+	}
+}
+
+func TestRunOnClusterMatchesSerialDetection(t *testing.T) {
+	e := sim.NewEngine(77)
+	nodes := []string{"m0", "m1", "m2", "m3"}
+	fs := mapred.NewHDFS(e, nodes, 4<<10, 2)
+	cluster := mapred.NewCluster(e, "occ-matsu", fs, 2)
+	rng := sim.NewRNG(9)
+	raw := SynthesizeScene(rng, "EO1-NAM-042", SynthSpec{W: 256, H: 256, FloodFrac: 0.25, NoiseSigma: 15})
+	l1 := CalibrateL0ToL1(raw, -19, 16)
+	res, tiles, err := RunOnCluster(cluster, l1, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The reduce output (flooded tiles per row) must sum to the serial
+	// flood count.
+	serial := 0
+	for _, tl := range tiles {
+		if tl.Flooded {
+			serial++
+		}
+	}
+	mrTotal := 0
+	for _, kv := range res.Output {
+		var n int
+		if _, err := fmt.Sscan(kv.Value, &n); err != nil {
+			t.Fatal(err)
+		}
+		mrTotal += n
+	}
+	if mrTotal != serial {
+		t.Fatalf("mapreduce found %d flooded tiles, serial found %d", mrTotal, serial)
+	}
+	if res.Duration() <= 0 {
+		t.Fatal("job took no simulated time")
+	}
+}
+
+func TestFloodAreaPositiveWhenFlooded(t *testing.T) {
+	_, raw := synth(t, SynthSpec{W: 128, H: 128, FloodFrac: 0.3, NoiseSigma: 10})
+	l1 := CalibrateL0ToL1(raw, -19, 16)
+	tiles := DetectTiles(l1, 16)
+	if FloodArea(tiles) <= 0 {
+		t.Fatal("no flood area measured")
+	}
+}

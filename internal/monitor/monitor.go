@@ -1,0 +1,235 @@
+// Package monitor implements the OSDC's two monitoring systems (paper
+// §7.4):
+//
+//  1. A Nagios-like system/network monitor: a master server asks NRPE-like
+//     agents on remote hosts to run checks; binary plugins compare values
+//     against Warning and Critical thresholds; threshold crossings raise
+//     alerts to the system administrators.
+//  2. An in-house cloud-usage monitor whose high-level summary is published
+//     on the OSDC website (instances per user, cloud status).
+package monitor
+
+import (
+	"fmt"
+	"sort"
+
+	"osdc/internal/iaas"
+	"osdc/internal/sim"
+)
+
+// State is a Nagios check state.
+type State int
+
+// Nagios states.
+const (
+	StateOK State = iota
+	StateWarning
+	StateCritical
+	StateUnknown
+)
+
+func (s State) String() string {
+	switch s {
+	case StateOK:
+		return "OK"
+	case StateWarning:
+		return "WARNING"
+	case StateCritical:
+		return "CRITICAL"
+	default:
+		return "UNKNOWN"
+	}
+}
+
+// Check is one configured service check: a plugin measuring a value with
+// Warning/Critical thresholds (crossed when the value is ≥ threshold).
+type Check struct {
+	Name   string
+	Plugin func() (float64, error)
+	Warn   float64
+	Crit   float64
+}
+
+// Evaluate runs the plugin and classifies the result.
+func (c Check) Evaluate() (State, float64) {
+	v, err := c.Plugin()
+	if err != nil {
+		return StateUnknown, 0
+	}
+	switch {
+	case v >= c.Crit:
+		return StateCritical, v
+	case v >= c.Warn:
+		return StateWarning, v
+	default:
+		return StateOK, v
+	}
+}
+
+// Agent is the NRPE-like remote agent: it holds the checks configured for
+// one host and runs them on request from the master.
+type Agent struct {
+	Host   string
+	checks map[string]Check
+}
+
+// NewAgent creates an agent for a host.
+func NewAgent(host string) *Agent {
+	return &Agent{Host: host, checks: make(map[string]Check)}
+}
+
+// Register adds a check to the agent's configuration.
+func (a *Agent) Register(c Check) { a.checks[c.Name] = c }
+
+// RunCheck executes one named check (the NRPE request path).
+func (a *Agent) RunCheck(name string) (State, float64, error) {
+	c, ok := a.checks[name]
+	if !ok {
+		return StateUnknown, 0, fmt.Errorf("monitor: host %s has no check %q", a.Host, name)
+	}
+	st, v := c.Evaluate()
+	return st, v, nil
+}
+
+// CheckNames lists the agent's configured checks, sorted.
+func (a *Agent) CheckNames() []string {
+	out := make([]string, 0, len(a.checks))
+	for n := range a.checks {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Alert is a notification sent to administrators on a threshold crossing.
+type Alert struct {
+	Host  string
+	Check string
+	State State
+	Value float64
+	At    sim.Time
+}
+
+// Master is the Nagios master server: it polls every agent's checks on an
+// interval and alerts on state transitions (not on steady bad states —
+// Nagios-style notification on change, with re-notification left out).
+type Master struct {
+	engine *sim.Engine
+	agents map[string]*Agent
+	last   map[string]State // "host/check" -> last state
+	alerts []Alert
+	notify func(Alert)
+	ticker *sim.Ticker
+
+	ChecksRun int64
+}
+
+// NewMaster starts a master polling all registered agents every interval.
+// notify (may be nil) receives alerts as they fire.
+func NewMaster(e *sim.Engine, interval sim.Duration, notify func(Alert)) *Master {
+	m := &Master{
+		engine: e, agents: make(map[string]*Agent),
+		last: make(map[string]State), notify: notify,
+	}
+	m.ticker = e.Every(interval, m.pollAll)
+	return m
+}
+
+// AddAgent registers a host's agent with the master.
+func (m *Master) AddAgent(a *Agent) { m.agents[a.Host] = a }
+
+// Stop halts polling.
+func (m *Master) Stop() { m.ticker.Stop() }
+
+func (m *Master) pollAll() {
+	hosts := make([]string, 0, len(m.agents))
+	for h := range m.agents {
+		hosts = append(hosts, h)
+	}
+	sort.Strings(hosts)
+	for _, h := range hosts {
+		a := m.agents[h]
+		for _, name := range a.CheckNames() {
+			st, v, err := a.RunCheck(name)
+			if err != nil {
+				st = StateUnknown
+			}
+			m.ChecksRun++
+			key := h + "/" + name
+			if st != m.last[key] && st != StateOK {
+				al := Alert{Host: h, Check: name, State: st, Value: v, At: m.engine.Now()}
+				m.alerts = append(m.alerts, al)
+				if m.notify != nil {
+					m.notify(al)
+				}
+			}
+			m.last[key] = st
+		}
+	}
+}
+
+// Alerts returns all fired alerts.
+func (m *Master) Alerts() []Alert { return append([]Alert(nil), m.alerts...) }
+
+// StateOf returns the last observed state of host/check.
+func (m *Master) StateOf(host, check string) State { return m.last[host+"/"+check] }
+
+// --- the in-house cloud usage monitor ---
+
+// UsageSnapshot is the public high-level cloud summary (§7.4: "the high
+// level summary of the cloud status is made public on the OSDC website").
+type UsageSnapshot struct {
+	At          sim.Time
+	Cloud       string
+	RunningVMs  int
+	UsedCores   int
+	TotalCores  int
+	ActiveUsers int
+}
+
+// UsageMonitor samples IaaS clouds periodically.
+type UsageMonitor struct {
+	engine *sim.Engine
+	clouds []*iaas.Cloud
+	ticker *sim.Ticker
+	latest map[string]UsageSnapshot
+}
+
+// NewUsageMonitor starts sampling every interval.
+func NewUsageMonitor(e *sim.Engine, clouds []*iaas.Cloud, interval sim.Duration) *UsageMonitor {
+	um := &UsageMonitor{engine: e, clouds: clouds, latest: make(map[string]UsageSnapshot)}
+	um.ticker = e.Every(interval, um.sample)
+	return um
+}
+
+func (um *UsageMonitor) sample() {
+	for _, c := range um.clouds {
+		byUser := c.RunningByUser()
+		snap := UsageSnapshot{
+			At: um.engine.Now(), Cloud: c.Name,
+			UsedCores: c.UsedCores(), TotalCores: c.TotalCores(),
+			ActiveUsers: len(byUser),
+		}
+		for _, v := range byUser {
+			snap.RunningVMs += v[0]
+		}
+		um.latest[c.Name] = snap
+	}
+}
+
+// PublicStatus returns the latest snapshot per cloud, sorted by name.
+func (um *UsageMonitor) PublicStatus() []UsageSnapshot {
+	names := make([]string, 0, len(um.latest))
+	for n := range um.latest {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	out := make([]UsageSnapshot, 0, len(names))
+	for _, n := range names {
+		out = append(out, um.latest[n])
+	}
+	return out
+}
+
+// Stop halts sampling.
+func (um *UsageMonitor) Stop() { um.ticker.Stop() }

@@ -1,0 +1,124 @@
+package monitor
+
+import (
+	"errors"
+	"testing"
+
+	"osdc/internal/iaas"
+	"osdc/internal/sim"
+)
+
+func TestCheckThresholds(t *testing.T) {
+	v := 0.0
+	c := Check{Name: "disk", Plugin: func() (float64, error) { return v, nil }, Warn: 80, Crit: 95}
+	cases := []struct {
+		val  float64
+		want State
+	}{{10, StateOK}, {80, StateWarning}, {94.9, StateWarning}, {95, StateCritical}, {200, StateCritical}}
+	for _, tc := range cases {
+		v = tc.val
+		if st, _ := c.Evaluate(); st != tc.want {
+			t.Fatalf("value %v -> %v, want %v", tc.val, st, tc.want)
+		}
+	}
+}
+
+func TestCheckPluginErrorIsUnknown(t *testing.T) {
+	c := Check{Name: "x", Plugin: func() (float64, error) { return 0, errors.New("nope") }}
+	if st, _ := c.Evaluate(); st != StateUnknown {
+		t.Fatalf("state = %v, want UNKNOWN", st)
+	}
+}
+
+func TestAgentRunsNamedChecks(t *testing.T) {
+	a := NewAgent("gluster01")
+	a.Register(Check{Name: "load", Plugin: func() (float64, error) { return 1.5, nil }, Warn: 8, Crit: 16})
+	st, v, err := a.RunCheck("load")
+	if err != nil || st != StateOK || v != 1.5 {
+		t.Fatalf("RunCheck = %v %v %v", st, v, err)
+	}
+	if _, _, err := a.RunCheck("missing"); err == nil {
+		t.Fatal("missing check must error")
+	}
+}
+
+func TestMasterAlertsOnTransitionOnly(t *testing.T) {
+	e := sim.NewEngine(9)
+	var notified []Alert
+	m := NewMaster(e, 60, func(a Alert) { notified = append(notified, a) })
+	diskUse := 50.0
+	agent := NewAgent("node1")
+	agent.Register(Check{Name: "disk", Plugin: func() (float64, error) { return diskUse, nil }, Warn: 80, Crit: 95})
+	m.AddAgent(agent)
+
+	e.RunFor(300) // 5 polls, all OK
+	if len(notified) != 0 {
+		t.Fatalf("alerts while OK: %d", len(notified))
+	}
+	diskUse = 85
+	e.RunFor(180) // crosses into WARNING once
+	if len(notified) != 1 || notified[0].State != StateWarning {
+		t.Fatalf("alerts = %+v, want single WARNING", notified)
+	}
+	diskUse = 97
+	e.RunFor(120)
+	if len(notified) != 2 || notified[1].State != StateCritical {
+		t.Fatalf("no escalation to CRITICAL: %+v", notified)
+	}
+	// Staying critical does not re-alert.
+	e.RunFor(600)
+	if len(notified) != 2 {
+		t.Fatalf("re-alerted on steady state: %d", len(notified))
+	}
+	if m.StateOf("node1", "disk") != StateCritical {
+		t.Fatal("StateOf wrong")
+	}
+	if m.ChecksRun == 0 {
+		t.Fatal("no checks counted")
+	}
+}
+
+func TestMasterRecoveryThenReAlert(t *testing.T) {
+	e := sim.NewEngine(9)
+	var notified []Alert
+	m := NewMaster(e, 60, func(a Alert) { notified = append(notified, a) })
+	bad := false
+	agent := NewAgent("n")
+	agent.Register(Check{Name: "svc", Plugin: func() (float64, error) {
+		if bad {
+			return 1, nil
+		}
+		return 0, nil
+	}, Warn: 1, Crit: 2})
+	m.AddAgent(agent)
+	bad = true
+	e.RunFor(90)
+	bad = false
+	e.RunFor(90) // recovers (no alert for OK)
+	bad = true
+	e.RunFor(90) // fails again -> second alert
+	if len(notified) != 2 {
+		t.Fatalf("alerts = %d, want 2 (re-alert after recovery)", len(notified))
+	}
+}
+
+func TestUsageMonitorPublishesSnapshot(t *testing.T) {
+	e := sim.NewEngine(9)
+	c := iaas.NewCloud(e, "adler", "openstack", "chicago")
+	c.AddRack("r", 4)
+	c.SetQuota("u", iaas.Quota{MaxInstances: 10, MaxCores: 100})
+	if _, err := c.Launch("u", "vm", "m1.large", ""); err != nil {
+		t.Fatal(err)
+	}
+	um := NewUsageMonitor(e, []*iaas.Cloud{c}, 300)
+	e.RunFor(301)
+	status := um.PublicStatus()
+	if len(status) != 1 {
+		t.Fatalf("status entries = %d", len(status))
+	}
+	s := status[0]
+	if s.Cloud != "adler" || s.RunningVMs != 1 || s.UsedCores != 4 || s.TotalCores != 32 || s.ActiveUsers != 1 {
+		t.Fatalf("snapshot = %+v", s)
+	}
+	um.Stop()
+}

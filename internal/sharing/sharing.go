@@ -1,0 +1,327 @@
+// Package sharing implements the OSDC's distributed file sharing prototype
+// (paper §6.2): access control based on users, groups, and hierarchical
+// file-collection objects; a designated drop directory monitored by a
+// daemon that propagates file information into a database; and a WebDAV
+// service that serves shared files against that database, so collaborators
+// mount shares with their own credentials.
+package sharing
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"osdc/internal/sim"
+)
+
+// Perm is the access level granted on a collection.
+type Perm int
+
+// Permission levels.
+const (
+	PermNone Perm = iota
+	PermRead
+	PermWrite
+)
+
+// FileInfo is the database record the monitoring daemon maintains for each
+// shared file.
+type FileInfo struct {
+	Path    string
+	Owner   string
+	Size    int64
+	Content []byte
+	Added   sim.Time
+}
+
+// Collection is a file-collection object: "a file, a collection of files,
+// or a collection of collections" (§6.2).
+type Collection struct {
+	ID       string
+	Name     string
+	Owner    string
+	Files    []string // member file paths
+	Children []string // member collection IDs
+}
+
+// Store is the sharing database.
+type Store struct {
+	engine *sim.Engine
+	users  map[string]bool
+	groups map[string]map[string]bool // group -> members (managed by users)
+	files  map[string]*FileInfo
+	colls  map[string]*Collection
+	grants map[string]map[string]Perm // collection -> principal -> perm
+	nextID int
+}
+
+// NewStore creates an empty sharing database.
+func NewStore(e *sim.Engine) *Store {
+	return &Store{
+		engine: e,
+		users:  make(map[string]bool),
+		groups: make(map[string]map[string]bool),
+		files:  make(map[string]*FileInfo),
+		colls:  make(map[string]*Collection),
+		grants: make(map[string]map[string]Perm),
+	}
+}
+
+// AddUser registers a user.
+func (s *Store) AddUser(name string) {
+	if strings.TrimSpace(name) == "" {
+		panic("sharing: empty user name")
+	}
+	s.users[name] = true
+}
+
+// CreateGroup lets a user create a group they own and manage ("users have
+// the ability to create and modify groups").
+func (s *Store) CreateGroup(owner, group string, members ...string) error {
+	if !s.users[owner] {
+		return fmt.Errorf("sharing: unknown user %q", owner)
+	}
+	if _, ok := s.groups[group]; ok {
+		return fmt.Errorf("sharing: group %q exists", group)
+	}
+	m := map[string]bool{owner: true}
+	for _, u := range members {
+		m[u] = true
+	}
+	s.groups[group] = m
+	return nil
+}
+
+// ModifyGroup adds or removes a member. Only current members may modify.
+func (s *Store) ModifyGroup(actor, group, member string, add bool) error {
+	m, ok := s.groups[group]
+	if !ok {
+		return fmt.Errorf("sharing: unknown group %q", group)
+	}
+	if !m[actor] {
+		return fmt.Errorf("sharing: %s is not a member of %s", actor, group)
+	}
+	if add {
+		m[member] = true
+	} else {
+		delete(m, member)
+	}
+	return nil
+}
+
+// NewCollection creates a collection object owned by owner.
+func (s *Store) NewCollection(owner, name string) (*Collection, error) {
+	if !s.users[owner] {
+		return nil, fmt.Errorf("sharing: unknown user %q", owner)
+	}
+	s.nextID++
+	c := &Collection{ID: fmt.Sprintf("coll-%04d", s.nextID), Name: name, Owner: owner}
+	s.colls[c.ID] = c
+	return c, nil
+}
+
+// AddFileToCollection attaches a registered file to a collection (owner
+// only).
+func (s *Store) AddFileToCollection(actor, collID, path string) error {
+	c, ok := s.colls[collID]
+	if !ok {
+		return fmt.Errorf("sharing: unknown collection %q", collID)
+	}
+	if c.Owner != actor {
+		return fmt.Errorf("sharing: %s does not own %s", actor, collID)
+	}
+	if _, ok := s.files[path]; !ok {
+		return fmt.Errorf("sharing: file %q not registered (drop it in the shared directory first)", path)
+	}
+	c.Files = append(c.Files, path)
+	return nil
+}
+
+// Nest makes child a sub-collection of parent (owner of parent only).
+// Cycles are rejected.
+func (s *Store) Nest(actor, parentID, childID string) error {
+	p, ok := s.colls[parentID]
+	if !ok {
+		return fmt.Errorf("sharing: unknown collection %q", parentID)
+	}
+	if _, ok := s.colls[childID]; !ok {
+		return fmt.Errorf("sharing: unknown collection %q", childID)
+	}
+	if p.Owner != actor {
+		return fmt.Errorf("sharing: %s does not own %s", actor, parentID)
+	}
+	if parentID == childID || s.reachable(childID, parentID) {
+		return fmt.Errorf("sharing: nesting %s under %s would create a cycle", childID, parentID)
+	}
+	p.Children = append(p.Children, childID)
+	return nil
+}
+
+func (s *Store) reachable(from, to string) bool {
+	if from == to {
+		return true
+	}
+	c, ok := s.colls[from]
+	if !ok {
+		return false
+	}
+	for _, ch := range c.Children {
+		if s.reachable(ch, to) {
+			return true
+		}
+	}
+	return false
+}
+
+// Grant gives a user or group permission on a collection (owner only).
+// Principals are "user:name" or "group:name".
+func (s *Store) Grant(actor, collID, principal string, p Perm) error {
+	c, ok := s.colls[collID]
+	if !ok {
+		return fmt.Errorf("sharing: unknown collection %q", collID)
+	}
+	if c.Owner != actor {
+		return fmt.Errorf("sharing: %s does not own %s", actor, collID)
+	}
+	if !strings.HasPrefix(principal, "user:") && !strings.HasPrefix(principal, "group:") {
+		return fmt.Errorf("sharing: principal must be user: or group:, got %q", principal)
+	}
+	g, ok := s.grants[collID]
+	if !ok {
+		g = make(map[string]Perm)
+		s.grants[collID] = g
+	}
+	g[principal] = p
+	return nil
+}
+
+// permOn resolves user's permission on a single collection (not counting
+// parents).
+func (s *Store) permOn(user, collID string) Perm {
+	c, ok := s.colls[collID]
+	if !ok {
+		return PermNone
+	}
+	if c.Owner == user {
+		return PermWrite
+	}
+	best := PermNone
+	for principal, p := range s.grants[collID] {
+		if p <= best {
+			continue
+		}
+		switch {
+		case principal == "user:"+user:
+			best = p
+		case strings.HasPrefix(principal, "group:"):
+			if s.groups[strings.TrimPrefix(principal, "group:")][user] {
+				best = p
+			}
+		}
+	}
+	return best
+}
+
+// CanRead reports whether user may read a file through any collection
+// containing it (directly or via nesting) — or owns it.
+func (s *Store) CanRead(user, path string) bool {
+	f, ok := s.files[path]
+	if !ok {
+		return false
+	}
+	if f.Owner == user {
+		return true
+	}
+	for id := range s.colls {
+		if s.permOn(user, id) >= PermRead && s.collContains(id, path, map[string]bool{}) {
+			return true
+		}
+	}
+	return false
+}
+
+func (s *Store) collContains(collID, path string, seen map[string]bool) bool {
+	if seen[collID] {
+		return false
+	}
+	seen[collID] = true
+	c, ok := s.colls[collID]
+	if !ok {
+		return false
+	}
+	for _, p := range c.Files {
+		if p == path {
+			return true
+		}
+	}
+	for _, ch := range c.Children {
+		if s.collContains(ch, path, seen) {
+			return true
+		}
+	}
+	return false
+}
+
+// File returns the database record for path.
+func (s *Store) File(path string) (*FileInfo, bool) {
+	f, ok := s.files[path]
+	return f, ok
+}
+
+// ReadableFiles lists paths user may read, sorted.
+func (s *Store) ReadableFiles(user string) []string {
+	var out []string
+	for p := range s.files {
+		if s.CanRead(user, p) {
+			out = append(out, p)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// registerFile inserts or updates the database record (daemon path).
+func (s *Store) registerFile(f *FileInfo) { s.files[f.Path] = f }
+
+// DropDir models the designated shared directory: "users share files by
+// adding them to a designated directory. This directory is monitored by a
+// daemon process that propagates file information to a database" (§6.2).
+type DropDir struct {
+	engine  *sim.Engine
+	store   *Store
+	pending []*FileInfo
+	ticker  *sim.Ticker
+
+	Propagated int64
+}
+
+// NewDropDir starts the monitoring daemon with the given scan interval.
+func NewDropDir(e *sim.Engine, store *Store, scanEvery sim.Duration) *DropDir {
+	d := &DropDir{engine: e, store: store}
+	d.ticker = e.Every(scanEvery, d.scan)
+	return d
+}
+
+// Drop places a file into the shared directory; it becomes visible to the
+// database at the daemon's next scan.
+func (d *DropDir) Drop(owner, path string, content []byte) {
+	d.pending = append(d.pending, &FileInfo{
+		Path: path, Owner: owner, Size: int64(len(content)),
+		Content: append([]byte(nil), content...),
+	})
+}
+
+// Pending returns files dropped but not yet propagated.
+func (d *DropDir) Pending() int { return len(d.pending) }
+
+func (d *DropDir) scan() {
+	for _, f := range d.pending {
+		f.Added = d.engine.Now()
+		d.store.registerFile(f)
+		d.Propagated++
+	}
+	d.pending = nil
+}
+
+// Stop halts the daemon.
+func (d *DropDir) Stop() { d.ticker.Stop() }

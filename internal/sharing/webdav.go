@@ -1,0 +1,108 @@
+package sharing
+
+import (
+	"encoding/xml"
+	"fmt"
+	"net/http"
+	"path"
+	"strings"
+)
+
+// WebDAV serves the sharing database over the WebDAV protocol subset the
+// OSDC prototype used (§6.2): "The system serves the files using the WebDAV
+// protocol while referencing the database backend. Users can access shared
+// files on the OSDC by mounting the WebDAV file system with their own
+// credentials."
+//
+// Supported: OPTIONS, PROPFIND (depth 1 listings as multistatus XML), GET.
+// Authentication is HTTP Basic; the password check is delegated to Auth.
+type WebDAV struct {
+	Store *Store
+	// Auth validates credentials; defaults to accepting any registered
+	// user whose password equals their username (tests) — production wires
+	// this to the Tukey identity proxy.
+	Auth func(user, pass string) bool
+}
+
+type davResponse struct {
+	XMLName xml.Name `xml:"D:response"`
+	Href    string   `xml:"D:href"`
+	Size    int64    `xml:"D:propstat>D:prop>D:getcontentlength"`
+	Status  string   `xml:"D:propstat>D:status"`
+}
+
+type davMultistatus struct {
+	XMLName   xml.Name      `xml:"D:multistatus"`
+	XmlnsD    string        `xml:"xmlns:D,attr"`
+	Responses []davResponse `xml:"D:response"`
+}
+
+func (d *WebDAV) authenticate(r *http.Request) (string, bool) {
+	user, pass, ok := r.BasicAuth()
+	if !ok {
+		return "", false
+	}
+	if d.Auth != nil {
+		if !d.Auth(user, pass) {
+			return "", false
+		}
+		return user, true
+	}
+	if d.Store.users[user] && pass == user {
+		return user, true
+	}
+	return "", false
+}
+
+// ServeHTTP implements http.Handler.
+func (d *WebDAV) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	user, ok := d.authenticate(r)
+	if !ok {
+		w.Header().Set("WWW-Authenticate", `Basic realm="OSDC sharing"`)
+		http.Error(w, "authentication required", http.StatusUnauthorized)
+		return
+	}
+	switch r.Method {
+	case http.MethodOptions:
+		w.Header().Set("DAV", "1")
+		w.Header().Set("Allow", "OPTIONS, GET, PROPFIND")
+		w.WriteHeader(http.StatusOK)
+
+	case "PROPFIND":
+		prefix := r.URL.Path
+		if !strings.HasSuffix(prefix, "/") {
+			prefix += "/"
+		}
+		ms := davMultistatus{XmlnsD: "DAV:"}
+		for _, p := range d.Store.ReadableFiles(user) {
+			if !strings.HasPrefix(p, prefix) && prefix != "/" {
+				continue
+			}
+			f, _ := d.Store.File(p)
+			ms.Responses = append(ms.Responses, davResponse{
+				Href: p, Size: f.Size, Status: "HTTP/1.1 200 OK",
+			})
+		}
+		w.Header().Set("Content-Type", "application/xml; charset=utf-8")
+		w.WriteHeader(207) // Multi-Status
+		fmt.Fprint(w, xml.Header)
+		_ = xml.NewEncoder(w).Encode(ms)
+
+	case http.MethodGet:
+		p := path.Clean(r.URL.Path)
+		f, exists := d.Store.File(p)
+		if !exists {
+			http.NotFound(w, r)
+			return
+		}
+		if !d.Store.CanRead(user, p) {
+			http.Error(w, "forbidden", http.StatusForbidden)
+			return
+		}
+		w.Header().Set("Content-Type", "application/octet-stream")
+		_, _ = w.Write(f.Content)
+
+	default:
+		http.Error(w, "method not supported", http.StatusMethodNotAllowed)
+	}
+}

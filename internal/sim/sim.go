@@ -1,0 +1,266 @@
+// Package sim provides a deterministic discrete-event simulation kernel.
+//
+// Every timed subsystem in this repository — the WAN model, disks, transfer
+// protocols, provisioning pipelines, billing pollers, monitoring agents —
+// runs on top of a sim.Engine. The engine owns a virtual clock and a pending
+// event queue ordered by (time, sequence). Determinism is guaranteed: two
+// runs with the same seed and same schedule order produce identical traces,
+// which is what makes the benchmark tables reproducible.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+	"time"
+)
+
+// Time is a point in virtual time, measured in seconds from the start of the
+// simulation. Virtual time has no relation to wall-clock time; a petabyte
+// transfer simulates in milliseconds of real time.
+type Time float64
+
+// Duration is a span of virtual time in seconds.
+type Duration = float64
+
+// Common durations, in seconds.
+const (
+	Microsecond Duration = 1e-6
+	Millisecond Duration = 1e-3
+	Second      Duration = 1
+	Minute      Duration = 60
+	Hour        Duration = 3600
+	Day         Duration = 86400
+	Week        Duration = 7 * 86400
+)
+
+// Forever is a sentinel time later than any reachable event.
+const Forever Time = Time(math.MaxFloat64)
+
+// String renders a Time as d/h/m/s for readable traces.
+func (t Time) String() string {
+	s := float64(t)
+	switch {
+	case s >= Day:
+		return fmt.Sprintf("%.2fd", s/Day)
+	case s >= Hour:
+		return fmt.Sprintf("%.2fh", s/Hour)
+	case s >= Minute:
+		return fmt.Sprintf("%.2fm", s/Minute)
+	default:
+		return fmt.Sprintf("%.3fs", s)
+	}
+}
+
+// AsWall converts virtual seconds to a time.Duration for reporting.
+func (t Time) AsWall() time.Duration { return time.Duration(float64(t) * float64(time.Second)) }
+
+// Event is a scheduled callback. Fire runs at the event's time with the
+// engine clock already advanced.
+type event struct {
+	at   Time
+	seq  uint64 // tie-break: FIFO among equal timestamps
+	fire func()
+	// cancelled events stay in the heap but are skipped on pop.
+	cancelled bool
+}
+
+// Handle identifies a scheduled event so it can be cancelled.
+type Handle struct{ ev *event }
+
+// Cancel prevents the event from firing. Safe to call multiple times and
+// after the event has fired (then it is a no-op).
+func (h Handle) Cancel() {
+	if h.ev != nil {
+		h.ev.cancelled = true
+	}
+}
+
+// Cancelled reports whether Cancel was called.
+func (h Handle) Cancelled() bool { return h.ev != nil && h.ev.cancelled }
+
+type eventQueue []*event
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+func (q eventQueue) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
+func (q *eventQueue) Push(x interface{}) { *q = append(*q, x.(*event)) }
+func (q *eventQueue) Pop() interface{} {
+	old := *q
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	*q = old[:n-1]
+	return ev
+}
+
+// Engine is the discrete-event scheduler. The zero value is not usable; use
+// NewEngine.
+type Engine struct {
+	now    Time
+	queue  eventQueue
+	seq    uint64
+	rng    *RNG
+	trace  func(t Time, msg string)
+	fired  uint64
+	halted bool
+}
+
+// NewEngine returns an engine with its clock at zero and a deterministic RNG
+// seeded with seed.
+func NewEngine(seed uint64) *Engine {
+	return &Engine{rng: NewRNG(seed)}
+}
+
+// Now returns the current virtual time.
+func (e *Engine) Now() Time { return e.now }
+
+// RNG returns the engine's deterministic random source.
+func (e *Engine) RNG() *RNG { return e.rng }
+
+// Fired returns the number of events executed so far.
+func (e *Engine) Fired() uint64 { return e.fired }
+
+// Pending returns the number of events still queued (including cancelled
+// ones not yet skipped).
+func (e *Engine) Pending() int { return len(e.queue) }
+
+// SetTrace installs a trace sink invoked by Tracef. A nil sink disables
+// tracing.
+func (e *Engine) SetTrace(fn func(t Time, msg string)) { e.trace = fn }
+
+// Tracef emits a trace line if tracing is enabled.
+func (e *Engine) Tracef(format string, args ...interface{}) {
+	if e.trace != nil {
+		e.trace(e.now, fmt.Sprintf(format, args...))
+	}
+}
+
+// At schedules fire to run at absolute time t. Scheduling in the past (t <
+// Now) panics: that is always a logic bug in a discrete-event model.
+func (e *Engine) At(t Time, fire func()) Handle {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: scheduling into the past: at=%v now=%v", t, e.now))
+	}
+	ev := &event{at: t, seq: e.seq, fire: fire}
+	e.seq++
+	heap.Push(&e.queue, ev)
+	return Handle{ev}
+}
+
+// After schedules fire to run d seconds from now. Negative d panics.
+func (e *Engine) After(d Duration, fire func()) Handle {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: negative delay %v", d))
+	}
+	return e.At(e.now+Time(d), fire)
+}
+
+// Every schedules fire to run every period seconds, starting one period from
+// now, until the returned Ticker is stopped or the engine halts.
+func (e *Engine) Every(period Duration, fire func()) *Ticker {
+	if period <= 0 {
+		panic("sim: non-positive ticker period")
+	}
+	tk := &Ticker{engine: e, period: period, fire: fire}
+	tk.schedule()
+	return tk
+}
+
+// Ticker is a repeating event created by Every.
+type Ticker struct {
+	engine  *Engine
+	period  Duration
+	fire    func()
+	handle  Handle
+	stopped bool
+}
+
+func (tk *Ticker) schedule() {
+	tk.handle = tk.engine.After(tk.period, func() {
+		if tk.stopped {
+			return
+		}
+		tk.fire()
+		if !tk.stopped {
+			tk.schedule()
+		}
+	})
+}
+
+// Stop cancels future ticks.
+func (tk *Ticker) Stop() {
+	tk.stopped = true
+	tk.handle.Cancel()
+}
+
+// Halt stops the run loop after the current event returns.
+func (e *Engine) Halt() { e.halted = true }
+
+// Step executes the single earliest pending event. It reports false when the
+// queue is empty.
+func (e *Engine) Step() bool {
+	for len(e.queue) > 0 {
+		ev := heap.Pop(&e.queue).(*event)
+		if ev.cancelled {
+			continue
+		}
+		if ev.at < e.now {
+			panic("sim: event queue time went backwards")
+		}
+		e.now = ev.at
+		e.fired++
+		ev.fire()
+		return true
+	}
+	return false
+}
+
+// Run executes events until the queue drains or Halt is called. It returns
+// the final clock value.
+func (e *Engine) Run() Time {
+	e.halted = false
+	for !e.halted && e.Step() {
+	}
+	return e.now
+}
+
+// RunUntil executes events with timestamps ≤ deadline, then sets the clock
+// to deadline (if it has not passed it already) and returns.
+func (e *Engine) RunUntil(deadline Time) Time {
+	e.halted = false
+	for !e.halted {
+		if len(e.queue) == 0 {
+			break
+		}
+		// Peek at the earliest live event.
+		next := e.peek()
+		if next == nil || next.at > deadline {
+			break
+		}
+		e.Step()
+	}
+	if e.now < deadline {
+		e.now = deadline
+	}
+	return e.now
+}
+
+// RunFor advances the clock by d. See RunUntil.
+func (e *Engine) RunFor(d Duration) Time { return e.RunUntil(e.now + Time(d)) }
+
+func (e *Engine) peek() *event {
+	for len(e.queue) > 0 {
+		if e.queue[0].cancelled {
+			heap.Pop(&e.queue)
+			continue
+		}
+		return e.queue[0]
+	}
+	return nil
+}

@@ -1,0 +1,348 @@
+package sim
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestEngineOrdering(t *testing.T) {
+	e := NewEngine(1)
+	var got []int
+	e.At(3, func() { got = append(got, 3) })
+	e.At(1, func() { got = append(got, 1) })
+	e.At(2, func() { got = append(got, 2) })
+	e.Run()
+	want := []int{1, 2, 3}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("order = %v, want %v", got, want)
+		}
+	}
+	if e.Now() != 3 {
+		t.Fatalf("clock = %v, want 3", e.Now())
+	}
+}
+
+func TestEngineFIFOAtSameTime(t *testing.T) {
+	e := NewEngine(1)
+	var got []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.At(5, func() { got = append(got, i) })
+	}
+	e.Run()
+	for i := range got {
+		if got[i] != i {
+			t.Fatalf("same-time events not FIFO: %v", got)
+		}
+	}
+}
+
+func TestEngineAfterAccumulates(t *testing.T) {
+	e := NewEngine(1)
+	var times []Time
+	e.After(1, func() {
+		times = append(times, e.Now())
+		e.After(2, func() { times = append(times, e.Now()) })
+	})
+	e.Run()
+	if len(times) != 2 || times[0] != 1 || times[1] != 3 {
+		t.Fatalf("times = %v, want [1 3]", times)
+	}
+}
+
+func TestSchedulePastPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic scheduling into the past")
+		}
+	}()
+	e := NewEngine(1)
+	e.After(10, func() { e.At(5, func() {}) })
+	e.Run()
+}
+
+func TestNegativeDelayPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on negative delay")
+		}
+	}()
+	NewEngine(1).After(-1, func() {})
+}
+
+func TestCancel(t *testing.T) {
+	e := NewEngine(1)
+	fired := false
+	h := e.After(1, func() { fired = true })
+	h.Cancel()
+	e.Run()
+	if fired {
+		t.Fatal("cancelled event fired")
+	}
+	if !h.Cancelled() {
+		t.Fatal("Cancelled() = false after Cancel")
+	}
+}
+
+func TestCancelAfterFireIsNoop(t *testing.T) {
+	e := NewEngine(1)
+	h := e.After(1, func() {})
+	e.Run()
+	h.Cancel() // must not panic
+}
+
+func TestRunUntil(t *testing.T) {
+	e := NewEngine(1)
+	var fired []Time
+	for _, at := range []Time{1, 2, 3, 4, 5} {
+		at := at
+		e.At(at, func() { fired = append(fired, at) })
+	}
+	e.RunUntil(3)
+	if len(fired) != 3 {
+		t.Fatalf("fired %d events by t=3, want 3", len(fired))
+	}
+	if e.Now() != 3 {
+		t.Fatalf("clock = %v, want 3", e.Now())
+	}
+	e.Run()
+	if len(fired) != 5 {
+		t.Fatalf("fired %d events total, want 5", len(fired))
+	}
+}
+
+func TestRunUntilAdvancesIdleClock(t *testing.T) {
+	e := NewEngine(1)
+	e.RunUntil(100)
+	if e.Now() != 100 {
+		t.Fatalf("clock = %v, want 100 with empty queue", e.Now())
+	}
+}
+
+func TestTicker(t *testing.T) {
+	e := NewEngine(1)
+	n := 0
+	tk := e.Every(10, func() {
+		n++
+		if n == 5 {
+			e.Halt()
+		}
+	})
+	e.Run()
+	tk.Stop()
+	if n != 5 {
+		t.Fatalf("ticks = %d, want 5", n)
+	}
+	if e.Now() != 50 {
+		t.Fatalf("clock = %v, want 50", e.Now())
+	}
+}
+
+func TestTickerStop(t *testing.T) {
+	e := NewEngine(1)
+	n := 0
+	var tk *Ticker
+	tk = e.Every(1, func() {
+		n++
+		if n == 3 {
+			tk.Stop()
+		}
+	})
+	e.RunUntil(10)
+	if n != 3 {
+		t.Fatalf("ticks after Stop = %d, want 3", n)
+	}
+}
+
+func TestHalt(t *testing.T) {
+	e := NewEngine(1)
+	ran := 0
+	e.At(1, func() { ran++; e.Halt() })
+	e.At(2, func() { ran++ })
+	e.Run()
+	if ran != 1 {
+		t.Fatalf("ran %d events, want 1 (halted)", ran)
+	}
+	// Run again resumes.
+	e.Run()
+	if ran != 2 {
+		t.Fatalf("ran %d events after resume, want 2", ran)
+	}
+}
+
+func TestDeterminismSameSeed(t *testing.T) {
+	runTrace := func(seed uint64) []float64 {
+		e := NewEngine(seed)
+		var trace []float64
+		var step func()
+		step = func() {
+			trace = append(trace, float64(e.Now()))
+			if len(trace) < 100 {
+				e.After(e.RNG().Exp(1.0), step)
+			}
+		}
+		e.After(0, step)
+		e.Run()
+		return trace
+	}
+	a, b := runTrace(42), runTrace(42)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("traces diverge at %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+	c := runTrace(43)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical traces")
+	}
+}
+
+func TestTimeString(t *testing.T) {
+	cases := []struct {
+		t    Time
+		want string
+	}{
+		{Time(0.5), "0.500s"},
+		{Time(90), "1.50m"},
+		{Time(7200), "2.00h"},
+		{Time(2 * Day), "2.00d"},
+	}
+	for _, c := range cases {
+		if got := c.t.String(); got != c.want {
+			t.Errorf("Time(%v).String() = %q, want %q", float64(c.t), got, c.want)
+		}
+	}
+}
+
+func TestRNGFloat64Range(t *testing.T) {
+	r := NewRNG(7)
+	for i := 0; i < 10000; i++ {
+		f := r.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64() = %v out of [0,1)", f)
+		}
+	}
+}
+
+func TestRNGIntnRange(t *testing.T) {
+	if err := quick.Check(func(seed uint64, n uint16) bool {
+		nn := int(n%1000) + 1
+		r := NewRNG(seed)
+		v := r.Intn(nn)
+		return v >= 0 && v < nn
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRNGExpMean(t *testing.T) {
+	r := NewRNG(11)
+	const n = 200000
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		sum += r.Exp(3.0)
+	}
+	mean := sum / n
+	if math.Abs(mean-3.0) > 0.05 {
+		t.Fatalf("Exp mean = %v, want ~3.0", mean)
+	}
+}
+
+func TestRNGNormalMoments(t *testing.T) {
+	r := NewRNG(13)
+	const n = 200000
+	sum, sumsq := 0.0, 0.0
+	for i := 0; i < n; i++ {
+		v := r.Normal(10, 2)
+		sum += v
+		sumsq += v * v
+	}
+	mean := sum / n
+	variance := sumsq/n - mean*mean
+	if math.Abs(mean-10) > 0.05 {
+		t.Fatalf("Normal mean = %v, want ~10", mean)
+	}
+	if math.Abs(math.Sqrt(variance)-2) > 0.05 {
+		t.Fatalf("Normal stddev = %v, want ~2", math.Sqrt(variance))
+	}
+}
+
+func TestRNGParetoTail(t *testing.T) {
+	r := NewRNG(17)
+	for i := 0; i < 10000; i++ {
+		v := r.Pareto(2.0, 1.5)
+		if v < 2.0 {
+			t.Fatalf("Pareto(2,1.5) = %v below scale", v)
+		}
+	}
+}
+
+func TestRNGPermIsPermutation(t *testing.T) {
+	if err := quick.Check(func(seed uint64) bool {
+		r := NewRNG(seed)
+		p := r.Perm(50)
+		seen := make([]bool, 50)
+		for _, v := range p {
+			if v < 0 || v >= 50 || seen[v] {
+				return false
+			}
+			seen[v] = true
+		}
+		return true
+	}, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRNGBernoulliEdges(t *testing.T) {
+	r := NewRNG(1)
+	for i := 0; i < 100; i++ {
+		if r.Bernoulli(0) {
+			t.Fatal("Bernoulli(0) returned true")
+		}
+		if !r.Bernoulli(1) {
+			t.Fatal("Bernoulli(1) returned false")
+		}
+	}
+}
+
+func TestRNGForkIndependence(t *testing.T) {
+	a := NewRNG(5)
+	b := a.Fork()
+	// Drawing from b must not change a's future relative to a clone.
+	c := NewRNG(5)
+	c.Uint64() // same draw Fork consumed
+	for i := 0; i < 10; i++ {
+		b.Uint64()
+	}
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != c.Uint64() {
+			t.Fatal("Fork perturbed parent stream")
+		}
+	}
+}
+
+func TestPendingAndFiredCounters(t *testing.T) {
+	e := NewEngine(1)
+	e.After(1, func() {})
+	e.After(2, func() {})
+	if e.Pending() != 2 {
+		t.Fatalf("Pending = %d, want 2", e.Pending())
+	}
+	e.Run()
+	if e.Fired() != 2 {
+		t.Fatalf("Fired = %d, want 2", e.Fired())
+	}
+	if e.Pending() != 0 {
+		t.Fatalf("Pending after run = %d, want 0", e.Pending())
+	}
+}

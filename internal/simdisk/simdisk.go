@@ -1,0 +1,148 @@
+// Package simdisk models the storage hardware under the OSDC's clusters.
+//
+// The paper's Table 3 defines the "long distance to local ratio" (LLR)
+// against measured local disk speeds: 3072 mbit/s streaming read at the
+// source and 1136 mbit/s streaming write at the target. This package
+// provides a bandwidth-capped streaming disk with capacity accounting; the
+// distributed filesystem (internal/dfs) and the transfer benchmarks build
+// on it.
+package simdisk
+
+import (
+	"fmt"
+
+	"osdc/internal/sim"
+)
+
+// Paper §7.2 calibration constants, bits per second.
+const (
+	PaperSourceReadBps  = 3072e6
+	PaperTargetWriteBps = 1136e6
+)
+
+// Disk is a streaming disk with independent read and write channels, each
+// serialized at its bandwidth. Operations on the same channel queue behind
+// each other; reads and writes do not contend (a simplification that
+// matches streaming transfer workloads, where one side only reads and the
+// other only writes).
+type Disk struct {
+	Name     string
+	ReadBps  float64 // streaming read bandwidth, bits/s
+	WriteBps float64 // streaming write bandwidth, bits/s
+	Capacity int64   // bytes
+
+	engine    *sim.Engine
+	used      int64
+	readFree  sim.Time // when the read head finishes its current op
+	writeFree sim.Time
+
+	BytesRead    int64
+	BytesWritten int64
+	ReadOps      int64
+	WriteOps     int64
+}
+
+// New creates a disk on the engine. Bandwidths must be positive.
+func New(e *sim.Engine, name string, readBps, writeBps float64, capacity int64) *Disk {
+	if readBps <= 0 || writeBps <= 0 {
+		panic("simdisk: bandwidths must be positive")
+	}
+	if capacity <= 0 {
+		panic("simdisk: capacity must be positive")
+	}
+	return &Disk{Name: name, ReadBps: readBps, WriteBps: writeBps, Capacity: capacity, engine: e}
+}
+
+// PaperSource returns a disk with the paper's source-node speeds.
+func PaperSource(e *sim.Engine, name string, capacity int64) *Disk {
+	return New(e, name, PaperSourceReadBps, PaperTargetWriteBps*2, capacity)
+}
+
+// PaperTarget returns a disk with the paper's target-node speeds.
+func PaperTarget(e *sim.Engine, name string, capacity int64) *Disk {
+	return New(e, name, PaperSourceReadBps, PaperTargetWriteBps, capacity)
+}
+
+// Used returns the bytes currently allocated.
+func (d *Disk) Used() int64 { return d.used }
+
+// Free returns the bytes available.
+func (d *Disk) Free() int64 { return d.Capacity - d.used }
+
+// Utilization returns used/capacity in [0,1].
+func (d *Disk) Utilization() float64 { return float64(d.used) / float64(d.Capacity) }
+
+// ReadTime returns the streaming time to read n bytes, ignoring queueing.
+func (d *Disk) ReadTime(n int64) sim.Duration { return float64(n*8) / d.ReadBps }
+
+// WriteTime returns the streaming time to write n bytes, ignoring queueing.
+func (d *Disk) WriteTime(n int64) sim.Duration { return float64(n*8) / d.WriteBps }
+
+// ErrFull is returned when an allocation exceeds the remaining capacity.
+type ErrFull struct {
+	Disk      string
+	Requested int64
+	Free      int64
+}
+
+func (e ErrFull) Error() string {
+	return fmt.Sprintf("simdisk: %s full: requested %d bytes, %d free", e.Disk, e.Requested, e.Free)
+}
+
+// Alloc reserves n bytes of capacity immediately (no I/O time).
+func (d *Disk) Alloc(n int64) error {
+	if n < 0 {
+		panic("simdisk: negative allocation")
+	}
+	if d.used+n > d.Capacity {
+		return ErrFull{Disk: d.Name, Requested: n, Free: d.Free()}
+	}
+	d.used += n
+	return nil
+}
+
+// Release frees n bytes of capacity.
+func (d *Disk) Release(n int64) {
+	if n < 0 || n > d.used {
+		panic(fmt.Sprintf("simdisk: bad release of %d (used %d)", n, d.used))
+	}
+	d.used -= n
+}
+
+// Read schedules a streaming read of n bytes; done fires when it completes.
+// Concurrent reads serialize behind each other at ReadBps.
+func (d *Disk) Read(n int64, done func()) {
+	if n < 0 {
+		panic("simdisk: negative read")
+	}
+	now := d.engine.Now()
+	start := d.readFree
+	if start < now {
+		start = now
+	}
+	end := start + sim.Time(d.ReadTime(n))
+	d.readFree = end
+	d.ReadOps++
+	d.BytesRead += n
+	d.engine.At(end, done)
+}
+
+// Write schedules a streaming write of n bytes after reserving capacity;
+// done fires when it completes. Returns ErrFull without scheduling if the
+// disk lacks space.
+func (d *Disk) Write(n int64, done func()) error {
+	if err := d.Alloc(n); err != nil {
+		return err
+	}
+	now := d.engine.Now()
+	start := d.writeFree
+	if start < now {
+		start = now
+	}
+	end := start + sim.Time(d.WriteTime(n))
+	d.writeFree = end
+	d.WriteOps++
+	d.BytesWritten += n
+	d.engine.At(end, done)
+	return nil
+}

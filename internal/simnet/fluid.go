@@ -1,0 +1,239 @@
+package simnet
+
+import (
+	"math"
+	"sort"
+
+	"osdc/internal/sim"
+)
+
+// The fluid model treats a transfer as a continuous flow rather than
+// packets. Link capacity is divided among concurrent flows by progressive
+// filling (max-min fairness). It is the right granularity for Table 1's
+// traffic characterization, where we care about flow counts, sizes and
+// completion times for tens of thousands of flows, not per-packet dynamics.
+
+// Flow is a fluid transfer of Size bytes from Src to Dst.
+type Flow struct {
+	ID       int64
+	Src, Dst string
+	Size     int64  // bytes total
+	Class    string // e.g. "web", "science"; carried through to reports
+
+	Started   sim.Time
+	Finished  sim.Time
+	remaining float64 // bytes
+	rate      float64 // bytes/sec, set by the max-min allocation
+	links     []*Link
+	done      func(*Flow)
+	net       *Network
+}
+
+// Remaining returns the bytes not yet transferred.
+func (f *Flow) Remaining() int64 { return int64(math.Ceil(f.remaining)) }
+
+// Duration returns the flow completion time; valid after completion.
+func (f *Flow) Duration() sim.Duration { return sim.Duration(f.Finished - f.Started) }
+
+// ThroughputBps returns the average achieved throughput in bits/s; valid
+// after completion.
+func (f *Flow) ThroughputBps() float64 {
+	d := f.Duration()
+	if d <= 0 {
+		return 0
+	}
+	return float64(f.Size) * 8 / d
+}
+
+type fluidState struct {
+	flows    map[int64]*Flow
+	nextID   int64
+	lastEval sim.Time
+	wake     sim.Handle
+	hasWake  bool
+}
+
+func (nw *Network) fluidInit() {
+	if nw.fluid == nil {
+		nw.fluid = &fluidState{flows: make(map[int64]*Flow)}
+	}
+}
+
+// StartFlow begins a fluid transfer and returns the flow. done (may be nil)
+// is invoked when the transfer completes.
+func (nw *Network) StartFlow(src, dst string, size int64, class string, done func(*Flow)) *Flow {
+	nw.fluidInit()
+	if size <= 0 {
+		panic("simnet: flow size must be positive")
+	}
+	links := nw.PathLinks(src, dst)
+	if len(links) == 0 && src != dst {
+		panic("simnet: no route for flow " + src + "->" + dst)
+	}
+	st := nw.fluid
+	st.nextID++
+	f := &Flow{
+		ID: st.nextID, Src: src, Dst: dst, Size: size, Class: class,
+		Started: nw.Engine.Now(), remaining: float64(size), links: links,
+		done: done, net: nw,
+	}
+	nw.fluidAdvance()
+	st.flows[f.ID] = f
+	nw.fluidReallocate()
+	return f
+}
+
+// ActiveFlows returns the number of in-progress fluid flows.
+func (nw *Network) ActiveFlows() int {
+	if nw.fluid == nil {
+		return 0
+	}
+	return len(nw.fluid.flows)
+}
+
+// fluidAdvance drains progress accrued since the last evaluation at the
+// current rates.
+func (nw *Network) fluidAdvance() {
+	st := nw.fluid
+	now := nw.Engine.Now()
+	dt := float64(now - st.lastEval)
+	if dt > 0 {
+		for _, f := range st.flows {
+			f.remaining -= f.rate * dt
+			if f.remaining < 1e-6 {
+				f.remaining = 0
+			}
+		}
+	}
+	st.lastEval = now
+	// Complete any flows that reached zero.
+	var doneFlows []*Flow
+	for id, f := range st.flows {
+		if f.remaining == 0 {
+			delete(st.flows, id)
+			f.Finished = now
+			doneFlows = append(doneFlows, f)
+		}
+	}
+	// Deterministic completion order.
+	sort.Slice(doneFlows, func(i, j int) bool { return doneFlows[i].ID < doneFlows[j].ID })
+	for _, f := range doneFlows {
+		if f.done != nil {
+			f.done(f)
+		}
+	}
+}
+
+// fluidReallocate recomputes max-min fair rates and schedules a wake-up at
+// the next flow completion.
+func (nw *Network) fluidReallocate() {
+	st := nw.fluid
+	if st.hasWake {
+		st.wake.Cancel()
+		st.hasWake = false
+	}
+	if len(st.flows) == 0 {
+		return
+	}
+
+	// Progressive filling. Each link's capacity (bytes/s) is shared among
+	// unfrozen flows crossing it; repeatedly freeze flows at the tightest
+	// link's fair share.
+	type linkState struct {
+		capacity float64 // bytes/s remaining
+		flows    []*Flow
+	}
+	ls := make(map[*Link]*linkState)
+	unfrozen := make(map[int64]*Flow, len(st.flows))
+	for id, f := range st.flows {
+		f.rate = 0
+		unfrozen[id] = f
+		for _, l := range f.links {
+			s := ls[l]
+			if s == nil {
+				s = &linkState{capacity: l.Bandwidth / 8}
+				ls[l] = s
+			}
+			s.flows = append(s.flows, f)
+		}
+	}
+	// Flows with no links (src == dst) move at local-copy speed: effectively
+	// instantaneous for our purposes — give them a very high rate.
+	for _, f := range unfrozen {
+		if len(f.links) == 0 {
+			f.rate = 100 * Gbit / 8
+		}
+	}
+
+	for len(unfrozen) > 0 {
+		// Find the bottleneck: link with the smallest fair share among its
+		// unfrozen flows.
+		var bottleneck *linkState
+		share := math.Inf(1)
+		for _, s := range ls {
+			n := 0
+			for _, f := range s.flows {
+				if _, ok := unfrozen[f.ID]; ok {
+					n++
+				}
+			}
+			if n == 0 {
+				continue
+			}
+			fs := s.capacity / float64(n)
+			if fs < share {
+				share = fs
+				bottleneck = s
+			}
+		}
+		if bottleneck == nil {
+			// Only linkless flows remain; already rated above.
+			for id := range unfrozen {
+				delete(unfrozen, id)
+			}
+			break
+		}
+		// Freeze the bottleneck's flows at the fair share and charge every
+		// link they traverse.
+		var frozen []*Flow
+		for _, f := range bottleneck.flows {
+			if _, ok := unfrozen[f.ID]; ok {
+				frozen = append(frozen, f)
+			}
+		}
+		for _, f := range frozen {
+			f.rate = share
+			delete(unfrozen, f.ID)
+			for _, l := range f.links {
+				ls[l].capacity -= share
+				if ls[l].capacity < 0 {
+					ls[l].capacity = 0
+				}
+			}
+		}
+	}
+
+	// Next completion time at current rates.
+	next := sim.Forever
+	for _, f := range st.flows {
+		if f.rate <= 0 {
+			continue
+		}
+		t := nw.Engine.Now() + sim.Time(f.remaining/f.rate)
+		if t < next {
+			next = t
+		}
+	}
+	if next < sim.Forever {
+		// Guard against zero-length steps due to float rounding.
+		if next <= nw.Engine.Now() {
+			next = nw.Engine.Now() + sim.Time(1e-9)
+		}
+		st.wake = nw.Engine.At(next, func() {
+			st.hasWake = false
+			nw.fluidAdvance()
+			nw.fluidReallocate()
+		})
+		st.hasWake = true
+	}
+}

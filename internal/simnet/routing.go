@@ -1,0 +1,86 @@
+package simnet
+
+import "container/heap"
+
+// NextHop returns the next node on the minimum-delay path from src to dst,
+// or "" if unreachable. Routes are computed lazily and cached; any topology
+// change invalidates the cache.
+func (nw *Network) NextHop(src, dst string) string {
+	if nw.routes == nil {
+		nw.computeRoutes()
+	}
+	m := nw.routes[src]
+	if m == nil {
+		return ""
+	}
+	return m[dst]
+}
+
+type dijkstraItem struct {
+	node string
+	dist float64
+}
+
+type dijkstraQueue []dijkstraItem
+
+func (q dijkstraQueue) Len() int            { return len(q) }
+func (q dijkstraQueue) Less(i, j int) bool  { return q[i].dist < q[j].dist }
+func (q dijkstraQueue) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
+func (q *dijkstraQueue) Push(x interface{}) { *q = append(*q, x.(dijkstraItem)) }
+func (q *dijkstraQueue) Pop() interface{} {
+	old := *q
+	n := len(old)
+	it := old[n-1]
+	*q = old[:n-1]
+	return it
+}
+
+// computeRoutes runs Dijkstra from every node using propagation delay as the
+// edge metric (ties broken deterministically by node-name order, so routing
+// is stable run to run).
+func (nw *Network) computeRoutes() {
+	adj := make(map[string][]*Link)
+	for _, l := range nw.links {
+		adj[l.From] = append(adj[l.From], l)
+	}
+	// Deterministic neighbor order.
+	for _, ls := range adj {
+		sortLinks(ls)
+	}
+
+	nw.routes = make(map[string]map[string]string, len(nw.nodes))
+	for src := range nw.nodes {
+		dist := map[string]float64{src: 0}
+		first := map[string]string{} // first hop from src toward node
+		pq := &dijkstraQueue{{src, 0}}
+		for pq.Len() > 0 {
+			it := heap.Pop(pq).(dijkstraItem)
+			if it.dist > dist[it.node] {
+				continue
+			}
+			for _, l := range adj[it.node] {
+				// Metric: delay plus a tiny per-hop cost so equal-delay paths
+				// prefer fewer hops.
+				nd := it.dist + float64(l.Delay) + 1e-9
+				if old, ok := dist[l.To]; !ok || nd < old {
+					dist[l.To] = nd
+					if it.node == src {
+						first[l.To] = l.To
+					} else {
+						first[l.To] = first[it.node]
+					}
+					heap.Push(pq, dijkstraItem{l.To, nd})
+				}
+			}
+		}
+		nw.routes[src] = first
+	}
+}
+
+func sortLinks(ls []*Link) {
+	for i := 1; i < len(ls); i++ {
+		for j := i; j > 0 && ls[j].To < ls[j-1].To; j-- {
+			ls[j], ls[j-1] = ls[j-1], ls[j]
+		}
+	}
+}

@@ -1,0 +1,268 @@
+package tcpmodel
+
+import (
+	"osdc/internal/sim"
+	"osdc/internal/simnet"
+	"osdc/internal/transport"
+)
+
+// Packet-level TCP over simnet: sliding window, cumulative ACKs, duplicate-
+// ACK fast retransmit, and a coarse retransmission timeout. Enough Reno to
+// validate the behaviour the macro model assumes; not a full TCP (no SACK,
+// no delayed ACKs, no Nagle).
+
+const tcpHeader = 40 // TCP/IP header bytes
+
+type segPayload struct {
+	seq  int64 // segment index (not byte offset)
+	off  int64 // byte offset
+	data []byte
+	sess string
+}
+
+type tcpAck struct {
+	cumulative int64 // next expected segment
+	sess       string
+}
+
+// SockStats counts socket-level events.
+type SockStats struct {
+	Sent        int64
+	Retransmits int64
+	FastRetx    int64
+	Timeouts    int64
+}
+
+// SockSender is the sending side of a packet-level TCP transfer.
+type SockSender struct {
+	nw   *simnet.Network
+	e    *sim.Engine
+	src  string
+	dst  string
+	sess string
+	mss  int
+	data []byte
+
+	total    int64
+	sndUna   int64 // oldest unacked segment
+	sndNxt   int64 // next fresh segment
+	cwnd     float64
+	ssthresh float64
+	capPkts  float64
+	dupAcks  int
+	rto      sim.Duration
+	rtoTimer sim.Handle
+	rtoArmed bool
+
+	stats    SockStats
+	finished bool
+	onDone   func(*SockStats)
+	started  sim.Time
+	Done     sim.Time
+}
+
+// SockReceiver is the receiving side.
+type SockReceiver struct {
+	nw       *simnet.Network
+	node     string
+	peer     string
+	sess     string
+	buf      []byte
+	got      map[int64]bool
+	expected int64
+	total    int64
+	finished bool
+}
+
+func sockProto(sess string) string { return "tcp:" + sess }
+
+// TransferSock starts a packet-level TCP transfer. windowCapBytes models the
+// receive/ssh-channel window (0 = unlimited).
+func TransferSock(nw *simnet.Network, src, dst, sess string, data []byte, windowCapBytes int, onDone func(*SockStats)) (*SockSender, *SockReceiver) {
+	if len(data) == 0 {
+		panic("tcpmodel: empty transfer")
+	}
+	path := transport.PathBetween(nw, src, dst)
+	mss := path.MSS - tcpHeader
+	total := int64((len(data) + mss - 1) / mss)
+	rto := 3 * path.RTT
+	if rto < 0.2 {
+		rto = 0.2
+	}
+	s := &SockSender{
+		nw: nw, e: nw.Engine, src: src, dst: dst, sess: sess, mss: mss,
+		data: data, total: total, cwnd: InitialWindow, ssthresh: 1e12,
+		rto: rto, onDone: onDone, started: nw.Engine.Now(),
+	}
+	if windowCapBytes > 0 {
+		s.capPkts = float64(windowCapBytes) / float64(mss)
+		if s.capPkts < 2 {
+			s.capPkts = 2
+		}
+	}
+	r := &SockReceiver{
+		nw: nw, node: dst, peer: src, sess: sess,
+		buf: make([]byte, len(data)), got: make(map[int64]bool), total: total,
+	}
+	nw.Node(dst).Handle(sockProto(sess), r.onSegment)
+	nw.Node(src).Handle(sockProto(sess)+":ack", s.onAck)
+	s.fill()
+	s.armRTO()
+	return s, r
+}
+
+// Stats returns the socket counters.
+func (s *SockSender) Stats() SockStats { return s.stats }
+
+// ThroughputBps returns average goodput; valid after completion.
+func (s *SockSender) ThroughputBps() float64 {
+	d := float64(s.Done - s.started)
+	if d <= 0 {
+		return 0
+	}
+	return float64(len(s.data)) * 8 / d
+}
+
+func (s *SockSender) window() float64 {
+	w := s.cwnd
+	if s.capPkts > 0 && w > s.capPkts {
+		w = s.capPkts
+	}
+	return w
+}
+
+// fill sends fresh segments while the window allows (ACK-clocked).
+func (s *SockSender) fill() {
+	for s.sndNxt < s.total && float64(s.sndNxt-s.sndUna) < s.window() {
+		s.sendSeg(s.sndNxt, false)
+		s.sndNxt++
+	}
+}
+
+func (s *SockSender) sendSeg(seq int64, retx bool) {
+	lo := seq * int64(s.mss)
+	hi := lo + int64(s.mss)
+	if hi > int64(len(s.data)) {
+		hi = int64(len(s.data))
+	}
+	s.stats.Sent++
+	if retx {
+		s.stats.Retransmits++
+	}
+	s.nw.Send(&simnet.Packet{
+		Src: s.src, Dst: s.dst, Proto: sockProto(s.sess), Seq: seq,
+		Size:    int(hi-lo) + tcpHeader,
+		Payload: segPayload{seq: seq, off: lo, data: s.data[lo:hi], sess: s.sess},
+	})
+}
+
+func (s *SockSender) onAck(pkt *simnet.Packet) {
+	ack, ok := pkt.Payload.(tcpAck)
+	if !ok || s.finished {
+		return
+	}
+	switch {
+	case ack.cumulative > s.sndUna:
+		// New data acknowledged.
+		acked := ack.cumulative - s.sndUna
+		s.sndUna = ack.cumulative
+		s.dupAcks = 0
+		for i := int64(0); i < acked; i++ {
+			if s.cwnd < s.ssthresh {
+				s.cwnd++ // slow start: +1 per ACK
+			} else {
+				s.cwnd += 1 / s.cwnd // congestion avoidance
+			}
+		}
+		if s.capPkts > 0 && s.cwnd > s.capPkts {
+			s.cwnd = s.capPkts
+		}
+		s.armRTO()
+	case ack.cumulative == s.sndUna && s.sndNxt > s.sndUna:
+		s.dupAcks++
+		if s.dupAcks == 3 {
+			// Fast retransmit + fast recovery.
+			s.ssthresh = s.cwnd / 2
+			if s.ssthresh < 2 {
+				s.ssthresh = 2
+			}
+			s.cwnd = s.ssthresh
+			s.sendSeg(s.sndUna, true)
+			s.stats.FastRetx++
+		}
+	}
+	if s.sndUna >= s.total {
+		s.finish()
+		return
+	}
+	s.fill()
+}
+
+func (s *SockSender) armRTO() {
+	if s.rtoArmed {
+		s.rtoTimer.Cancel()
+	}
+	s.rtoArmed = true
+	s.rtoTimer = s.e.After(s.rto, s.onRTO)
+}
+
+func (s *SockSender) onRTO() {
+	if s.finished {
+		return
+	}
+	if s.sndUna < s.sndNxt {
+		// Timeout: collapse to slow start and resend the hole.
+		s.stats.Timeouts++
+		s.ssthresh = s.cwnd / 2
+		if s.ssthresh < 2 {
+			s.ssthresh = 2
+		}
+		s.cwnd = 1
+		s.dupAcks = 0
+		s.sendSeg(s.sndUna, true)
+	}
+	s.armRTO()
+}
+
+func (s *SockSender) finish() {
+	if s.finished {
+		return
+	}
+	s.finished = true
+	s.Done = s.e.Now()
+	if s.rtoArmed {
+		s.rtoTimer.Cancel()
+	}
+	if s.onDone != nil {
+		st := s.stats
+		s.onDone(&st)
+	}
+}
+
+func (r *SockReceiver) onSegment(pkt *simnet.Packet) {
+	p, ok := pkt.Payload.(segPayload)
+	if !ok {
+		return
+	}
+	if !r.got[p.seq] {
+		r.got[p.seq] = true
+		copy(r.buf[p.off:], p.data)
+	}
+	for r.got[r.expected] {
+		r.expected++
+	}
+	if r.expected >= r.total {
+		r.finished = true
+	}
+	// Cumulative ACK for every segment (no delayed ACKs).
+	r.nw.Send(&simnet.Packet{
+		Src: r.node, Dst: r.peer, Proto: sockProto(r.sess) + ":ack",
+		Size: tcpHeader, Payload: tcpAck{cumulative: r.expected, sess: r.sess},
+	})
+}
+
+// Data returns the reassembled bytes.
+func (r *SockReceiver) Data() []byte { return r.buf }
+
+// Finished reports whether the stream is complete.
+func (r *SockReceiver) Finished() bool { return r.finished }

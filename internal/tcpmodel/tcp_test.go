@@ -1,0 +1,216 @@
+package tcpmodel
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"osdc/internal/sim"
+	"osdc/internal/simnet"
+	"osdc/internal/transport"
+)
+
+func lvocPath() transport.Path {
+	return transport.Path{
+		BandwidthBps: 10 * simnet.Gbit,
+		RTT:          0.104,
+		Loss:         2e-9,
+		MSS:          transport.DefaultMSS,
+	}
+}
+
+func TestRenoSlowStartDoubles(t *testing.T) {
+	r := NewReno(lvocPath(), 0)
+	w0 := r.Cwnd()
+	r.OnInterval(false)
+	if got := r.Cwnd(); math.Abs(got-2*w0) > 1e-9 {
+		t.Fatalf("cwnd after one RTT = %v, want %v (doubling)", got, 2*w0)
+	}
+}
+
+func TestRenoCongestionAvoidanceLinear(t *testing.T) {
+	r := NewReno(lvocPath(), 0)
+	r.OnInterval(true) // exit slow start
+	w := r.Cwnd()
+	r.OnInterval(false)
+	if got := r.Cwnd(); math.Abs(got-(w+1)) > 1e-9 {
+		t.Fatalf("CA growth = %v, want +1 packet/RTT", got-w)
+	}
+}
+
+func TestRenoHalvesOnLoss(t *testing.T) {
+	r := NewReno(lvocPath(), 0)
+	for i := 0; i < 10; i++ {
+		r.OnInterval(false)
+	}
+	w := r.Cwnd()
+	r.OnInterval(true)
+	if got := r.Cwnd(); math.Abs(got-w/2) > 1e-9 {
+		t.Fatalf("cwnd after loss = %v, want %v", got, w/2)
+	}
+	if r.Losses() != 1 {
+		t.Fatalf("losses = %d, want 1", r.Losses())
+	}
+}
+
+func TestRenoWindowCap(t *testing.T) {
+	// ssh channel window: 3.64 MB caps throughput at ~280 Mbit/s on 104 ms.
+	capBytes := 3_640_000
+	r := NewReno(lvocPath(), capBytes)
+	for i := 0; i < 5000; i++ {
+		r.OnInterval(false)
+	}
+	maxRate := float64(capBytes) * 8 / 0.104
+	got := r.RatePps() * float64(transport.DefaultMSS) * 8
+	if got > maxRate*1.01 {
+		t.Fatalf("rate %v exceeds window cap rate %v", got, maxRate)
+	}
+	if got < maxRate*0.95 {
+		t.Fatalf("rate %v did not reach window cap rate %v", got, maxRate)
+	}
+}
+
+func TestRenoFloorAtTwoSegments(t *testing.T) {
+	r := NewReno(lvocPath(), 0)
+	for i := 0; i < 100; i++ {
+		r.OnInterval(true)
+	}
+	if r.Cwnd() < 2 {
+		t.Fatalf("cwnd = %v, must not fall below 2", r.Cwnd())
+	}
+}
+
+func TestMacroRenoMathisShape(t *testing.T) {
+	// With non-trivial loss, uncapped Reno settles near the Mathis rate
+	// MSS/RTT × sqrt(1.5/p). At p = 2e-6 that is ≈ 97 Mbit/s.
+	path := lvocPath()
+	path.Loss = 2e-6
+	r := NewReno(path, 0)
+	res := transport.Simulate(sim.NewRNG(5), path, r, 20_000_000_000, transport.Caps{})
+	mb := res.ThroughputMbit()
+	if mb < 55 || mb > 200 {
+		t.Fatalf("Reno at p=2e-6 = %.0f Mbit/s, want ~100 (Mathis)", mb)
+	}
+}
+
+func TestMacroRenoWindowCapDominates(t *testing.T) {
+	path := lvocPath()
+	r := NewReno(path, 3_640_000)
+	res := transport.Simulate(sim.NewRNG(5), path, r, 5_000_000_000, transport.Caps{})
+	mb := res.ThroughputMbit()
+	if mb < 230 || mb > 285 {
+		t.Fatalf("capped Reno = %.0f Mbit/s, want ~260–280", mb)
+	}
+}
+
+// --- packet-level socket tests ---
+
+func testNet(loss float64) (*sim.Engine, *simnet.Network) {
+	e := sim.NewEngine(42)
+	nw := simnet.New(e)
+	nw.AddNode("src", "chi")
+	nw.AddNode("dst", "lvoc")
+	nw.AddDuplex("src", "dst", simnet.Gbit, 10*sim.Millisecond, loss)
+	return e, nw
+}
+
+func payload(n int, seed byte) []byte {
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = byte(i)*13 + seed
+	}
+	return b
+}
+
+func TestSockLosslessExactDelivery(t *testing.T) {
+	e, nw := testNet(0)
+	data := payload(1_000_000, 2)
+	var done bool
+	_, r := TransferSock(nw, "src", "dst", "t1", data, 0, func(*SockStats) { done = true })
+	e.RunUntil(120)
+	if !done || !r.Finished() {
+		t.Fatal("transfer did not complete")
+	}
+	if !bytes.Equal(r.Data(), data) {
+		t.Fatal("bytes differ")
+	}
+}
+
+func TestSockRecoversFromLoss(t *testing.T) {
+	e, nw := testNet(0.02)
+	data := payload(400_000, 8)
+	var st *SockStats
+	_, r := TransferSock(nw, "src", "dst", "t2", data, 0, func(s *SockStats) { st = s })
+	e.RunUntil(600)
+	if st == nil || !r.Finished() {
+		t.Fatal("transfer did not complete under loss")
+	}
+	if !bytes.Equal(r.Data(), data) {
+		t.Fatal("bytes corrupted under loss")
+	}
+	if st.Retransmits == 0 {
+		t.Fatal("expected retransmissions")
+	}
+}
+
+func TestSockWindowCapLimitsInFlight(t *testing.T) {
+	e, nw := testNet(0)
+	data := payload(3_000_000, 4)
+	capBytes := 64 << 10
+	s, r := TransferSock(nw, "src", "dst", "t3", data, capBytes, nil)
+	// Sample in-flight at several points.
+	maxInflight := int64(0)
+	for i := 0; i < 200; i++ {
+		e.RunFor(0.05)
+		if fl := s.sndNxt - s.sndUna; fl > maxInflight {
+			maxInflight = fl
+		}
+		if r.Finished() {
+			break
+		}
+	}
+	e.RunUntil(e.Now() + 600)
+	if !r.Finished() {
+		t.Fatal("capped transfer did not finish")
+	}
+	capPkts := int64(capBytes/(transport.DefaultMSS-tcpHeader)) + 1
+	if maxInflight > capPkts {
+		t.Fatalf("in-flight %d exceeds window cap %d pkts", maxInflight, capPkts)
+	}
+}
+
+func TestSockTinyTransfer(t *testing.T) {
+	e, nw := testNet(0)
+	data := []byte("x")
+	var done bool
+	_, r := TransferSock(nw, "src", "dst", "t4", data, 0, func(*SockStats) { done = true })
+	e.RunUntil(10)
+	if !done || !bytes.Equal(r.Data(), data) {
+		t.Fatal("1-byte transfer failed")
+	}
+}
+
+func TestSockEmptyPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	_, nw := testNet(0)
+	TransferSock(nw, "src", "dst", "t5", nil, 0, nil)
+}
+
+func TestBufferLimitedRenoLeavesPathIdle(t *testing.T) {
+	// The paper's core claim (Table 3): rsync over TCP leaves most of a
+	// 10G×104 ms path idle. With a 2012-default ~5.3 MB socket buffer the
+	// window cap alone bounds TCP at ~405 Mbit/s — 4% of the path.
+	path := lvocPath()
+	tcp := transport.Simulate(sim.NewRNG(9), path, NewReno(path, 5_270_000), 10_000_000_000, transport.Caps{})
+	frac := tcp.ThroughputBps() / path.BandwidthBps
+	if frac > 0.06 {
+		t.Fatalf("buffer-limited TCP achieved %.1f%% of the path; want ≤6%%", frac*100)
+	}
+	if mb := tcp.ThroughputMbit(); mb < 350 || mb > 410 {
+		t.Fatalf("buffer-limited TCP = %.0f Mbit/s, want ~400", mb)
+	}
+}

@@ -1,0 +1,151 @@
+package transport
+
+import (
+	"math"
+	"testing"
+
+	"osdc/internal/sim"
+	"osdc/internal/simnet"
+)
+
+// fixedRate is a trivial controller sending at a constant rate.
+type fixedRate struct {
+	pps float64
+	dt  sim.Duration
+}
+
+func (f *fixedRate) Name() string           { return "fixed" }
+func (f *fixedRate) Interval() sim.Duration { return f.dt }
+func (f *fixedRate) RatePps() float64       { return f.pps }
+func (f *fixedRate) OnInterval(bool)        {}
+
+func TestSimulateFixedRateLossless(t *testing.T) {
+	path := Path{BandwidthBps: 1e9, RTT: 0.1, Loss: 0, MSS: 1000}
+	// 1000 packets/s × 1000 B = 8 Mbit/s; 8 MB should take ~8 s.
+	ctrl := &fixedRate{pps: 1000, dt: 0.01}
+	res := Simulate(sim.NewRNG(1), path, ctrl, 8_000_000, Caps{})
+	if math.Abs(res.Duration-8.0) > 0.05 {
+		t.Fatalf("duration = %v, want ~8 s", res.Duration)
+	}
+	if res.LossEvents != 0 {
+		t.Fatalf("loss events = %d on a lossless path", res.LossEvents)
+	}
+	if mb := res.ThroughputMbit(); math.Abs(mb-8.0) > 0.1 {
+		t.Fatalf("throughput = %v Mbit/s, want ~8", mb)
+	}
+}
+
+func TestSimulateCapLimits(t *testing.T) {
+	path := Path{BandwidthBps: 10e9, RTT: 0.1, Loss: 0, MSS: 1000}
+	ctrl := &fixedRate{pps: 1e6, dt: 0.01} // wants 8 Gbit/s
+	caps := Caps{SenderBps: 400e6}         // cipher allows 400 Mbit/s
+	res := Simulate(sim.NewRNG(1), path, ctrl, 500_000_000, caps)
+	if mb := res.ThroughputMbit(); math.Abs(mb-400) > 5 {
+		t.Fatalf("throughput = %v Mbit/s, want ~400 (cap)", mb)
+	}
+	if res.LossEvents != 0 {
+		t.Fatal("cap-limited sending must not register loss")
+	}
+}
+
+func TestSimulateBottleneckCongestion(t *testing.T) {
+	path := Path{BandwidthBps: 100e6, RTT: 0.01, Loss: 0, MSS: 1000}
+	ctrl := &fixedRate{pps: 25000, dt: 0.01} // wants 200 Mbit/s: 2× bottleneck
+	res := Simulate(sim.NewRNG(1), path, ctrl, 50_000_000, Caps{})
+	// Goodput is bounded by the bottleneck.
+	if mb := res.ThroughputMbit(); mb > 101 {
+		t.Fatalf("throughput = %v Mbit/s exceeds 100 Mbit bottleneck", mb)
+	}
+	if res.LossEvents == 0 {
+		t.Fatal("sending at 2× bottleneck must cause congestion loss events")
+	}
+}
+
+func TestSimulateRandomLossRetransmits(t *testing.T) {
+	path := Path{BandwidthBps: 1e9, RTT: 0.05, Loss: 0.01, MSS: 1000}
+	ctrl := &fixedRate{pps: 10000, dt: 0.01}
+	res := Simulate(sim.NewRNG(7), path, ctrl, 10_000_000, Caps{})
+	if res.Retransmit == 0 {
+		t.Fatal("1% loss must cause retransmissions")
+	}
+	// ~1% of ~10k packets.
+	if res.Retransmit < 30 || res.Retransmit > 300 {
+		t.Fatalf("retransmits = %d, want ~100", res.Retransmit)
+	}
+}
+
+func TestCapsMin(t *testing.T) {
+	c := Caps{SenderBps: 500e6, DiskWriteBps: 1136e6, DiskReadBps: 3072e6}
+	if got := c.Min(); got != 500e6 {
+		t.Fatalf("Min = %v, want 500e6", got)
+	}
+	if got := (Caps{}).Min(); !math.IsInf(got, 1) {
+		t.Fatalf("empty caps Min = %v, want +Inf", got)
+	}
+}
+
+func TestLLRUsesSlowerDisk(t *testing.T) {
+	caps := Caps{DiskReadBps: 3072e6, DiskWriteBps: 1136e6}
+	r := Result{Bytes: 142_000_000, Duration: 1.0} // 1136 Mbit/s exactly
+	if llr := r.LLR(caps); math.Abs(llr-1.0) > 1e-9 {
+		t.Fatalf("LLR = %v, want 1.0", llr)
+	}
+	r2 := Result{Bytes: 94_000_000, Duration: 1.0} // 752 Mbit/s
+	if llr := r2.LLR(caps); math.Abs(llr-0.6620) > 0.001 {
+		t.Fatalf("LLR = %v, want ~0.662 (paper's UDR plain)", llr)
+	}
+}
+
+func TestPathBetweenDerivesFromTopology(t *testing.T) {
+	e := sim.NewEngine(1)
+	nw := simnet.BuildOSDCTopology(e, simnet.DefaultWAN())
+	simnet.AttachHost(nw, "a", simnet.SiteChicagoKenwood)
+	simnet.AttachHost(nw, "b", simnet.SiteLVOC)
+	p := PathBetween(nw, "a", "b")
+	if p.BandwidthBps != 10*simnet.Gbit {
+		t.Fatalf("bandwidth = %v, want 10G", p.BandwidthBps)
+	}
+	if p.RTT < 0.1035 || p.RTT > 0.1045 {
+		t.Fatalf("RTT = %v, want ~104 ms", p.RTT)
+	}
+	if p.Loss <= 0 {
+		t.Fatal("path loss should be positive on the WAN")
+	}
+	if p.BDP() < 100e6 {
+		t.Fatalf("BDP = %v bytes, expected >100 MB on 10G×104ms", p.BDP())
+	}
+}
+
+func TestSimulatePanicsOnZeroBytes(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Simulate(sim.NewRNG(1), Path{BandwidthBps: 1e9, RTT: 0.1, MSS: 1000}, &fixedRate{pps: 10, dt: 0.01}, 0, Caps{})
+}
+
+func TestPoissonMean(t *testing.T) {
+	rng := sim.NewRNG(3)
+	for _, mean := range []float64{0.5, 5, 200} {
+		sum := 0.0
+		const n = 20000
+		for i := 0; i < n; i++ {
+			sum += poisson(rng, mean)
+		}
+		got := sum / n
+		if math.Abs(got-mean) > mean*0.05+0.05 {
+			t.Fatalf("poisson(%v) sample mean = %v", mean, got)
+		}
+	}
+	if poisson(rng, 0) != 0 {
+		t.Fatal("poisson(0) != 0")
+	}
+}
+
+func TestResultThroughputZeroDuration(t *testing.T) {
+	r := Result{Bytes: 100}
+	if r.ThroughputBps() != 0 {
+		t.Fatal("zero-duration result must report zero throughput")
+	}
+}

@@ -1,0 +1,160 @@
+package tukey
+
+import (
+	"encoding/json"
+	"net/http"
+	"strings"
+
+	"osdc/internal/billing"
+	"osdc/internal/datasets"
+)
+
+// Console is the Tukey Console web application (§5.1): "The core
+// functionality of the web application is virtual machine provisioning
+// with usage and billing information", plus the optional modules for file
+// sharing management and public data set management.
+//
+// Routes (all JSON; session token in the X-Tukey-Session header except for
+// /login):
+//
+//	POST /login               {provider, username, secret} → {token}
+//	GET  /console/instances   aggregated multi-cloud server list
+//	POST /console/launch      {cloud, name, flavor} → server
+//	POST /console/terminate   {cloud, id}
+//	GET  /console/usage       current-cycle usage (core-hours, GB-days)
+//	GET  /console/datasets    public dataset catalog (?q= to search)
+//	GET  /console/status      attached clouds
+type Console struct {
+	MW      *Middleware
+	Biller  *billing.Biller
+	Catalog *datasets.Catalog
+	// UserFor maps a federated identity to the local username the biller
+	// and catalog know. Defaults to the identifier's local part.
+	UserFor func(Identity) string
+}
+
+func (c *Console) localUser(id Identity) string {
+	if c.UserFor != nil {
+		return c.UserFor(id)
+	}
+	local := id.Identifier
+	if i := strings.IndexAny(local, "@"); i >= 0 {
+		local = local[:i]
+	}
+	if i := strings.LastIndex(local, "/"); i >= 0 {
+		local = local[i+1:]
+	}
+	return local
+}
+
+func (c *Console) session(w http.ResponseWriter, r *http.Request) (Identity, bool) {
+	tok := r.Header.Get("X-Tukey-Session")
+	id, ok := c.MW.identityFor(tok)
+	if !ok {
+		writeJSON(w, http.StatusUnauthorized, map[string]string{"error": "invalid or missing session"})
+		return Identity{}, false
+	}
+	return id, true
+}
+
+func writeJSON(w http.ResponseWriter, code int, v interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+// ServeHTTP implements http.Handler.
+func (c *Console) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	switch {
+	case r.URL.Path == "/login" && r.Method == http.MethodPost:
+		var req struct {
+			Provider string `json:"provider"`
+			Username string `json:"username"`
+			Secret   string `json:"secret"`
+		}
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			writeJSON(w, http.StatusBadRequest, map[string]string{"error": err.Error()})
+			return
+		}
+		tok, err := c.MW.Login(Provider(req.Provider), req.Username, req.Secret)
+		if err != nil {
+			writeJSON(w, http.StatusUnauthorized, map[string]string{"error": err.Error()})
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]string{"token": tok})
+
+	case r.URL.Path == "/console/instances" && r.Method == http.MethodGet:
+		if _, ok := c.session(w, r); !ok {
+			return
+		}
+		servers, err := c.MW.ListServers(r.Header.Get("X-Tukey-Session"))
+		if err != nil {
+			writeJSON(w, http.StatusBadGateway, map[string]string{"error": err.Error()})
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]interface{}{"servers": servers})
+
+	case r.URL.Path == "/console/launch" && r.Method == http.MethodPost:
+		if _, ok := c.session(w, r); !ok {
+			return
+		}
+		var req struct{ Cloud, Name, Flavor string }
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			writeJSON(w, http.StatusBadRequest, map[string]string{"error": err.Error()})
+			return
+		}
+		srv, err := c.MW.LaunchServer(r.Header.Get("X-Tukey-Session"), req.Cloud, req.Name, req.Flavor)
+		if err != nil {
+			writeJSON(w, http.StatusConflict, map[string]string{"error": err.Error()})
+			return
+		}
+		writeJSON(w, http.StatusAccepted, map[string]interface{}{"server": srv})
+
+	case r.URL.Path == "/console/terminate" && r.Method == http.MethodPost:
+		if _, ok := c.session(w, r); !ok {
+			return
+		}
+		var req struct{ Cloud, ID string }
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			writeJSON(w, http.StatusBadRequest, map[string]string{"error": err.Error()})
+			return
+		}
+		if err := c.MW.TerminateServer(r.Header.Get("X-Tukey-Session"), req.Cloud, req.ID); err != nil {
+			writeJSON(w, http.StatusConflict, map[string]string{"error": err.Error()})
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]string{"status": "terminated"})
+
+	case r.URL.Path == "/console/usage" && r.Method == http.MethodGet:
+		id, ok := c.session(w, r)
+		if !ok {
+			return
+		}
+		if c.Biller == nil {
+			writeJSON(w, http.StatusServiceUnavailable, map[string]string{"error": "billing not configured"})
+			return
+		}
+		u := c.Biller.CurrentUsage(c.localUser(id))
+		writeJSON(w, http.StatusOK, map[string]interface{}{
+			"user": u.User, "core_hours": u.CoreHours(), "gb_days": u.GBDays,
+			"cycle": c.Biller.Cycle(),
+		})
+
+	case r.URL.Path == "/console/datasets" && r.Method == http.MethodGet:
+		if _, ok := c.session(w, r); !ok {
+			return
+		}
+		if c.Catalog == nil {
+			writeJSON(w, http.StatusServiceUnavailable, map[string]string{"error": "catalog not configured"})
+			return
+		}
+		q := r.URL.Query().Get("q")
+		writeJSON(w, http.StatusOK, map[string]interface{}{"datasets": c.Catalog.Search(q)})
+
+	case r.URL.Path == "/console/status" && r.Method == http.MethodGet:
+		writeJSON(w, http.StatusOK, map[string]interface{}{"clouds": c.MW.Clouds()})
+
+	default:
+		writeJSON(w, http.StatusNotFound, map[string]string{"error": "no route " + r.Method + " " + r.URL.Path})
+	}
+}

@@ -1,0 +1,496 @@
+// Package tukey implements Tukey, the OSDC's middleware and console (paper
+// §5, Figure 1): "a centralized and intuitive web interface for accessing
+// public and private cloud services".
+//
+// The middleware consists of HTTP-based proxies for authentication and API
+// translation that sit between the Tukey web application and the cloud
+// software stacks (§5.2):
+//
+//   - the auth proxy accepts Shibboleth- or OpenID-style logins, then looks
+//     up the cloud credentials associated with the federated identifier in
+//     the user database;
+//   - the translation proxies accept requests in the OpenStack API shape
+//     and issue commands to each registered cloud according to that cloud's
+//     configuration (OpenStack dialect passes through; Eucalyptus dialect
+//     is translated to EC2 query calls), then transform each result, tag it
+//     with the cloud name, and aggregate everything into one JSON response
+//     in the OpenStack format.
+//
+// The console (console.go) builds the user-facing endpoints — instances,
+// usage/billing, file sharing, public datasets — on the middleware.
+package tukey
+
+import (
+	"encoding/json"
+	"encoding/xml"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Provider identifies a federated login method.
+type Provider string
+
+// Supported identity providers (§5.2).
+const (
+	Shibboleth Provider = "shibboleth"
+	OpenID     Provider = "openid"
+)
+
+// Identity is the federated identifier an IdP asserts.
+type Identity struct {
+	Provider   Provider
+	Identifier string // eppn for Shibboleth, URL for OpenID
+}
+
+// IdP validates login secrets and asserts identifiers. Implementations
+// model the redirect/assert flows' outcome.
+type IdP interface {
+	Name() Provider
+	// Assert validates the user's secret and returns the federated
+	// identifier.
+	Assert(username, secret string) (Identity, error)
+}
+
+// ShibbolethIdP asserts eduPerson principal names (user@institution).
+type ShibbolethIdP struct {
+	Institution string
+	passwords   map[string]string
+}
+
+// NewShibboleth creates a campus IdP.
+func NewShibboleth(institution string) *ShibbolethIdP {
+	return &ShibbolethIdP{Institution: institution, passwords: make(map[string]string)}
+}
+
+// Enroll registers a campus account.
+func (s *ShibbolethIdP) Enroll(user, password string) { s.passwords[user] = password }
+
+// Name implements IdP.
+func (s *ShibbolethIdP) Name() Provider { return Shibboleth }
+
+// Assert implements IdP.
+func (s *ShibbolethIdP) Assert(username, secret string) (Identity, error) {
+	if p, ok := s.passwords[username]; !ok || p != secret {
+		return Identity{}, fmt.Errorf("tukey: shibboleth assertion failed for %s", username)
+	}
+	return Identity{Provider: Shibboleth, Identifier: username + "@" + s.Institution}, nil
+}
+
+// OpenIDIdP asserts identifier URLs.
+type OpenIDIdP struct {
+	Realm   string
+	secrets map[string]string
+}
+
+// NewOpenID creates an OpenID provider.
+func NewOpenID(realm string) *OpenIDIdP {
+	return &OpenIDIdP{Realm: realm, secrets: make(map[string]string)}
+}
+
+// Enroll registers an account.
+func (o *OpenIDIdP) Enroll(user, secret string) { o.secrets[user] = secret }
+
+// Name implements IdP.
+func (o *OpenIDIdP) Name() Provider { return OpenID }
+
+// Assert implements IdP.
+func (o *OpenIDIdP) Assert(username, secret string) (Identity, error) {
+	if p, ok := o.secrets[username]; !ok || p != secret {
+		return Identity{}, fmt.Errorf("tukey: openid check failed for %s", username)
+	}
+	return Identity{Provider: OpenID, Identifier: o.Realm + "/" + username}, nil
+}
+
+// CloudCredential is one cloud's credential for a user, stored in the user
+// database keyed by federated identifier.
+type CloudCredential struct {
+	Cloud     string
+	AuthUser  string // the identity the cloud's native API expects
+	AuthToken string // opaque secret (unused by the simulated stacks)
+}
+
+// CloudConfig describes one attached cloud: its dialect and endpoint, the
+// "configuration file" of §5.2.
+type CloudConfig struct {
+	Name     string
+	Stack    string // "openstack" or "eucalyptus"
+	Endpoint string // base URL of the native API
+	// FlavorMap translates canonical (OpenStack) flavor names to this
+	// cloud's native names; identity if nil or missing.
+	FlavorMap map[string]string
+}
+
+// Middleware is the Tukey middleware: user DB + auth proxy + translation
+// proxies.
+type Middleware struct {
+	mu       sync.Mutex
+	idps     map[Provider]IdP
+	userDB   map[string][]CloudCredential // federated identifier -> creds
+	clouds   []CloudConfig
+	sessions map[string]Identity // token -> identity
+	nextTok  int
+	client   *http.Client
+
+	Logins       int64
+	LoginFails   int64
+	Translations int64
+}
+
+// NewMiddleware creates an empty middleware.
+func NewMiddleware() *Middleware {
+	return &Middleware{
+		idps:     make(map[Provider]IdP),
+		userDB:   make(map[string][]CloudCredential),
+		sessions: make(map[string]Identity),
+		client:   &http.Client{},
+	}
+}
+
+// RegisterIdP attaches an identity provider.
+func (m *Middleware) RegisterIdP(p IdP) { m.idps[p.Name()] = p }
+
+// AttachCloud registers a cloud stack.
+func (m *Middleware) AttachCloud(cfg CloudConfig) {
+	if cfg.Stack != "openstack" && cfg.Stack != "eucalyptus" {
+		panic("tukey: unsupported stack " + cfg.Stack)
+	}
+	m.clouds = append(m.clouds, cfg)
+}
+
+// Clouds returns the attached cloud names in order.
+func (m *Middleware) Clouds() []string {
+	var out []string
+	for _, c := range m.clouds {
+		out = append(out, c.Name)
+	}
+	return out
+}
+
+// GrantCredentials binds per-cloud credentials to a federated identifier.
+func (m *Middleware) GrantCredentials(identifier string, creds ...CloudCredential) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.userDB[identifier] = append(m.userDB[identifier], creds...)
+}
+
+// Login runs the auth-proxy flow: the IdP asserts the identifier, then the
+// proxy looks up the cloud credentials for it (§5.2). Returns a session
+// token.
+func (m *Middleware) Login(p Provider, username, secret string) (string, error) {
+	idp, ok := m.idps[p]
+	if !ok {
+		return "", fmt.Errorf("tukey: no identity provider %q", p)
+	}
+	id, err := idp.Assert(username, secret)
+	if err != nil {
+		m.LoginFails++
+		return "", err
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, ok := m.userDB[id.Identifier]; !ok {
+		m.LoginFails++
+		return "", fmt.Errorf("tukey: %s authenticated but has no OSDC account", id.Identifier)
+	}
+	m.nextTok++
+	tok := fmt.Sprintf("tukey-sess-%06d", m.nextTok)
+	m.sessions[tok] = id
+	m.Logins++
+	return tok, nil
+}
+
+// identityFor resolves a session token.
+func (m *Middleware) identityFor(token string) (Identity, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	id, ok := m.sessions[token]
+	return id, ok
+}
+
+// credsFor returns the user's credential for a cloud, if any.
+func (m *Middleware) credsFor(id Identity, cloud string) (CloudCredential, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for _, c := range m.userDB[id.Identifier] {
+		if c.Cloud == cloud {
+			return c, true
+		}
+	}
+	return CloudCredential{}, false
+}
+
+// TaggedServer is one VM in the aggregated OpenStack-format response,
+// tagged with its cloud name (§5.2: "tagged with the cloud name and
+// aggregated into a JSON response that matches the format of the OpenStack
+// API").
+type TaggedServer struct {
+	Cloud  string `json:"cloud"`
+	ID     string `json:"id"`
+	Name   string `json:"name"`
+	Status string `json:"status"`
+	Flavor string `json:"flavorRef"`
+}
+
+// ListServers fans out to every cloud the user holds credentials for,
+// translating per dialect, and aggregates.
+func (m *Middleware) ListServers(token string) ([]TaggedServer, error) {
+	id, ok := m.identityFor(token)
+	if !ok {
+		return nil, fmt.Errorf("tukey: invalid session")
+	}
+	var out []TaggedServer
+	for _, cfg := range m.clouds {
+		cred, ok := m.credsFor(id, cfg.Name)
+		if !ok {
+			continue
+		}
+		servers, err := m.listOne(cfg, cred)
+		if err != nil {
+			return nil, fmt.Errorf("tukey: cloud %s: %w", cfg.Name, err)
+		}
+		out = append(out, servers...)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Cloud != out[j].Cloud {
+			return out[i].Cloud < out[j].Cloud
+		}
+		return out[i].ID < out[j].ID
+	})
+	return out, nil
+}
+
+func (m *Middleware) listOne(cfg CloudConfig, cred CloudCredential) ([]TaggedServer, error) {
+	m.Translations++
+	switch cfg.Stack {
+	case "openstack":
+		req, err := http.NewRequest("GET", cfg.Endpoint+"/v2/servers", nil)
+		if err != nil {
+			return nil, err
+		}
+		req.Header.Set("X-Auth-User", cred.AuthUser)
+		resp, err := m.client.Do(req)
+		if err != nil {
+			return nil, err
+		}
+		defer resp.Body.Close()
+		var body struct {
+			Servers []struct {
+				ID     string `json:"id"`
+				Name   string `json:"name"`
+				Status string `json:"status"`
+				Flavor string `json:"flavorRef"`
+			} `json:"servers"`
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+			return nil, err
+		}
+		var out []TaggedServer
+		for _, s := range body.Servers {
+			out = append(out, TaggedServer{Cloud: cfg.Name, ID: s.ID, Name: s.Name,
+				Status: s.Status, Flavor: s.Flavor})
+		}
+		return out, nil
+
+	case "eucalyptus":
+		// Translate to EC2 DescribeInstances and re-shape the XML
+		// reservation set into the OpenStack list form.
+		u := fmt.Sprintf("%s/?Action=DescribeInstances&AWSAccessKeyId=%s",
+			cfg.Endpoint, url.QueryEscape(cred.AuthUser))
+		resp, err := m.client.Get(u)
+		if err != nil {
+			return nil, err
+		}
+		defer resp.Body.Close()
+		raw, err := io.ReadAll(resp.Body)
+		if err != nil {
+			return nil, err
+		}
+		var body struct {
+			Reservations []struct {
+				Items []struct {
+					InstanceID   string `xml:"instanceId"`
+					InstanceType string `xml:"instanceType"`
+					StateName    string `xml:"instanceState>name"`
+					KeyName      string `xml:"keyName"`
+				} `xml:"instancesSet>item"`
+			} `xml:"reservationSet>item"`
+		}
+		if err := xml.Unmarshal(raw, &body); err != nil {
+			return nil, err
+		}
+		var out []TaggedServer
+		for _, r := range body.Reservations {
+			for _, it := range r.Items {
+				out = append(out, TaggedServer{
+					Cloud: cfg.Name, ID: it.InstanceID, Name: it.KeyName,
+					Status: ec2ToOpenStackState(it.StateName), Flavor: it.InstanceType,
+				})
+			}
+		}
+		return out, nil
+	}
+	return nil, fmt.Errorf("tukey: unknown stack %q", cfg.Stack)
+}
+
+// ec2ToOpenStackState maps EC2 state names to OpenStack statuses — one of
+// the §5.2 "rules of the configuration file".
+func ec2ToOpenStackState(s string) string {
+	switch s {
+	case "pending":
+		return "BUILD"
+	case "running":
+		return "ACTIVE"
+	case "stopped":
+		return "SHUTOFF"
+	case "terminated":
+		return "TERMINATED"
+	default:
+		return strings.ToUpper(s)
+	}
+}
+
+// LaunchServer provisions a VM on a named cloud via the appropriate dialect
+// and returns the tagged server.
+func (m *Middleware) LaunchServer(token, cloud, name, flavor string) (*TaggedServer, error) {
+	id, ok := m.identityFor(token)
+	if !ok {
+		return nil, fmt.Errorf("tukey: invalid session")
+	}
+	var cfg *CloudConfig
+	for i := range m.clouds {
+		if m.clouds[i].Name == cloud {
+			cfg = &m.clouds[i]
+		}
+	}
+	if cfg == nil {
+		return nil, fmt.Errorf("tukey: unknown cloud %q", cloud)
+	}
+	cred, ok := m.credsFor(id, cloud)
+	if !ok {
+		return nil, fmt.Errorf("tukey: no credentials on %s for %s", cloud, id.Identifier)
+	}
+	native := flavor
+	if cfg.FlavorMap != nil {
+		if f, ok := cfg.FlavorMap[flavor]; ok {
+			native = f
+		}
+	}
+	m.Translations++
+	switch cfg.Stack {
+	case "openstack":
+		payload := fmt.Sprintf(`{"server":{"name":%q,"flavorRef":%q}}`, name, native)
+		req, err := http.NewRequest("POST", cfg.Endpoint+"/v2/servers", strings.NewReader(payload))
+		if err != nil {
+			return nil, err
+		}
+		req.Header.Set("X-Auth-User", cred.AuthUser)
+		resp, err := m.client.Do(req)
+		if err != nil {
+			return nil, err
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusAccepted {
+			msg, _ := io.ReadAll(resp.Body)
+			return nil, fmt.Errorf("tukey: %s rejected launch (%d): %s", cloud, resp.StatusCode, msg)
+		}
+		var body struct {
+			Server struct {
+				ID     string `json:"id"`
+				Status string `json:"status"`
+			} `json:"server"`
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+			return nil, err
+		}
+		return &TaggedServer{Cloud: cloud, ID: body.Server.ID, Name: name,
+			Status: body.Server.Status, Flavor: native}, nil
+
+	case "eucalyptus":
+		u := fmt.Sprintf("%s/?Action=RunInstances&AWSAccessKeyId=%s&InstanceType=%s&KeyName=%s",
+			cfg.Endpoint, url.QueryEscape(cred.AuthUser), url.QueryEscape(native), url.QueryEscape(name))
+		resp, err := m.client.Get(u)
+		if err != nil {
+			return nil, err
+		}
+		defer resp.Body.Close()
+		raw, err := io.ReadAll(resp.Body)
+		if err != nil {
+			return nil, err
+		}
+		if resp.StatusCode != http.StatusOK {
+			return nil, fmt.Errorf("tukey: %s rejected launch (%d): %s", cloud, resp.StatusCode, raw)
+		}
+		var body struct {
+			Items []struct {
+				InstanceID string `xml:"instanceId"`
+				StateName  string `xml:"instanceState>name"`
+			} `xml:"instancesSet>item"`
+		}
+		if err := xml.Unmarshal(raw, &body); err != nil {
+			return nil, err
+		}
+		if len(body.Items) == 0 {
+			return nil, fmt.Errorf("tukey: empty RunInstances response from %s", cloud)
+		}
+		return &TaggedServer{Cloud: cloud, ID: body.Items[0].InstanceID, Name: name,
+			Status: ec2ToOpenStackState(body.Items[0].StateName), Flavor: native}, nil
+	}
+	return nil, fmt.Errorf("tukey: unknown stack %q", cfg.Stack)
+}
+
+// TerminateServer releases a VM on a named cloud.
+func (m *Middleware) TerminateServer(token, cloud, id string) error {
+	ident, ok := m.identityFor(token)
+	if !ok {
+		return fmt.Errorf("tukey: invalid session")
+	}
+	var cfg *CloudConfig
+	for i := range m.clouds {
+		if m.clouds[i].Name == cloud {
+			cfg = &m.clouds[i]
+		}
+	}
+	if cfg == nil {
+		return fmt.Errorf("tukey: unknown cloud %q", cloud)
+	}
+	cred, ok := m.credsFor(ident, cloud)
+	if !ok {
+		return fmt.Errorf("tukey: no credentials on %s", cloud)
+	}
+	m.Translations++
+	switch cfg.Stack {
+	case "openstack":
+		req, err := http.NewRequest("DELETE", cfg.Endpoint+"/v2/servers/"+id, nil)
+		if err != nil {
+			return err
+		}
+		req.Header.Set("X-Auth-User", cred.AuthUser)
+		resp, err := m.client.Do(req)
+		if err != nil {
+			return err
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusNoContent {
+			return fmt.Errorf("tukey: terminate on %s returned %d", cloud, resp.StatusCode)
+		}
+		return nil
+	case "eucalyptus":
+		u := fmt.Sprintf("%s/?Action=TerminateInstances&AWSAccessKeyId=%s&InstanceId.1=%s",
+			cfg.Endpoint, url.QueryEscape(cred.AuthUser), url.QueryEscape(id))
+		resp, err := m.client.Get(u)
+		if err != nil {
+			return err
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			return fmt.Errorf("tukey: terminate on %s returned %d", cloud, resp.StatusCode)
+		}
+		return nil
+	}
+	return fmt.Errorf("tukey: unknown stack")
+}

@@ -1,0 +1,194 @@
+package udr
+
+import (
+	"fmt"
+	"sort"
+
+	"osdc/internal/cipher"
+	"osdc/internal/sim"
+	"osdc/internal/simdisk"
+	"osdc/internal/tcpmodel"
+	"osdc/internal/transport"
+	"osdc/internal/udt"
+)
+
+// Tool selects the transfer engine: UDR (rsync interface over UDT) or plain
+// rsync (over TCP; over ssh when a cipher is configured).
+type Tool string
+
+// The two tools compared in Table 3.
+const (
+	ToolUDR   Tool = "udr"
+	ToolRsync Tool = "rsync"
+)
+
+// Host-side calibration constants for the paper's testbed (2012 Xeon-class
+// servers; see DESIGN.md "Substitutions").
+const (
+	// UDRSenderCPUBps is UDR's single-stream UDP send-path throughput:
+	// per-packet syscall and checksum cost bound a 2012 host near
+	// 750 Mbit/s regardless of the 10G NIC.
+	UDRSenderCPUBps = 753e6
+	// RsyncSocketBufBytes is the effective TCP window with 2012 default
+	// socket-buffer tuning; on a 104 ms path it caps TCP near 405 Mbit/s.
+	RsyncSocketBufBytes = 5_270_000
+	// SSHWindowBytes is the ssh channel flow-control window that caps all
+	// encrypted rsync runs near 280 Mbit/s on a 104 ms path, regardless of
+	// cipher.
+	SSHWindowBytes = 3_640_000
+)
+
+// Config describes one row of Table 3.
+type Config struct {
+	Tool   Tool
+	Cipher cipher.Name
+}
+
+func (c Config) String() string {
+	if c.Cipher == cipher.None {
+		return fmt.Sprintf("%s (no encryption)", c.Tool)
+	}
+	return fmt.Sprintf("%s (%s)", c.Tool, c.Cipher)
+}
+
+// Table3Configs returns the five tool/cipher combinations of Table 3, in
+// the paper's row order.
+func Table3Configs() []Config {
+	return []Config{
+		{ToolUDR, cipher.None},
+		{ToolRsync, cipher.None},
+		{ToolUDR, cipher.Blowfish},
+		{ToolRsync, cipher.Blowfish},
+		{ToolRsync, cipher.TripleDES},
+	}
+}
+
+// caps builds the pipeline caps for a configuration against the paper's
+// disks.
+func (c Config) caps() transport.Caps {
+	caps := transport.Caps{
+		DiskReadBps:  simdisk.PaperSourceReadBps,
+		DiskWriteBps: simdisk.PaperTargetWriteBps,
+	}
+	impl := cipher.ImplSSH
+	if c.Tool == ToolUDR {
+		impl = cipher.ImplUDR
+		caps.SenderBps = UDRSenderCPUBps
+	}
+	if cbps := cipher.ThroughputBps(c.Cipher, impl); cbps > 0 {
+		if caps.SenderBps == 0 || cbps < caps.SenderBps {
+			caps.SenderBps = cbps
+		}
+	}
+	return caps
+}
+
+// controller builds the congestion controller for a configuration.
+func (c Config) controller(path transport.Path) transport.Controller {
+	if c.Tool == ToolUDR {
+		return udt.NewRateControl(path)
+	}
+	window := RsyncSocketBufBytes
+	if c.Cipher != cipher.None {
+		window = SSHWindowBytes // rsync tunnels through ssh when encrypting
+	}
+	return tcpmodel.NewReno(path, window)
+}
+
+// Transfer simulates moving totalBytes over path with this configuration
+// and returns the result plus the caps used (for LLR computation).
+func Transfer(rng *sim.RNG, cfg Config, path transport.Path, totalBytes int64) (transport.Result, transport.Caps) {
+	caps := cfg.caps()
+	ctrl := cfg.controller(path)
+	res := transport.Simulate(rng, path, ctrl, totalBytes, caps)
+	res.Protocol = cfg.String()
+	return res, caps
+}
+
+// --- rsync-interface file synchronization ---
+
+// FileSet is an in-memory file tree: path → contents.
+type FileSet map[string][]byte
+
+// Paths returns the sorted paths.
+func (fs FileSet) Paths() []string {
+	out := make([]string, 0, len(fs))
+	for p := range fs {
+		out = append(out, p)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// TotalBytes sums all file sizes.
+func (fs FileSet) TotalBytes() int64 {
+	var n int64
+	for _, b := range fs {
+		n += int64(len(b))
+	}
+	return n
+}
+
+// SyncPlan describes what a sync must move: per-file wire bytes, computed
+// with the rsync delta algorithm against the destination's current state.
+type SyncPlan struct {
+	Files     []FileSync
+	WireBytes int64
+}
+
+// FileSync is the plan for one file.
+type FileSync struct {
+	Path      string
+	Wire      int64 // bytes on the wire
+	Delta     bool  // true if delta-encoded against an existing copy
+	Unchanged bool  // true if already identical (only a signature exchange)
+}
+
+// PlanSync computes the rsync transfer plan from src to dst and mutates dst
+// to match src (the actual sync). Files present only in dst are left alone,
+// as with rsync without --delete.
+func PlanSync(src, dst FileSet, blockSize int) (SyncPlan, error) {
+	if blockSize <= 0 {
+		blockSize = DefaultBlockSize
+	}
+	var plan SyncPlan
+	for _, path := range src.Paths() {
+		data := src[path]
+		old, exists := dst[path]
+		fsync := FileSync{Path: path}
+		switch {
+		case !exists:
+			// Whole file travels.
+			fsync.Wire = int64(len(data))
+			dst[path] = append([]byte(nil), data...)
+		default:
+			sigs := Signatures(old, blockSize)
+			delta := ComputeDelta(sigs, blockSize, data)
+			rebuilt, err := Apply(old, delta)
+			if err != nil {
+				return SyncPlan{}, fmt.Errorf("sync %s: %w", path, err)
+			}
+			dst[path] = rebuilt
+			fsync.Delta = true
+			fsync.Wire = delta.WireSize() + int64(len(sigs))*20 // sigs travel dst→src
+			fsync.Unchanged = delta.LiteralBytes() == 0
+		}
+		plan.WireBytes += fsync.Wire
+		plan.Files = append(plan.Files, fsync)
+	}
+	return plan, nil
+}
+
+// SyncOver plans a sync and simulates moving its wire bytes with cfg over
+// path. dst is mutated to match src.
+func SyncOver(rng *sim.RNG, cfg Config, path transport.Path, src, dst FileSet) (SyncPlan, transport.Result, error) {
+	plan, err := PlanSync(src, dst, DefaultBlockSize)
+	if err != nil {
+		return plan, transport.Result{}, err
+	}
+	if plan.WireBytes == 0 {
+		return plan, transport.Result{Protocol: cfg.String()}, nil
+	}
+	res, _ := Transfer(rng, cfg, path, plan.WireBytes)
+	return plan, res, nil
+}

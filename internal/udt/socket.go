@@ -1,0 +1,367 @@
+package udt
+
+import (
+	"fmt"
+
+	"osdc/internal/sim"
+	"osdc/internal/simnet"
+	"osdc/internal/transport"
+)
+
+// Packet-level UDT over simnet. One Sender/Receiver pair per transfer; the
+// wire protocol carries three control packet types (ACK, NAK, DONE) plus
+// data packets, mirroring UDT's design: receiver-driven selective NAKs for
+// loss reporting, periodic cumulative ACKs, and sender-side pacing from the
+// DAIMD rate controller.
+
+const (
+	ctlHeader = 16 // bytes of header per packet, data or control
+)
+
+type dataPayload struct {
+	seq   int64
+	off   int64 // byte offset of this chunk in the stream
+	total int64 // total packets in the transfer (so the receiver can finish)
+	data  []byte
+	sess  string
+}
+
+type ackPayload struct {
+	cumulative int64 // all packets < cumulative received
+	sess       string
+}
+
+type nakPayload struct {
+	missing []int64
+	sess    string
+}
+
+type donePayload struct{ sess string }
+
+// Stats collects transfer-level counters for assertions and reports.
+type Stats struct {
+	DataSent    int64
+	Retransmits int64
+	AcksSent    int64
+	NaksSent    int64
+	RateDecs    int64
+}
+
+// Sender streams a byte slice to a Receiver over the network.
+type Sender struct {
+	nw      *simnet.Network
+	e       *sim.Engine
+	src     string
+	dst     string
+	sess    string
+	mss     int
+	data    []byte
+	total   int64
+	next    int64 // next fresh sequence to send
+	acked   int64 // cumulative ack point
+	rc      *RateControl
+	lossQ   []int64 // sequences NAK'd, to retransmit first
+	inLossQ map[int64]bool
+	// Congestion-epoch tracking: only one rate decrease per window of data,
+	// as in UDT.
+	lastDecSeq int64
+	stats      Stats
+	finished   bool
+	onDone     func(*Stats)
+	started    sim.Time
+	Done       sim.Time
+	sending    bool
+}
+
+// Receiver reassembles the byte stream and reports loss via NAKs.
+type Receiver struct {
+	nw       *simnet.Network
+	e        *sim.Engine
+	node     string
+	peer     string
+	sess     string
+	buf      []byte
+	got      map[int64]bool
+	expected int64 // lowest sequence not yet received
+	maxSeen  int64 // highest sequence received so far
+	total    int64 // learned from data packets; -1 until known
+	stats    *Stats
+	finished bool
+	ackTick  *sim.Ticker
+	nakTick  *sim.Ticker
+}
+
+// proto returns the simnet protocol key for a session at a node.
+func proto(sess string) string { return "udt:" + sess }
+
+// Transfer starts a packet-level UDT transfer of data from src to dst and
+// returns the sender. onDone (may be nil) fires when the receiver has every
+// byte and the sender has been notified.
+func Transfer(nw *simnet.Network, src, dst, sess string, data []byte, onDone func(*Stats)) (*Sender, *Receiver) {
+	if len(data) == 0 {
+		panic("udt: empty transfer")
+	}
+	path := transport.PathBetween(nw, src, dst)
+	mss := path.MSS - ctlHeader
+	total := int64((len(data) + mss - 1) / mss)
+	s := &Sender{
+		nw: nw, e: nw.Engine, src: src, dst: dst, sess: sess, mss: mss,
+		data: data, total: total, rc: NewRateControl(path),
+		inLossQ: make(map[int64]bool), onDone: onDone,
+		lastDecSeq: -1, started: nw.Engine.Now(),
+	}
+	r := &Receiver{
+		nw: nw, e: nw.Engine, node: dst, peer: src, sess: sess,
+		buf: make([]byte, len(data)), got: make(map[int64]bool),
+		maxSeen: -1, total: total, stats: &s.stats,
+	}
+	nw.Node(dst).Handle(proto(sess), r.onPacket)
+	nw.Node(src).Handle(proto(sess)+":ctl", s.onControl)
+
+	// Receiver timers: ACK every SYN; NAK sweep for stale holes every 4×SYN.
+	r.ackTick = nw.Engine.Every(SYN, r.sendAck)
+	r.nakTick = nw.Engine.Every(4*SYN, r.sweepHoles)
+
+	// Sender control loop: one rate-control step per SYN.
+	var synTick *sim.Ticker
+	synTick = nw.Engine.Every(SYN, func() {
+		if s.finished {
+			synTick.Stop()
+			return
+		}
+		s.rc.OnInterval(false) // NAK-driven decreases happen in onControl
+	})
+	// Expiry timer (UDT's EXP event): if every fresh packet has been sent
+	// but the ACK point is stuck — tail loss the receiver cannot NAK, or a
+	// lost DONE — retransmit from the ACK point.
+	lastAcked := int64(-1)
+	var expTick *sim.Ticker
+	expTick = nw.Engine.Every(16*SYN, func() {
+		if s.finished {
+			expTick.Stop()
+			return
+		}
+		if s.next >= s.total && len(s.lossQ) == 0 && s.acked == lastAcked {
+			for seq := s.acked; seq < s.total && len(s.lossQ) < 64; seq++ {
+				if !s.inLossQ[seq] {
+					s.inLossQ[seq] = true
+					s.lossQ = append(s.lossQ, seq)
+				}
+			}
+			s.pump()
+		}
+		lastAcked = s.acked
+	})
+	s.pump()
+	return s, r
+}
+
+// Stats returns a snapshot of the transfer counters.
+func (s *Sender) Stats() Stats {
+	st := s.stats
+	st.RateDecs = s.rc.decreases
+	return st
+}
+
+// pump paces data packets at the controller rate, preferring NAK'd
+// sequences.
+func (s *Sender) pump() {
+	if s.finished || s.sending {
+		return
+	}
+	seq, ok := s.nextSeq()
+	if !ok {
+		// Nothing to send right now; NAKs or the final ACK will wake us.
+		return
+	}
+	s.sending = true
+	s.sendData(seq)
+	period := 1.0 / s.rc.RatePps()
+	s.e.After(period, func() {
+		s.sending = false
+		s.pump()
+	})
+}
+
+func (s *Sender) nextSeq() (int64, bool) {
+	for len(s.lossQ) > 0 {
+		seq := s.lossQ[0]
+		s.lossQ = s.lossQ[1:]
+		delete(s.inLossQ, seq)
+		if seq >= s.acked {
+			s.stats.Retransmits++
+			return seq, true
+		}
+	}
+	if s.next < s.total {
+		seq := s.next
+		s.next++
+		return seq, true
+	}
+	return 0, false
+}
+
+func (s *Sender) sendData(seq int64) {
+	lo := seq * int64(s.mss)
+	hi := lo + int64(s.mss)
+	if hi > int64(len(s.data)) {
+		hi = int64(len(s.data))
+	}
+	s.stats.DataSent++
+	s.nw.Send(&simnet.Packet{
+		Src: s.src, Dst: s.dst, Proto: proto(s.sess), Seq: seq,
+		Size:    int(hi-lo) + ctlHeader,
+		Payload: dataPayload{seq: seq, off: lo, total: s.total, data: s.data[lo:hi], sess: s.sess},
+	})
+}
+
+func (s *Sender) onControl(pkt *simnet.Packet) {
+	switch p := pkt.Payload.(type) {
+	case ackPayload:
+		if p.cumulative > s.acked {
+			s.acked = p.cumulative
+		}
+	case nakPayload:
+		// One rate decrease per congestion epoch: only if this NAK reports a
+		// sequence beyond the last decrease point.
+		maxSeq := int64(-1)
+		for _, seq := range p.missing {
+			if seq > maxSeq {
+				maxSeq = seq
+			}
+			if seq >= s.acked && !s.inLossQ[seq] {
+				s.inLossQ[seq] = true
+				s.lossQ = append(s.lossQ, seq)
+			}
+		}
+		if maxSeq > s.lastDecSeq {
+			s.rc.OnInterval(true)
+			s.lastDecSeq = s.next - 1
+		}
+		s.pump()
+	case donePayload:
+		s.finish()
+	}
+}
+
+func (s *Sender) finish() {
+	if s.finished {
+		return
+	}
+	s.finished = true
+	s.Done = s.e.Now()
+	if s.onDone != nil {
+		st := s.Stats()
+		s.onDone(&st)
+	}
+}
+
+// ThroughputBps returns the average goodput; valid after completion.
+func (s *Sender) ThroughputBps() float64 {
+	d := float64(s.Done - s.started)
+	if d <= 0 {
+		return 0
+	}
+	return float64(len(s.data)) * 8 / d
+}
+
+func (r *Receiver) onPacket(pkt *simnet.Packet) {
+	p, ok := pkt.Payload.(dataPayload)
+	if !ok || r.finished {
+		return
+	}
+	if r.total < 0 {
+		r.total = p.total
+	}
+	if !r.got[p.seq] {
+		r.got[p.seq] = true
+		copy(r.buf[p.off:], p.data)
+	}
+	if p.seq > r.maxSeen {
+		r.maxSeen = p.seq
+	}
+	// Immediate NAK when a gap opens: packets between expected and seq-1
+	// missing and seq jumped ahead.
+	if p.seq > r.expected {
+		var missing []int64
+		for q := r.expected; q < p.seq && len(missing) < 256; q++ {
+			if !r.got[q] {
+				missing = append(missing, q)
+			}
+		}
+		if len(missing) > 0 {
+			r.sendNak(missing)
+		}
+	}
+	for r.got[r.expected] {
+		r.expected++
+	}
+	if r.complete() {
+		r.finish()
+	}
+}
+
+func (r *Receiver) complete() bool {
+	return r.total >= 0 && r.expected >= r.total
+}
+
+// Data returns the reassembled bytes; valid after completion.
+func (r *Receiver) Data() []byte { return r.buf }
+
+// Finished reports whether every packet arrived.
+func (r *Receiver) Finished() bool { return r.finished }
+
+func (r *Receiver) sendAck( /* every SYN */ ) {
+	if r.finished {
+		return
+	}
+	r.stats.AcksSent++
+	r.nw.Send(&simnet.Packet{
+		Src: r.node, Dst: r.peer, Proto: proto(r.sess) + ":ctl",
+		Size: ctlHeader, Payload: ackPayload{cumulative: r.expected, sess: r.sess},
+	})
+}
+
+// sweepHoles re-reports long-standing holes below the highest sequence seen,
+// covering lost NAKs. Packets above maxSeen may simply not have been sent
+// yet, so they are never NAK'd here; losses at the very tail are recovered
+// by the sender's expiry timer.
+func (r *Receiver) sweepHoles() {
+	if r.finished || r.total < 0 {
+		return
+	}
+	var missing []int64
+	for q := r.expected; q <= r.maxSeen && len(missing) < 256; q++ {
+		if !r.got[q] {
+			missing = append(missing, q)
+		}
+	}
+	if len(missing) > 0 {
+		r.sendNak(missing)
+	}
+}
+
+func (r *Receiver) sendNak(missing []int64) {
+	r.stats.NaksSent++
+	r.nw.Send(&simnet.Packet{
+		Src: r.node, Dst: r.peer, Proto: proto(r.sess) + ":ctl",
+		Size: ctlHeader + 4*len(missing), Payload: nakPayload{missing: missing, sess: r.sess},
+	})
+}
+
+func (r *Receiver) finish() {
+	r.finished = true
+	r.ackTick.Stop()
+	r.nakTick.Stop()
+	// Tell the sender we are done; repeat a few times in case of loss.
+	for i := 0; i < 3; i++ {
+		r.nw.Send(&simnet.Packet{
+			Src: r.node, Dst: r.peer, Proto: proto(r.sess) + ":ctl",
+			Size: ctlHeader, Payload: donePayload{sess: r.sess},
+		})
+	}
+}
+
+func (r *Receiver) String() string {
+	return fmt.Sprintf("udt-recv[%s] expected=%d total=%d", r.sess, r.expected, r.total)
+}
