@@ -1,54 +1,68 @@
 package osdc
 
-// One benchmark per table and figure in the paper's evaluation, plus the
-// §6.4/§7.3/§9.1 operational claims. Run with:
+// Repository-root benchmarks. BenchmarkScenarios drives every registered
+// scenario through the registry — one sub-benchmark per experiment, custom
+// metrics carrying the paper-comparable numbers — so a new scenario gets a
+// benchmark for free. The remaining benchmarks are the micro-level pieces
+// the scenarios are built from (the rsync delta engine, the real ciphers,
+// per-config Table 3 transfers, a month of metering). Run with:
 //
 //	go test -bench=. -benchmem
-//
-// Reported custom metrics carry the paper-comparable numbers (mbit/s, LLR,
-// crossover utilization, ...). cmd/osdc-bench prints the same results as
-// formatted tables.
 
 import (
+	"strings"
 	"testing"
 
 	"osdc/internal/billing"
 	"osdc/internal/cipher"
 	"osdc/internal/experiments"
 	"osdc/internal/iaas"
+	"osdc/internal/scenario"
 	"osdc/internal/sim"
 	"osdc/internal/udr"
 )
 
-// BenchmarkTable1FlowCharacterization regenerates Table 1's commercial-vs-
-// science traffic contrast.
-func BenchmarkTable1FlowCharacterization(b *testing.B) {
-	var r experiments.Table1Result
-	for i := 0; i < b.N; i++ {
-		r = experiments.Table1(uint64(i) + 1)
+// BenchmarkScenarios regenerates every table and figure via the registry,
+// reporting each scenario's metrics from the last iteration.
+func BenchmarkScenarios(b *testing.B) {
+	for _, s := range scenario.All() {
+		b.Run(s.Name(), func(b *testing.B) {
+			var last scenario.Result
+			for i := 0; i < b.N; i++ {
+				var err error
+				last, err = s.Run(uint64(i) + 1)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			if len(last.Metrics) == 0 {
+				b.Fatalf("%s returned no metrics", s.Name())
+			}
+			for _, k := range last.MetricNames() {
+				// ReportMetric rejects units containing whitespace; metric
+				// keys like "mbit-108GB[udr (no encryption)]" carry spaces.
+				b.ReportMetric(last.Metrics[k], strings.ReplaceAll(k, " ", "_"))
+			}
+		})
 	}
-	b.ReportMetric(float64(r.Web.MedianBytes), "web-median-bytes")
-	b.ReportMetric(float64(r.Science.MedianBytes)/(1<<30), "science-median-GB")
-	b.ReportMetric(100*r.Science.ElephantShare, "science-elephant-%")
 }
 
-// BenchmarkTable2ResourceInventory regenerates Table 2 by building the
-// federation and summing its inventory.
-func BenchmarkTable2ResourceInventory(b *testing.B) {
-	var cores int
-	var disk int64
+// BenchmarkScenarioSweep measures the multi-seed runner itself: 16 seeds of
+// the provisioning scenario fanned over the worker pool.
+func BenchmarkScenarioSweep(b *testing.B) {
+	s, ok := scenario.Get("provision")
+	if !ok {
+		b.Fatal("provision scenario not registered")
+	}
 	for i := 0; i < b.N; i++ {
-		rows, c, d, err := experiments.Table2(uint64(i) + 1)
+		sr, err := scenario.Sweep(s, scenario.Seeds(uint64(i)+1, 16), 0)
 		if err != nil {
 			b.Fatal(err)
 		}
-		if len(rows) != 4 {
-			b.Fatal("inventory rows")
+		if len(sr.Metrics) == 0 {
+			b.Fatal("sweep produced no aggregates")
 		}
-		cores, disk = c, d
 	}
-	b.ReportMetric(float64(cores), "cores")
-	b.ReportMetric(float64(disk), "disk-TB")
 }
 
 // BenchmarkTable3Transfers regenerates the headline Table 3: one
@@ -110,47 +124,6 @@ func BenchmarkCipherThroughput(b *testing.B) {
 			}
 		})
 	}
-}
-
-// BenchmarkFigure2MatsuPipeline regenerates Figure 2: synthesize a
-// Hyperion-like scene, calibrate L0→L1, tile, detect floods on the
-// OCC-Matsu MapReduce cluster.
-func BenchmarkFigure2MatsuPipeline(b *testing.B) {
-	var r experiments.Figure2Result
-	for i := 0; i < b.N; i++ {
-		var err error
-		r, err = experiments.Figure2(uint64(i)+5, 256, 256)
-		if err != nil {
-			b.Fatal(err)
-		}
-		if r.FloodTiles == 0 {
-			b.Fatal("no flood detected over Namibia scene")
-		}
-	}
-	b.ReportMetric(float64(r.FloodTiles), "flood-tiles")
-	b.ReportMetric(r.FloodKm2, "flood-km2")
-	b.ReportMetric(100*r.Locality, "map-locality-%")
-}
-
-// BenchmarkSection9CostCrossover regenerates the §9.1 sweep.
-func BenchmarkSection9CostCrossover(b *testing.B) {
-	var r experiments.CostSweepResult
-	for i := 0; i < b.N; i++ {
-		r = experiments.CostSweep()
-	}
-	b.ReportMetric(100*r.Crossover, "crossover-%util")
-}
-
-// BenchmarkSection73Provisioning regenerates the §7.3 manual-vs-automated
-// rack comparison.
-func BenchmarkSection73Provisioning(b *testing.B) {
-	var r experiments.ProvisionResult
-	for i := 0; i < b.N; i++ {
-		r = experiments.Provisioning(uint64(i) + 3)
-	}
-	b.ReportMetric(r.AutomatedDur/3600, "automated-hours")
-	b.ReportMetric(r.ManualDur/86400, "manual-days")
-	b.ReportMetric(r.Speedup, "speedup-x")
 }
 
 // BenchmarkSection64Billing simulates a month of per-minute metering over

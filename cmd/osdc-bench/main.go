@@ -1,189 +1,123 @@
-// Command osdc-bench regenerates every table and figure from the paper's
-// evaluation and prints them in the paper's format.
+// Command osdc-bench runs the paper's evaluation scenarios through the
+// scenario registry and prints them in the paper's format.
 //
 // Usage:
 //
-//	osdc-bench [-exp all|table1|table2|table3|fig1|fig2|fig3|cost|provision|ciphers] [-seed N]
+//	osdc-bench [-exp all|<name>] [-seed N] [-seeds N] [-parallel N] [-json] [-list]
+//
+// With -seeds 1 (the default) each scenario runs once and prints its
+// paper-style table. With -seeds N > 1 the seeds fan out over a worker
+// pool (-parallel, default NumCPU) and the per-metric mean/std/min/max
+// aggregates are printed instead. -json emits the same results as JSON;
+// -list enumerates the registered scenarios.
+//
+// Experiments live in internal/experiments and self-register into
+// internal/scenario; adding a scenario there makes it appear here with no
+// changes to this file.
 package main
 
 import (
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
-	"net/http"
-	"net/http/httptest"
+	"io"
 	"os"
 	"strings"
 
-	"osdc/internal/core"
-	"osdc/internal/experiments"
-	"osdc/internal/iaas"
-	"osdc/internal/sim"
-	"osdc/internal/tukey"
+	_ "osdc/internal/experiments" // populate the scenario registry
+	"osdc/internal/scenario"
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run")
-	seed := flag.Uint64("seed", 2012, "simulation seed")
-	flag.Parse()
-
-	run := func(name string, fn func() error) {
-		if *exp != "all" && *exp != name {
-			return
-		}
-		fmt.Printf("══ %s ══\n", header(name))
-		if err := fn(); err != nil {
-			fmt.Fprintf(os.Stderr, "%s: %v\n", name, err)
-			os.Exit(1)
-		}
-		fmt.Println()
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintf(os.Stderr, "osdc-bench: %v\n", err)
+		os.Exit(1)
 	}
-
-	run("table1", func() error {
-		fmt.Print(experiments.FormatTable1(experiments.Table1(*seed)))
-		return nil
-	})
-	run("table2", func() error {
-		rows, cores, disk, err := experiments.Table2(*seed)
-		if err != nil {
-			return err
-		}
-		fmt.Print(experiments.FormatTable2(rows, cores, disk))
-		return nil
-	})
-	run("table3", func() error {
-		fmt.Println("measured (this reproduction):")
-		fmt.Print(experiments.FormatTable3(experiments.Table3(*seed)))
-		fmt.Println("\npaper (Grossman et al. 2012, Table 3):")
-		fmt.Print(experiments.FormatTable3(experiments.PaperTable3()))
-		return nil
-	})
-	run("fig1", runFigure1)
-	run("fig2", func() error {
-		r, err := experiments.Figure2(*seed, 256, 256)
-		if err != nil {
-			return err
-		}
-		fmt.Printf("EO-1 Hyperion tiles over Namibia (≈ flood, ^ fire, . clear):\n%s", r.TileMap)
-		fmt.Printf("flooded tiles: %d/%d (%.2f km²), alerts: %d\n",
-			r.FloodTiles, r.TotalTiles, r.FloodKm2, r.Alerts)
-		fmt.Printf("mapreduce job: %v on OCC-Matsu, %.0f%% data-local maps\n",
-			sim.Time(r.JobDuration), 100*r.Locality)
-		return nil
-	})
-	run("fig3", func() error {
-		out, err := experiments.Figure3(*seed)
-		if err != nil {
-			return err
-		}
-		fmt.Print(out)
-		return nil
-	})
-	run("cost", func() error {
-		fmt.Print(experiments.FormatCostSweep(experiments.CostSweep()))
-		return nil
-	})
-	run("provision", func() error {
-		fmt.Print(experiments.FormatProvisioning(experiments.Provisioning(*seed)))
-		return nil
-	})
-	run("ciphers", func() error {
-		out, err := experiments.CipherSanity()
-		if err != nil {
-			return err
-		}
-		fmt.Print(out)
-		return nil
-	})
 }
 
-func header(name string) string {
-	titles := map[string]string{
-		"table1":    "Table 1 — Commercial vs Science CSPs",
-		"table2":    "Table 2 — OCC resource inventory",
-		"table3":    "Table 3 — UDR vs rsync, Chicago↔LVOC (104 ms RTT)",
-		"fig1":      "Figure 1 — Tukey end to end (live HTTP)",
-		"fig2":      "Figure 2 — Project Matsu flood detection",
-		"fig3":      "Figure 3 — OSDC cluster topology",
-		"cost":      "§9.1 — OSDC rack vs AWS utilization sweep",
-		"provision": "§7.3 — bare metal to cloud",
-		"ciphers":   "Cipher self-test",
-	}
-	if t, ok := titles[name]; ok {
-		return t
-	}
-	return name
+// singleResult is the JSON form of one scenario × one seed.
+type singleResult struct {
+	Scenario string `json:"scenario"`
+	Seed     uint64 `json:"seed"`
+	scenario.Result
 }
 
-// runFigure1 performs the Figure 1 walk with live HTTP servers and prints
-// each hop.
-func runFigure1() error {
-	f, err := core.New(core.Options{Seed: 42, Scale: 8})
-	if err != nil {
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("osdc-bench", flag.ContinueOnError)
+	// Parse errors surface once, via main's error print; only an explicit
+	// -h/-help gets the usage block, on stdout, so -json output stays
+	// pipeable.
+	fs.SetOutput(io.Discard)
+	exp := fs.String("exp", "all", "scenario to run, or 'all'")
+	seed := fs.Uint64("seed", 2012, "base simulation seed")
+	seeds := fs.Int("seeds", 1, "number of consecutive seeds to sweep")
+	parallel := fs.Int("parallel", 0, "sweep workers (0 = NumCPU)")
+	asJSON := fs.Bool("json", false, "emit JSON instead of formatted tables")
+	list := fs.Bool("list", false, "list registered scenarios and exit")
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			fs.SetOutput(stdout)
+			fs.Usage()
+			return nil
+		}
 		return err
 	}
-	novaSrv := httptest.NewServer(&iaas.NovaAPI{Cloud: f.Adler})
-	defer novaSrv.Close()
-	eucaSrv := httptest.NewServer(&iaas.EucaAPI{Cloud: f.Sullivan})
-	defer eucaSrv.Close()
-	f.Tukey.AttachCloud(tukey.CloudConfig{Name: core.ClusterAdler, Stack: "openstack", Endpoint: novaSrv.URL})
-	f.Tukey.AttachCloud(tukey.CloudConfig{Name: core.ClusterSullivan, Stack: "eucalyptus", Endpoint: eucaSrv.URL})
-	console := httptest.NewServer(&tukey.Console{MW: f.Tukey, Biller: f.Biller, Catalog: f.Catalog})
-	defer console.Close()
 
-	f.EnrollResearcher("demo", "demo-pw")
-	f.Adler.SetQuota("demo", iaas.Quota{MaxInstances: 10, MaxCores: 64})
-	f.Sullivan.SetQuota("demo", iaas.Quota{MaxInstances: 10, MaxCores: 64})
+	if *list {
+		for _, s := range scenario.All() {
+			fmt.Fprintf(stdout, "%-16s %s\n", s.Name(), s.Describe())
+		}
+		return nil
+	}
+	if *seeds < 1 {
+		return fmt.Errorf("-seeds must be >= 1, got %d", *seeds)
+	}
 
-	resp, err := http.Post(console.URL+"/login", "application/json",
-		strings.NewReader(`{"provider":"shibboleth","username":"demo","secret":"demo-pw"}`))
-	if err != nil {
-		return err
+	var selected []scenario.Scenario
+	if *exp == "all" {
+		selected = scenario.All()
+	} else {
+		s, ok := scenario.Get(*exp)
+		if !ok {
+			return fmt.Errorf("unknown scenario %q (have: %s)", *exp, strings.Join(scenario.Names(), ", "))
+		}
+		selected = []scenario.Scenario{s}
 	}
-	var login struct {
-		Token string `json:"token"`
-	}
-	if err := json.NewDecoder(resp.Body).Decode(&login); err != nil {
-		return err
-	}
-	resp.Body.Close()
-	fmt.Printf("login: shibboleth demo@uchicago.edu → session %s\n", login.Token)
 
-	for _, cloud := range []string{core.ClusterAdler, core.ClusterSullivan} {
-		req, _ := http.NewRequest("POST", console.URL+"/console/launch",
-			strings.NewReader(fmt.Sprintf(`{"cloud":%q,"name":"fig1","flavor":"m1.large"}`, cloud)))
-		req.Header.Set("X-Tukey-Session", login.Token)
-		resp, err := http.DefaultClient.Do(req)
+	var jsonOut []interface{}
+	for _, s := range selected {
+		if *seeds == 1 {
+			res, err := s.Run(*seed)
+			if err != nil {
+				return fmt.Errorf("%s: %w", s.Name(), err)
+			}
+			if *asJSON {
+				jsonOut = append(jsonOut, singleResult{Scenario: s.Name(), Seed: *seed, Result: res})
+				continue
+			}
+			fmt.Fprintf(stdout, "══ %s ══\n", s.Describe())
+			fmt.Fprint(stdout, res.Table)
+			fmt.Fprintf(stdout, "\nmetrics (seed %d):\n%s\n", *seed, res.MetricsTable())
+			continue
+		}
+		sweep, err := scenario.Sweep(s, scenario.Seeds(*seed, *seeds), *parallel)
 		if err != nil {
 			return err
 		}
-		resp.Body.Close()
-		fmt.Printf("launch: m1.large on %-14s → HTTP %d (native dialect: %s)\n",
-			cloud, resp.StatusCode, map[string]string{
-				core.ClusterAdler: "OpenStack JSON", core.ClusterSullivan: "EC2 query/XML",
-			}[cloud])
+		if *asJSON {
+			jsonOut = append(jsonOut, sweep)
+			continue
+		}
+		fmt.Fprintf(stdout, "══ %s ══\n", s.Describe())
+		fmt.Fprint(stdout, sweep.Format())
+		fmt.Fprintln(stdout)
 	}
 
-	req, _ := http.NewRequest("GET", console.URL+"/console/instances", nil)
-	req.Header.Set("X-Tukey-Session", login.Token)
-	resp, err = http.DefaultClient.Do(req)
-	if err != nil {
-		return err
+	if *asJSON {
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(jsonOut)
 	}
-	var list struct {
-		Servers []tukey.TaggedServer `json:"servers"`
-	}
-	if err := json.NewDecoder(resp.Body).Decode(&list); err != nil {
-		return err
-	}
-	resp.Body.Close()
-	fmt.Println("aggregated OpenStack-format response:")
-	for _, s := range list.Servers {
-		fmt.Printf("  cloud=%-14s id=%-22s status=%-6s flavor=%s\n", s.Cloud, s.ID, s.Status, s.Flavor)
-	}
-
-	f.Engine.RunFor(2 * sim.Hour)
-	u := f.Biller.CurrentUsage("demo")
-	fmt.Printf("billing after 2 simulated hours: %.1f core-hours (8 cores running)\n", u.CoreHours())
 	return nil
 }

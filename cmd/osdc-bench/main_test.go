@@ -1,0 +1,129 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"osdc/internal/scenario"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// TestEveryScenarioDispatches runs every registered scenario through the
+// CLI's -exp dispatch with a small seed, asserting each produces formatted
+// output, and golden-files the -json form.
+func TestEveryScenarioDispatches(t *testing.T) {
+	names := scenario.Names()
+	if len(names) < 11 {
+		t.Fatalf("registry holds %d scenarios, want >= 11: %v", len(names), names)
+	}
+	for _, name := range names {
+		t.Run(name, func(t *testing.T) {
+			var out bytes.Buffer
+			if err := run([]string{"-exp", name, "-seed", "7"}, &out); err != nil {
+				t.Fatalf("run -exp %s: %v", name, err)
+			}
+			if out.Len() == 0 {
+				t.Fatalf("-exp %s produced no output", name)
+			}
+			if !strings.Contains(out.String(), "metrics (seed 7)") {
+				t.Fatalf("-exp %s output missing metrics block:\n%s", name, out.String())
+			}
+
+			var jsonOut bytes.Buffer
+			if err := run([]string{"-exp", name, "-seed", "7", "-json"}, &jsonOut); err != nil {
+				t.Fatalf("run -exp %s -json: %v", name, err)
+			}
+			var parsed []struct {
+				Scenario string             `json:"scenario"`
+				Seed     uint64             `json:"seed"`
+				Metrics  map[string]float64 `json:"metrics"`
+			}
+			if err := json.Unmarshal(jsonOut.Bytes(), &parsed); err != nil {
+				t.Fatalf("-exp %s -json is not valid JSON: %v", name, err)
+			}
+			if len(parsed) != 1 || parsed[0].Scenario != name || len(parsed[0].Metrics) == 0 {
+				t.Fatalf("-exp %s -json parsed to %+v", name, parsed)
+			}
+
+			golden := filepath.Join("testdata", name+".json")
+			if *update {
+				if err := os.MkdirAll("testdata", 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(golden, jsonOut.Bytes(), 0o644); err != nil {
+					t.Fatal(err)
+				}
+			}
+			want, err := os.ReadFile(golden)
+			if err != nil {
+				t.Fatalf("missing golden file (run with -update to create): %v", err)
+			}
+			if !bytes.Equal(want, jsonOut.Bytes()) {
+				t.Errorf("-exp %s -json drifted from golden %s\n--- got ---\n%s\n--- want ---\n%s",
+					name, golden, jsonOut.Bytes(), want)
+			}
+		})
+	}
+}
+
+func TestSweepAggregatesOverSeeds(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-exp", "provision", "-seed", "3", "-seeds", "8", "-parallel", "4", "-json"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	var sweeps []scenario.SweepResult
+	if err := json.Unmarshal(out.Bytes(), &sweeps); err != nil {
+		t.Fatalf("sweep JSON: %v\n%s", err, out.String())
+	}
+	if len(sweeps) != 1 || sweeps[0].Scenario != "provision" || len(sweeps[0].Seeds) != 8 {
+		t.Fatalf("sweep = %+v", sweeps)
+	}
+	var speedup *scenario.Aggregate
+	for i := range sweeps[0].Metrics {
+		if sweeps[0].Metrics[i].Metric == "speedup" {
+			speedup = &sweeps[0].Metrics[i]
+		}
+	}
+	if speedup == nil || speedup.N != 8 || speedup.Mean <= 1 {
+		t.Fatalf("speedup aggregate = %+v", speedup)
+	}
+	if speedup.Min > speedup.Mean || speedup.Mean > speedup.Max {
+		t.Fatalf("aggregate ordering broken: %+v", speedup)
+	}
+}
+
+func TestListFlag(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-list"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range scenario.Names() {
+		if !strings.Contains(out.String(), name) {
+			t.Fatalf("-list missing %s:\n%s", name, out.String())
+		}
+	}
+}
+
+func TestUnknownScenarioErrors(t *testing.T) {
+	var out bytes.Buffer
+	err := run([]string{"-exp", "does-not-exist"}, &out)
+	if err == nil || !strings.Contains(err.Error(), "does-not-exist") {
+		t.Fatalf("err = %v, want unknown-scenario error", err)
+	}
+	if !strings.Contains(err.Error(), "table3") {
+		t.Fatalf("error should list available scenarios: %v", err)
+	}
+}
+
+func TestBadSeedCount(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-seeds", "0"}, &out); err == nil {
+		t.Fatal("expected error for -seeds 0")
+	}
+}

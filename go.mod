@@ -1,0 +1,3 @@
+module osdc
+
+go 1.24

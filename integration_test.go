@@ -1,8 +1,9 @@
 package osdc
 
-// Repository-level integration tests: Figure 1 (Tukey end to end over live
-// HTTP) and Figure 3 (topology), plus cross-module flows that no single
-// package test covers.
+// Repository-level integration tests. The scenario registry drives the
+// broad coverage — every registered scenario must run and render — while
+// the tests below it keep the assertions that need structured results: the
+// Figure 1 HTTP walk hop by hop and Table 3's values against the paper.
 
 import (
 	"encoding/json"
@@ -14,13 +15,108 @@ import (
 	"osdc/internal/core"
 	"osdc/internal/experiments"
 	"osdc/internal/iaas"
+	"osdc/internal/scenario"
 	"osdc/internal/sim"
 	"osdc/internal/tukey"
 )
 
+// TestAllScenariosRunAndRender iterates the registry: every scenario must
+// run from a small seed, produce metrics and a table, and satisfy its
+// scenario-specific spot checks. New scenarios get the generic coverage
+// for free; add a checks entry only when there is something extra to pin.
+func TestAllScenariosRunAndRender(t *testing.T) {
+	checks := map[string]func(t *testing.T, r scenario.Result){
+		"table1": func(t *testing.T, r scenario.Result) {
+			if !strings.Contains(r.Table, "Commercial CSP") {
+				t.Fatal("table 1 format")
+			}
+			if r.Metrics["science-elephant-share"] < 0.9 {
+				t.Fatalf("science traffic lost its elephants: %v", r.Metrics)
+			}
+		},
+		"table2": func(t *testing.T, r scenario.Result) {
+			if !strings.Contains(r.Table, "OCC-Y") {
+				t.Fatal("table 2 format")
+			}
+		},
+		"table3": func(t *testing.T, r scenario.Result) {
+			if !strings.Contains(r.Table, "udr (no encryption)") {
+				t.Fatalf("table 3 format:\n%s", r.Table)
+			}
+		},
+		"fig2": func(t *testing.T, r scenario.Result) {
+			if r.Metrics["flood-tiles"] == 0 || !strings.Contains(r.Table, "≈") {
+				t.Fatalf("no flood in figure 2 output:\n%s", r.Table)
+			}
+			if r.Metrics["map-locality"] < 0.5 {
+				t.Fatalf("map locality %.2f suspiciously low", r.Metrics["map-locality"])
+			}
+		},
+		"fig3": func(t *testing.T, r scenario.Result) {
+			for _, cluster := range []string{"OSDC-Adler", "OSDC-Sullivan", "OSDC-Root", "OCC-Y", "OCC-Matsu"} {
+				if !strings.Contains(r.Table, cluster) {
+					t.Fatalf("figure 3 missing %s:\n%s", cluster, r.Table)
+				}
+			}
+			if strings.Count(r.Table, "solid") != 3 || strings.Count(r.Table, "partial") != 2 {
+				t.Fatalf("figure 3 arrows wrong:\n%s", r.Table)
+			}
+		},
+		"cost": func(t *testing.T, r scenario.Result) {
+			if !strings.Contains(r.Table, "crossover") {
+				t.Fatal("cost format")
+			}
+		},
+		"provision": func(t *testing.T, r scenario.Result) {
+			if !strings.Contains(r.Table, "speedup") {
+				t.Fatal("provision format")
+			}
+			if r.Metrics["speedup"] <= 1 {
+				t.Fatalf("automation not faster than manual: %v", r.Metrics)
+			}
+		},
+		"mixed-workload": func(t *testing.T, r scenario.Result) {
+			if r.Metrics["vm-core-hours"] <= 0 || r.Metrics["elephant-mbit"] <= 0 {
+				t.Fatalf("mixed workload left a subsystem idle: %v", r.Metrics)
+			}
+		},
+		"wan-contention": func(t *testing.T, r scenario.Result) {
+			if f := r.Metrics["fairness[4-flows]"]; f < 0.8 {
+				t.Fatalf("4 identical UDT flows shared unfairly: %.3f", f)
+			}
+			if r.Metrics["utilization[8-flows]"] < r.Metrics["utilization[1-flows]"] {
+				t.Fatalf("more flows should fill the pipe during ramp-up: %v", r.Metrics)
+			}
+		},
+	}
+
+	if len(scenario.Names()) < 11 {
+		t.Fatalf("registry holds %v, want the nine paper scenarios plus the new ones", scenario.Names())
+	}
+	for _, s := range scenario.All() {
+		t.Run(s.Name(), func(t *testing.T) {
+			r, err := s.Run(5)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(r.Metrics) == 0 {
+				t.Fatalf("%s returned no metrics", s.Name())
+			}
+			if r.Table == "" {
+				t.Fatalf("%s returned no table", s.Name())
+			}
+			if chk := checks[s.Name()]; chk != nil {
+				chk(t, r)
+			}
+		})
+	}
+}
+
 // TestFigure1TukeyEndToEnd walks the Figure 1 arrows with real HTTP at
 // every hop: user → Tukey Console → middleware (auth + translation) →
 // {OpenStack-dialect Adler, Eucalyptus-dialect Sullivan} → usage/billing.
+// The fig1 scenario runs the same walk; this test keeps the per-hop
+// assertions on status codes and dialect translation.
 func TestFigure1TukeyEndToEnd(t *testing.T) {
 	f, err := core.New(core.Options{Seed: 42, Scale: 8})
 	if err != nil {
@@ -143,21 +239,6 @@ func TestFigure1TukeyEndToEnd(t *testing.T) {
 	}
 }
 
-func TestFigure3Topology(t *testing.T) {
-	out, err := experiments.Figure3(5)
-	if err != nil {
-		t.Fatal(err)
-	}
-	for _, cluster := range []string{"OSDC-Adler", "OSDC-Sullivan", "OSDC-Root", "OCC-Y", "OCC-Matsu"} {
-		if !strings.Contains(out, cluster) {
-			t.Fatalf("figure 3 missing %s:\n%s", cluster, out)
-		}
-	}
-	if strings.Count(out, "solid") != 3 || strings.Count(out, "partial") != 2 {
-		t.Fatalf("figure 3 arrows wrong:\n%s", out)
-	}
-}
-
 func TestTable3ShapeAgainstPaper(t *testing.T) {
 	got := experiments.Table3(2012)
 	want := experiments.PaperTable3()
@@ -177,48 +258,5 @@ func TestTable3ShapeAgainstPaper(t *testing.T) {
 		if diff := g.LLR108 - w.LLR108; diff > 0.06 || diff < -0.06 {
 			t.Errorf("%s: LLR %.2f vs paper %.2f", g.Config, g.LLR108, w.LLR108)
 		}
-	}
-}
-
-func TestExperimentFormattersNonEmpty(t *testing.T) {
-	t3 := experiments.FormatTable3(experiments.Table3(1))
-	if !strings.Contains(t3, "udr (no encryption)") {
-		t.Fatalf("table 3 format:\n%s", t3)
-	}
-	t1 := experiments.FormatTable1(experiments.Table1(1))
-	if !strings.Contains(t1, "Commercial CSP") {
-		t.Fatal("table 1 format")
-	}
-	rows, cores, disk, err := experiments.Table2(1)
-	if err != nil {
-		t.Fatal(err)
-	}
-	t2 := experiments.FormatTable2(rows, cores, disk)
-	if !strings.Contains(t2, "OCC-Y") {
-		t.Fatal("table 2 format")
-	}
-	cs := experiments.FormatCostSweep(experiments.CostSweep())
-	if !strings.Contains(cs, "crossover") {
-		t.Fatal("cost format")
-	}
-	pv := experiments.FormatProvisioning(experiments.Provisioning(1))
-	if !strings.Contains(pv, "speedup") {
-		t.Fatal("provision format")
-	}
-	if _, err := experiments.CipherSanity(); err != nil {
-		t.Fatal(err)
-	}
-}
-
-func TestFigure2FloodMapRendered(t *testing.T) {
-	r, err := experiments.Figure2(3, 256, 256)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if r.FloodTiles == 0 || !strings.Contains(r.TileMap, "≈") {
-		t.Fatalf("no flood in figure 2 output:\n%s", r.TileMap)
-	}
-	if r.Locality < 0.5 {
-		t.Fatalf("map locality %.2f suspiciously low", r.Locality)
 	}
 }

@@ -1,0 +1,56 @@
+package experiments
+
+// The wan-contention scenario probes what Table 3 never had to: several
+// loss-reactive flows discovering their share of the same 10G Chicago↔LVOC
+// path. The single-flow Table 3 model gives each transfer the path to
+// itself; transport.SimulateShared drops the excess offered load
+// proportionally at the bottleneck, so UDT's DAIMD has to back off against
+// its own siblings.
+
+import (
+	"fmt"
+	"strings"
+
+	"osdc/internal/scenario"
+	"osdc/internal/sim"
+	"osdc/internal/transport"
+	"osdc/internal/udt"
+)
+
+const wanContentionDesc = "multi-flow WAN contention: 1..8 UDT flows sharing the 10G Chicago↔LVOC path"
+
+// WANContention sweeps 1, 2, 4 and 8 concurrent UDT flows over the shared
+// Chicago↔LVOC bottleneck, each moving 4 GB, and reports aggregate
+// utilization and Jain fairness per flow count.
+func WANContention(seed uint64) (scenario.Result, error) {
+	path := ChicagoLVOCPath(seed)
+	rng := sim.NewRNG(seed)
+	const perFlowBytes = 4 << 30
+
+	metrics := map[string]float64{}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-8s %16s %16s %10s %12s\n", "flows", "aggregate mbit/s", "per-flow mbit/s", "fairness", "loss events")
+	fmt.Fprintln(&b, strings.Repeat("-", 68))
+	for _, n := range []int{1, 2, 4, 8} {
+		ctrls := make([]transport.Controller, n)
+		sizes := make([]int64, n)
+		for i := range ctrls {
+			ctrls[i] = udt.NewRateControl(path)
+			sizes[i] = perFlowBytes
+		}
+		results := transport.SimulateShared(rng, path, ctrls, sizes, transport.Caps{})
+		var aggBps, lossEvents float64
+		for _, r := range results {
+			aggBps += r.ThroughputBps()
+			lossEvents += float64(r.LossEvents)
+		}
+		fairness := transport.JainFairness(results)
+		key := fmt.Sprintf("%d-flows", n)
+		metrics["aggregate-mbit["+key+"]"] = aggBps / 1e6
+		metrics["fairness["+key+"]"] = fairness
+		metrics["utilization["+key+"]"] = aggBps / path.BandwidthBps
+		fmt.Fprintf(&b, "%-8d %16.0f %16.0f %10.3f %12.0f\n",
+			n, aggBps/1e6, aggBps/1e6/float64(n), fairness, lossEvents)
+	}
+	return scenario.Result{Metrics: metrics, Table: b.String()}, nil
+}

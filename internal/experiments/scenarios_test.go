@@ -1,0 +1,64 @@
+package experiments
+
+import (
+	"reflect"
+	"testing"
+
+	"osdc/internal/scenario"
+)
+
+func TestAllExperimentsRegistered(t *testing.T) {
+	want := []string{"table1", "table2", "table3", "fig1", "fig2", "fig3",
+		"cost", "provision", "ciphers", "mixed-workload", "wan-contention"}
+	have := map[string]bool{}
+	for _, n := range scenario.Names() {
+		have[n] = true
+	}
+	for _, n := range want {
+		if !have[n] {
+			t.Errorf("scenario %q not registered", n)
+		}
+	}
+}
+
+func TestMixedWorkloadDeterministic(t *testing.T) {
+	a, err := MixedWorkload(21)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := MixedWorkload(21)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("same seed diverged:\n%+v\nvs\n%+v", a.Metrics, b.Metrics)
+	}
+	if a.Metrics["vm-core-hours"] != 96 {
+		t.Fatalf("4 m1.large for 6h = %v core-hours, want 96", a.Metrics["vm-core-hours"])
+	}
+	if a.Metrics["elephant-mbit"] <= 0 || a.Metrics["science-total-TB"] <= 0 {
+		t.Fatalf("metrics incomplete: %v", a.Metrics)
+	}
+}
+
+func TestWANContentionSharesThePipe(t *testing.T) {
+	r, err := WANContention(11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{"1-flows", "2-flows", "4-flows", "8-flows"} {
+		util := r.Metrics["utilization["+key+"]"]
+		if util <= 0 || util > 1.02 {
+			t.Fatalf("utilization[%s] = %v out of (0,1]", key, util)
+		}
+		if f := r.Metrics["fairness["+key+"]"]; f < 0.8 {
+			t.Fatalf("fairness[%s] = %v, identical flows should share evenly", key, f)
+		}
+	}
+	// Aggregate throughput must never exceed the bottleneck, and more
+	// flows must not fill the pipe less than one flow does (ramp-up
+	// amortizes across flows).
+	if r.Metrics["utilization[8-flows]"] < r.Metrics["utilization[1-flows]"] {
+		t.Fatalf("8 flows underused the path vs 1: %v", r.Metrics)
+	}
+}

@@ -1,0 +1,131 @@
+// Package scenario defines the experiment abstraction every evaluation in
+// this repository runs through: a Scenario produces typed metrics plus a
+// human-readable table for one seed, a package-level registry lets any
+// layer contribute scenarios by name, and Sweep fans many seeds out over a
+// worker pool and aggregates the metrics.
+//
+// A scenario is a ~30-line drop-in:
+//
+//	scenario.Register(scenario.New("my-sweep", "what it shows",
+//		func(seed uint64) (scenario.Result, error) {
+//			e := sim.NewEngine(seed)
+//			... run the model ...
+//			return scenario.Result{
+//				Metrics: map[string]float64{"throughput-mbit": mbit},
+//				Table:   formatted,
+//			}, nil
+//		}))
+//
+// Because every Run(seed) owns a private sim.Engine and RNG, scenarios are
+// embarrassingly parallel across seeds; Sweep exploits that without locks.
+package scenario
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Result is one scenario execution's outcome: named numeric metrics (the
+// aggregatable form) and an optional formatted table (the paper-style
+// rendition). Metrics must be deterministic functions of the seed.
+type Result struct {
+	Metrics map[string]float64 `json:"metrics"`
+	Table   string             `json:"table,omitempty"`
+}
+
+// MetricNames returns the metric keys in sorted order.
+func (r Result) MetricNames() []string {
+	names := make([]string, 0, len(r.Metrics))
+	for k := range r.Metrics {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// MetricsTable renders the metrics as an aligned two-column table.
+func (r Result) MetricsTable() string {
+	var b strings.Builder
+	for _, k := range r.MetricNames() {
+		fmt.Fprintf(&b, "%-40s %14.4g\n", k, r.Metrics[k])
+	}
+	return b.String()
+}
+
+// Scenario is a named, seeded, repeatable experiment.
+type Scenario interface {
+	// Name is the registry key and CLI -exp value, e.g. "table3".
+	Name() string
+	// Describe is a one-line summary for listings.
+	Describe() string
+	// Run executes the scenario for one seed. It must be self-contained:
+	// every call builds its own engine/RNG so concurrent calls with
+	// different seeds are safe.
+	Run(seed uint64) (Result, error)
+}
+
+// fn adapts plain functions to the Scenario interface.
+type fn struct {
+	name, desc string
+	run        func(seed uint64) (Result, error)
+}
+
+func (f fn) Name() string                    { return f.name }
+func (f fn) Describe() string                { return f.desc }
+func (f fn) Run(seed uint64) (Result, error) { return f.run(seed) }
+
+// New builds a Scenario from a name, description and run function.
+func New(name, desc string, run func(seed uint64) (Result, error)) Scenario {
+	return fn{name: name, desc: desc, run: run}
+}
+
+var (
+	regMu    sync.RWMutex
+	registry = map[string]Scenario{}
+	regOrder []string
+)
+
+// Register adds s to the package registry. Registering an empty or
+// duplicate name panics: scenario names are CLI-visible identifiers and a
+// collision is always a programming error.
+func Register(s Scenario) {
+	name := s.Name()
+	if name == "" {
+		panic("scenario: Register with empty name")
+	}
+	regMu.Lock()
+	defer regMu.Unlock()
+	if _, dup := registry[name]; dup {
+		panic("scenario: duplicate Register of " + name)
+	}
+	registry[name] = s
+	regOrder = append(regOrder, name)
+}
+
+// Get looks a scenario up by name.
+func Get(name string) (Scenario, bool) {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	s, ok := registry[name]
+	return s, ok
+}
+
+// Names returns all registered names in registration order.
+func Names() []string {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	return append([]string(nil), regOrder...)
+}
+
+// All returns all registered scenarios in registration order.
+func All() []Scenario {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	out := make([]Scenario, 0, len(regOrder))
+	for _, name := range regOrder {
+		out = append(out, registry[name])
+	}
+	return out
+}

@@ -1,0 +1,165 @@
+package scenario
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+)
+
+func testScenario(name string, metric float64) Scenario {
+	return New(name, "test scenario "+name, func(seed uint64) (Result, error) {
+		return Result{
+			Metrics: map[string]float64{"value": metric + float64(seed), "fixed": 7},
+			Table:   fmt.Sprintf("table for %s seed %d", name, seed),
+		}, nil
+	})
+}
+
+func TestRegistryRoundTrip(t *testing.T) {
+	s := testScenario("reg-roundtrip", 1)
+	Register(s)
+	got, ok := Get("reg-roundtrip")
+	if !ok || got.Name() != "reg-roundtrip" {
+		t.Fatalf("Get returned %v, %v", got, ok)
+	}
+	if got.Describe() == "" {
+		t.Fatal("empty description")
+	}
+	found := false
+	for _, n := range Names() {
+		if n == "reg-roundtrip" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("Names() missing registered scenario: %v", Names())
+	}
+	if len(Names()) != len(All()) {
+		t.Fatalf("Names/All length mismatch: %d vs %d", len(Names()), len(All()))
+	}
+}
+
+func TestRegisterDuplicatePanics(t *testing.T) {
+	Register(testScenario("reg-dup", 1))
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on duplicate Register")
+		}
+	}()
+	Register(testScenario("reg-dup", 2))
+}
+
+func TestRegisterEmptyNamePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on empty name")
+		}
+	}()
+	Register(testScenario("", 1))
+}
+
+func TestResultRendering(t *testing.T) {
+	r := Result{Metrics: map[string]float64{"zeta": 1.5, "alpha": 2}}
+	names := r.MetricNames()
+	if len(names) != 2 || names[0] != "alpha" || names[1] != "zeta" {
+		t.Fatalf("MetricNames = %v, want sorted", names)
+	}
+	table := r.MetricsTable()
+	if !strings.Contains(table, "alpha") || strings.Index(table, "alpha") > strings.Index(table, "zeta") {
+		t.Fatalf("MetricsTable not sorted:\n%s", table)
+	}
+	data, err := json.Marshal(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Result
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Metrics["zeta"] != 1.5 {
+		t.Fatalf("JSON round trip lost metrics: %s", data)
+	}
+}
+
+func TestSweepAggregates(t *testing.T) {
+	s := New("sweep-agg", "", func(seed uint64) (Result, error) {
+		return Result{
+			Metrics: map[string]float64{"seed-linear": float64(seed), "constant": 3},
+			Table:   fmt.Sprintf("seed %d", seed),
+		}, nil
+	})
+	sr, err := Sweep(s, Seeds(10, 5), 2) // seeds 10..14
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sr.Scenario != "sweep-agg" || len(sr.Seeds) != 5 {
+		t.Fatalf("sweep header wrong: %+v", sr)
+	}
+	if sr.SampleTable != "seed 10" {
+		t.Fatalf("SampleTable = %q, want first seed's table", sr.SampleTable)
+	}
+	byName := map[string]Aggregate{}
+	for _, m := range sr.Metrics {
+		byName[m.Metric] = m
+	}
+	lin := byName["seed-linear"]
+	if lin.N != 5 || lin.Mean != 12 || lin.Min != 10 || lin.Max != 14 {
+		t.Fatalf("seed-linear aggregate = %+v", lin)
+	}
+	// Sample stddev of {10,11,12,13,14} = sqrt(2.5).
+	if d := lin.Std - 1.5811388300841898; d > 1e-12 || d < -1e-12 {
+		t.Fatalf("Std = %v", lin.Std)
+	}
+	con := byName["constant"]
+	if con.Mean != 3 || con.Std != 0 || con.Min != 3 || con.Max != 3 {
+		t.Fatalf("constant aggregate = %+v", con)
+	}
+	if !strings.Contains(sr.Format(), "seed-linear") {
+		t.Fatalf("Format missing metric:\n%s", sr.Format())
+	}
+}
+
+func TestSweepDeterministicAcrossWorkerCounts(t *testing.T) {
+	s := testScenario("sweep-det", 100)
+	seeds := Seeds(1, 16)
+	serial, err := Sweep(s, seeds, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, par := range []int{2, 8, 64} {
+		parallel, err := Sweep(s, seeds, par)
+		if err != nil {
+			t.Fatal(err)
+		}
+		a, _ := json.Marshal(serial)
+		b, _ := json.Marshal(parallel)
+		if string(a) != string(b) {
+			t.Fatalf("parallel=%d diverged from serial:\n%s\nvs\n%s", par, a, b)
+		}
+	}
+}
+
+func TestSweepPropagatesErrors(t *testing.T) {
+	boom := errors.New("boom")
+	s := New("sweep-err", "", func(seed uint64) (Result, error) {
+		if seed == 3 {
+			return Result{}, boom
+		}
+		return Result{Metrics: map[string]float64{"x": 1}}, nil
+	})
+	_, err := Sweep(s, Seeds(0, 8), 4)
+	if err == nil || !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want wrapped boom", err)
+	}
+	if !strings.Contains(err.Error(), "seed 3") {
+		t.Fatalf("error does not identify seed: %v", err)
+	}
+}
+
+func TestSweepNoSeeds(t *testing.T) {
+	if _, err := Sweep(testScenario("sweep-empty", 0), nil, 1); err == nil {
+		t.Fatal("expected error for empty seed set")
+	}
+}

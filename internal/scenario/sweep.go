@@ -1,0 +1,136 @@
+package scenario
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Aggregate summarizes one metric across a sweep's seeds.
+type Aggregate struct {
+	Metric string  `json:"metric"`
+	N      int     `json:"n"`
+	Mean   float64 `json:"mean"`
+	Std    float64 `json:"std"` // sample standard deviation (0 when N < 2)
+	Min    float64 `json:"min"`
+	Max    float64 `json:"max"`
+}
+
+// SweepResult is the aggregated outcome of running one scenario over many
+// seeds.
+type SweepResult struct {
+	Scenario string      `json:"scenario"`
+	Seeds    []uint64    `json:"seeds"`
+	Metrics  []Aggregate `json:"metrics"`
+	// SampleTable is the formatted table from the first seed's run, kept so
+	// a sweep still shows one concrete paper-style rendition.
+	SampleTable string `json:"sample_table,omitempty"`
+}
+
+// Seeds returns n consecutive seeds starting at base — the conventional
+// seed set for a sweep.
+func Seeds(base uint64, n int) []uint64 {
+	out := make([]uint64, n)
+	for i := range out {
+		out[i] = base + uint64(i)
+	}
+	return out
+}
+
+// Sweep runs s once per seed, fanning the seeds out over parallel workers
+// (parallel <= 0 means runtime.NumCPU()), and aggregates every metric.
+// Each Run owns a private engine, so workers share nothing and need no
+// locks; results are deterministic regardless of worker count because
+// aggregation is keyed by seed index, not completion order.
+func Sweep(s Scenario, seeds []uint64, parallel int) (SweepResult, error) {
+	if len(seeds) == 0 {
+		return SweepResult{}, fmt.Errorf("scenario: sweep of %s with no seeds", s.Name())
+	}
+	if parallel <= 0 {
+		parallel = runtime.NumCPU()
+	}
+	if parallel > len(seeds) {
+		parallel = len(seeds)
+	}
+
+	results := make([]Result, len(seeds))
+	errs := make([]error, len(seeds))
+	var wg sync.WaitGroup
+	work := make(chan int)
+	for w := 0; w < parallel; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range work {
+				results[i], errs[i] = s.Run(seeds[i])
+			}
+		}()
+	}
+	for i := range seeds {
+		work <- i
+	}
+	close(work)
+	wg.Wait()
+
+	for i, err := range errs {
+		if err != nil {
+			return SweepResult{}, fmt.Errorf("scenario %s seed %d: %w", s.Name(), seeds[i], err)
+		}
+	}
+
+	out := SweepResult{
+		Scenario:    s.Name(),
+		Seeds:       append([]uint64(nil), seeds...),
+		SampleTable: results[0].Table,
+	}
+	byMetric := map[string][]float64{}
+	for _, r := range results {
+		for k, v := range r.Metrics {
+			byMetric[k] = append(byMetric[k], v)
+		}
+	}
+	names := make([]string, 0, len(byMetric))
+	for k := range byMetric {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	for _, k := range names {
+		out.Metrics = append(out.Metrics, aggregate(k, byMetric[k]))
+	}
+	return out, nil
+}
+
+func aggregate(name string, xs []float64) Aggregate {
+	a := Aggregate{Metric: name, N: len(xs), Min: math.Inf(1), Max: math.Inf(-1)}
+	var sum float64
+	for _, x := range xs {
+		sum += x
+		a.Min = math.Min(a.Min, x)
+		a.Max = math.Max(a.Max, x)
+	}
+	a.Mean = sum / float64(len(xs))
+	if len(xs) >= 2 {
+		var ss float64
+		for _, x := range xs {
+			d := x - a.Mean
+			ss += d * d
+		}
+		a.Std = math.Sqrt(ss / float64(len(xs)-1))
+	}
+	return a
+}
+
+// Format renders the sweep aggregates as an aligned table.
+func (sr SweepResult) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s over %d seeds\n", sr.Scenario, len(sr.Seeds))
+	fmt.Fprintf(&b, "%-40s %14s %12s %14s %14s\n", "metric", "mean", "std", "min", "max")
+	fmt.Fprintln(&b, strings.Repeat("-", 98))
+	for _, m := range sr.Metrics {
+		fmt.Fprintf(&b, "%-40s %14.4g %12.3g %14.4g %14.4g\n", m.Metric, m.Mean, m.Std, m.Min, m.Max)
+	}
+	return b.String()
+}

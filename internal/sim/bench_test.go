@@ -1,0 +1,51 @@
+package sim
+
+import "testing"
+
+// BenchmarkEngineChurn exercises the event queue the way long simulations
+// do: a pool of outstanding timers where every firing reschedules itself,
+// and most firings also cancel-and-replace another random timer. ns/op and
+// allocs/op are per fired event; the cancel/replace traffic is what
+// punishes queues that let cancelled events linger until their timestamp.
+func BenchmarkEngineChurn(b *testing.B) {
+	b.ReportAllocs()
+	e := NewEngine(2012)
+	rng := NewRNG(7)
+	const outstanding = 4096
+	handles := make([]Handle, outstanding)
+	fired := 0
+	var schedule func(slot int) Handle
+	schedule = func(slot int) Handle {
+		return e.After(rng.Exp(1.0), func() {
+			fired++
+			if fired >= b.N {
+				e.Halt()
+				return
+			}
+			if victim := rng.Intn(outstanding); victim != slot {
+				handles[victim].Cancel()
+				handles[victim] = schedule(victim)
+			}
+			handles[slot] = schedule(slot)
+		})
+	}
+	b.ResetTimer()
+	for i := range handles {
+		handles[i] = schedule(i)
+	}
+	e.Run()
+}
+
+// BenchmarkEngineScheduleDrain measures the pure schedule-then-pop path
+// with no cancellations: b.N events pushed at random times, then drained.
+func BenchmarkEngineScheduleDrain(b *testing.B) {
+	b.ReportAllocs()
+	e := NewEngine(2012)
+	rng := NewRNG(11)
+	fire := func() {}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.After(rng.Float64()*1000, fire)
+	}
+	e.Run()
+}

@@ -6,10 +6,18 @@
 // event queue ordered by (time, sequence). Determinism is guaranteed: two
 // runs with the same seed and same schedule order produce identical traces,
 // which is what makes the benchmark tables reproducible.
+//
+// The queue is a 4-ary heap over a value slice rather than a binary heap of
+// event pointers: scheduling allocates nothing beyond amortized slice
+// growth, the shallower tree halves the sift depth, and sift comparisons
+// stay within one or two cache lines of siblings. Cancellation is lazy with
+// compaction — cancelled events are tombstoned and physically reclaimed
+// either on pop or, once they outnumber live events, by an O(n) rebuild —
+// so a schedule-heavy workload that cancels most of its timers (retry
+// timers, timeouts that rarely fire) cannot grow the heap without bound.
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"math"
 	"time"
@@ -55,60 +63,56 @@ func (t Time) String() string {
 // AsWall converts virtual seconds to a time.Duration for reporting.
 func (t Time) AsWall() time.Duration { return time.Duration(float64(t) * float64(time.Second)) }
 
-// Event is a scheduled callback. Fire runs at the event's time with the
-// engine clock already advanced.
+// event is one scheduled callback, stored by value in the heap slice.
 type event struct {
 	at   Time
-	seq  uint64 // tie-break: FIFO among equal timestamps
+	seq  uint64 // tie-break: FIFO among equal timestamps; unique per event
 	fire func()
-	// cancelled events stay in the heap but are skipped on pop.
+}
+
+// Handle identifies a scheduled event so it can be cancelled. The zero
+// Handle is inert: Cancel is a no-op and Cancelled reports false. The
+// cancelled bit lives in the Handle value itself, so copies of a Handle do
+// not observe each other's Cancel calls (the engine-side effect — the event
+// not firing — is shared regardless of which copy cancelled it).
+type Handle struct {
+	e         *Engine
+	seq       uint64
 	cancelled bool
 }
 
-// Handle identifies a scheduled event so it can be cancelled.
-type Handle struct{ ev *event }
-
-// Cancel prevents the event from firing. Safe to call multiple times and
-// after the event has fired (then it is a no-op).
-func (h Handle) Cancel() {
-	if h.ev != nil {
-		h.ev.cancelled = true
+// Cancel prevents the event from firing and releases its heap slot (at the
+// latest, when tombstones outnumber live events and trigger compaction).
+// Safe to call multiple times and after the event has fired (then it is a
+// no-op).
+func (h *Handle) Cancel() {
+	if h.e == nil || h.cancelled {
+		return
 	}
+	h.cancelled = true
+	h.e.cancel(h.seq)
 }
 
-// Cancelled reports whether Cancel was called.
-func (h Handle) Cancelled() bool { return h.ev != nil && h.ev.cancelled }
-
-type eventQueue []*event
-
-func (q eventQueue) Len() int { return len(q) }
-func (q eventQueue) Less(i, j int) bool {
-	if q[i].at != q[j].at {
-		return q[i].at < q[j].at
-	}
-	return q[i].seq < q[j].seq
-}
-func (q eventQueue) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
-func (q *eventQueue) Push(x interface{}) { *q = append(*q, x.(*event)) }
-func (q *eventQueue) Pop() interface{} {
-	old := *q
-	n := len(old)
-	ev := old[n-1]
-	old[n-1] = nil
-	*q = old[:n-1]
-	return ev
-}
+// Cancelled reports whether Cancel was called on this Handle.
+func (h Handle) Cancelled() bool { return h.cancelled }
 
 // Engine is the discrete-event scheduler. The zero value is not usable; use
 // NewEngine.
 type Engine struct {
-	now    Time
-	queue  eventQueue
-	seq    uint64
-	rng    *RNG
-	trace  func(t Time, msg string)
-	fired  uint64
-	halted bool
+	now Time
+	// queue is a 4-ary min-heap ordered by (at, seq): children of node i
+	// live at 4i+1..4i+4.
+	queue []event
+	// cancelled holds seqs awaiting reclaim; entries are deleted as their
+	// events are skipped on pop or swept by compaction, so the map stays
+	// bounded by the compaction threshold, not by cancel traffic. Its
+	// length is the (upper-bound) count of cancelled events still queued.
+	cancelled map[uint64]struct{}
+	seq       uint64
+	rng       *RNG
+	trace     func(t Time, msg string)
+	fired     uint64
+	halted    bool
 }
 
 // NewEngine returns an engine with its clock at zero and a deterministic RNG
@@ -126,9 +130,16 @@ func (e *Engine) RNG() *RNG { return e.rng }
 // Fired returns the number of events executed so far.
 func (e *Engine) Fired() uint64 { return e.fired }
 
-// Pending returns the number of events still queued (including cancelled
-// ones not yet skipped).
-func (e *Engine) Pending() int { return len(e.queue) }
+// Pending returns the number of live (non-cancelled) events still queued.
+// The count is exact except after Cancel calls on already-fired events
+// (a documented no-op): each leaves a stale tombstone that under-counts
+// Pending by one until the next compaction sweeps it away.
+func (e *Engine) Pending() int {
+	if n := len(e.queue) - len(e.cancelled); n > 0 {
+		return n
+	}
+	return 0
+}
 
 // SetTrace installs a trace sink invoked by Tracef. A nil sink disables
 // tracing.
@@ -147,10 +158,10 @@ func (e *Engine) At(t Time, fire func()) Handle {
 	if t < e.now {
 		panic(fmt.Sprintf("sim: scheduling into the past: at=%v now=%v", t, e.now))
 	}
-	ev := &event{at: t, seq: e.seq, fire: fire}
+	seq := e.seq
 	e.seq++
-	heap.Push(&e.queue, ev)
-	return Handle{ev}
+	e.push(event{at: t, seq: seq, fire: fire})
+	return Handle{e: e, seq: seq}
 }
 
 // After schedules fire to run d seconds from now. Negative d panics.
@@ -206,9 +217,12 @@ func (e *Engine) Halt() { e.halted = true }
 // queue is empty.
 func (e *Engine) Step() bool {
 	for len(e.queue) > 0 {
-		ev := heap.Pop(&e.queue).(*event)
-		if ev.cancelled {
-			continue
+		ev := e.pop()
+		if len(e.cancelled) > 0 {
+			if _, dead := e.cancelled[ev.seq]; dead {
+				delete(e.cancelled, ev.seq)
+				continue
+			}
 		}
 		if ev.at < e.now {
 			panic("sim: event queue time went backwards")
@@ -235,12 +249,9 @@ func (e *Engine) Run() Time {
 func (e *Engine) RunUntil(deadline Time) Time {
 	e.halted = false
 	for !e.halted {
-		if len(e.queue) == 0 {
-			break
-		}
 		// Peek at the earliest live event.
-		next := e.peek()
-		if next == nil || next.at > deadline {
+		at, ok := e.peek()
+		if !ok || at > deadline {
 			break
 		}
 		e.Step()
@@ -254,13 +265,131 @@ func (e *Engine) RunUntil(deadline Time) Time {
 // RunFor advances the clock by d. See RunUntil.
 func (e *Engine) RunFor(d Duration) Time { return e.RunUntil(e.now + Time(d)) }
 
-func (e *Engine) peek() *event {
+// peek returns the timestamp of the earliest live event, discarding any
+// cancelled events that have reached the top of the heap.
+func (e *Engine) peek() (Time, bool) {
 	for len(e.queue) > 0 {
-		if e.queue[0].cancelled {
-			heap.Pop(&e.queue)
-			continue
+		if len(e.cancelled) > 0 {
+			if _, dead := e.cancelled[e.queue[0].seq]; dead {
+				delete(e.cancelled, e.queue[0].seq)
+				e.pop()
+				continue
+			}
 		}
-		return e.queue[0]
+		return e.queue[0].at, true
 	}
-	return nil
+	return 0, false
+}
+
+// cancel tombstones seq and compacts the heap once tombstones outnumber
+// live events.
+func (e *Engine) cancel(seq uint64) {
+	if len(e.queue) == 0 {
+		// Nothing is pending, so this seq (and any lingering tombstone)
+		// can only refer to already-fired events.
+		clear(e.cancelled)
+		return
+	}
+	if _, ok := e.cancelled[seq]; ok {
+		return
+	}
+	if e.cancelled == nil {
+		e.cancelled = make(map[uint64]struct{})
+	}
+	e.cancelled[seq] = struct{}{}
+	// len(cancelled) is an upper bound on dead queue entries: a Cancel
+	// after the event fired (a documented no-op) still adds a tombstone,
+	// which the next compaction drops.
+	if len(e.cancelled) > 64 && len(e.cancelled)*2 > len(e.queue) {
+		e.compact()
+	}
+}
+
+// compact rebuilds the heap without cancelled events, releasing their
+// closures and — when the live set is much smaller than the backing array —
+// the slice capacity too.
+func (e *Engine) compact() {
+	live := e.queue[:0]
+	for _, ev := range e.queue {
+		if _, dead := e.cancelled[ev.seq]; !dead {
+			live = append(live, ev)
+		}
+	}
+	// Zero the tail so the dropped closures are collectable.
+	for i := len(live); i < len(e.queue); i++ {
+		e.queue[i] = event{}
+	}
+	if cap(e.queue) > 1024 && cap(e.queue) > 4*len(live) {
+		live = append(make([]event, 0, len(live)), live...)
+	}
+	e.queue = live
+	// Every tombstone is now either removed from the queue or was stale
+	// (its event had already fired); either way the map is done with it.
+	clear(e.cancelled)
+	for i := (len(e.queue) - 2) / 4; i >= 0; i-- {
+		e.down(i)
+	}
+}
+
+// --- 4-ary value heap, ordered by (at, seq) ---
+
+func (e *Engine) less(i, j int) bool {
+	a, b := &e.queue[i], &e.queue[j]
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	return a.seq < b.seq
+}
+
+func (e *Engine) push(ev event) {
+	e.queue = append(e.queue, ev)
+	e.up(len(e.queue) - 1)
+}
+
+func (e *Engine) pop() event {
+	top := e.queue[0]
+	n := len(e.queue) - 1
+	e.queue[0] = e.queue[n]
+	e.queue[n] = event{}
+	e.queue = e.queue[:n]
+	if n > 1 {
+		e.down(0)
+	}
+	return top
+}
+
+func (e *Engine) up(i int) {
+	for i > 0 {
+		parent := (i - 1) / 4
+		if !e.less(i, parent) {
+			return
+		}
+		e.queue[i], e.queue[parent] = e.queue[parent], e.queue[i]
+		i = parent
+	}
+}
+
+func (e *Engine) down(i int) {
+	n := len(e.queue)
+	for {
+		first := 4*i + 1
+		if first >= n {
+			return
+		}
+		best := first
+		last := first + 4
+		if last > n {
+			last = n
+		}
+		for c := first + 1; c < last; c++ {
+			if e.less(c, best) {
+				best = c
+			}
+		}
+		if !e.less(best, i) {
+			return
+		}
+		e.queue[i], e.queue[best] = e.queue[best], e.queue[i]
+		i = best
+	}
 }

@@ -331,6 +331,79 @@ func TestRNGForkIndependence(t *testing.T) {
 	}
 }
 
+// TestCancelReclaimsQueueSlots is the regression test for the
+// cancelled-event leak: with the old pointer heap, cancelled events stayed
+// queued (closures and all) until their timestamp was reached. Now
+// cancelling must shrink the live count immediately and the physical queue
+// via compaction, without advancing the clock at all.
+func TestCancelReclaimsQueueSlots(t *testing.T) {
+	const n = 100000
+	e := NewEngine(1)
+	// One far-future survivor so the queue never fully drains.
+	e.At(1e9, func() {})
+	handles := make([]Handle, n)
+	for i := range handles {
+		handles[i] = e.After(1e6+Duration(i), func() {})
+	}
+	if got := e.Pending(); got != n+1 {
+		t.Fatalf("Pending = %d before cancels, want %d", got, n+1)
+	}
+	for _, h := range handles {
+		h.Cancel()
+	}
+	if got := e.Pending(); got != 1 {
+		t.Fatalf("Pending = %d after cancelling %d events, want 1", got, n)
+	}
+	// Compaction must have physically reclaimed the slots — without waiting
+	// for the cancelled timestamps — so the backing heap is back to O(live)
+	// plus the ≤64-tombstone slack below the compaction floor.
+	if got := len(e.queue); got > 80 {
+		t.Fatalf("heap holds %d entries after mass cancel, want ≤ 80", got)
+	}
+	if got := cap(e.queue); got > 2048 {
+		t.Fatalf("heap capacity %d after mass cancel, want shrunk", got)
+	}
+	if e.Now() != 0 {
+		t.Fatalf("clock moved to %v during cancellation", e.Now())
+	}
+	// The survivor still fires.
+	e.Run()
+	if e.Fired() != 1 || e.Now() != 1e9 {
+		t.Fatalf("after run: fired=%d now=%v, want 1 event at t=1e9", e.Fired(), e.Now())
+	}
+}
+
+// TestCancelInterleavedWithPops checks ordering stays correct when cancels,
+// schedules, and pops interleave heavily (the compaction path reheapifies).
+func TestCancelInterleavedWithPops(t *testing.T) {
+	e := NewEngine(3)
+	rng := NewRNG(9)
+	var fired []Time
+	var handles []Handle
+	for i := 0; i < 5000; i++ {
+		at := Time(rng.Float64() * 1000)
+		handles = append(handles, e.At(at, func() { fired = append(fired, at) }))
+	}
+	for i, h := range handles {
+		if i%3 != 0 {
+			h.Cancel()
+		}
+	}
+	e.Run()
+	if len(fired) == 0 {
+		t.Fatal("no events fired")
+	}
+	want := (5000 + 2) / 3
+	if len(fired) != want {
+		t.Fatalf("fired %d events, want %d survivors", len(fired), want)
+	}
+	for i := 1; i < len(fired); i++ {
+		if fired[i] < fired[i-1] {
+			t.Fatalf("events fired out of order at %d: %v after %v", i, fired[i], fired[i-1])
+		}
+	}
+}
+
 func TestPendingAndFiredCounters(t *testing.T) {
 	e := NewEngine(1)
 	e.After(1, func() {})

@@ -63,9 +63,9 @@ func Table3Configs() []Config {
 	}
 }
 
-// caps builds the pipeline caps for a configuration against the paper's
+// Caps builds the pipeline caps for a configuration against the paper's
 // disks.
-func (c Config) caps() transport.Caps {
+func (c Config) Caps() transport.Caps {
 	caps := transport.Caps{
 		DiskReadBps:  simdisk.PaperSourceReadBps,
 		DiskWriteBps: simdisk.PaperTargetWriteBps,
@@ -83,8 +83,8 @@ func (c Config) caps() transport.Caps {
 	return caps
 }
 
-// controller builds the congestion controller for a configuration.
-func (c Config) controller(path transport.Path) transport.Controller {
+// Controller builds the congestion controller for a configuration.
+func (c Config) Controller(path transport.Path) transport.Controller {
 	if c.Tool == ToolUDR {
 		return udt.NewRateControl(path)
 	}
@@ -98,8 +98,8 @@ func (c Config) controller(path transport.Path) transport.Controller {
 // Transfer simulates moving totalBytes over path with this configuration
 // and returns the result plus the caps used (for LLR computation).
 func Transfer(rng *sim.RNG, cfg Config, path transport.Path, totalBytes int64) (transport.Result, transport.Caps) {
-	caps := cfg.caps()
-	ctrl := cfg.controller(path)
+	caps := cfg.Caps()
+	ctrl := cfg.Controller(path)
 	res := transport.Simulate(rng, path, ctrl, totalBytes, caps)
 	res.Protocol = cfg.String()
 	return res, caps
