@@ -3,9 +3,15 @@
 // native APIs mounted on loopback. A demo researcher account
 // (demo / demo-pw, Shibboleth) is pre-enrolled.
 //
+// A wall-clock driver advances the federation's simulation clock while the
+// server runs (default 60 simulated seconds per wall second, so a wall
+// minute meters an hour of VM time): billing pollers, monitoring sweeps and
+// VM boot timers all fire under live traffic, and /console/usage actually
+// accrues.
+//
 // Usage:
 //
-//	tukey-server [-addr :8080]
+//	tukey-server [-addr :8080] [-speedup 60] [-session-ttl 12h]
 //
 // Then:
 //
@@ -20,53 +26,101 @@ import (
 	"log"
 	"net"
 	"net/http"
+	"time"
 
 	"osdc/internal/core"
 	"osdc/internal/iaas"
+	"osdc/internal/sim"
 	"osdc/internal/tukey"
 )
 
-func main() {
-	addr := flag.String("addr", ":8080", "console listen address")
-	flag.Parse()
+// server is the assembled service: the federation, its console handler,
+// and the clock driver keeping the simulation live.
+type server struct {
+	fed     *core.Federation
+	console *tukey.Console
+	driver  *sim.Driver
+	close   func() // shuts the native-API listeners down
+}
 
-	f, err := core.New(core.Options{Seed: 1, Scale: 4})
+// newServer builds the federation, mounts both native cloud APIs on
+// loopback listeners, enrolls the demo researcher, and starts the clock
+// driver (speedup simulated seconds per wall second; <= 0 leaves the clock
+// stopped, which tests use to advance it manually).
+func newServer(seed uint64, speedup float64, sessionTTL time.Duration) (*server, error) {
+	f, err := core.New(core.Options{Seed: seed, Scale: 4})
 	if err != nil {
-		log.Fatal(err)
+		return nil, err
 	}
 
-	// Native cloud APIs on loopback listeners.
-	novaURL, err := serve(&iaas.NovaAPI{Cloud: f.Adler})
+	novaLn, novaURL, err := serve(&iaas.NovaAPI{Cloud: f.Adler})
 	if err != nil {
-		log.Fatal(err)
+		return nil, err
 	}
-	eucaURL, err := serve(&iaas.EucaAPI{Cloud: f.Sullivan})
+	eucaLn, eucaURL, err := serve(&iaas.EucaAPI{Cloud: f.Sullivan})
 	if err != nil {
-		log.Fatal(err)
+		novaLn.Close()
+		return nil, err
 	}
 	f.Tukey.AttachCloud(tukey.CloudConfig{Name: core.ClusterAdler, Stack: "openstack", Endpoint: novaURL})
 	f.Tukey.AttachCloud(tukey.CloudConfig{Name: core.ClusterSullivan, Stack: "eucalyptus", Endpoint: eucaURL})
+	if sessionTTL > 0 {
+		f.Tukey.SetSessionTTL(sessionTTL)
+	}
 
 	f.EnrollResearcher("demo", "demo-pw")
 	f.Adler.SetQuota("demo", iaas.Quota{MaxInstances: 10, MaxCores: 64})
 	f.Sullivan.SetQuota("demo", iaas.Quota{MaxInstances: 10, MaxCores: 64})
 
-	console := &tukey.Console{MW: f.Tukey, Biller: f.Biller, Catalog: f.Catalog}
+	s := &server{
+		fed:     f,
+		console: &tukey.Console{MW: f.Tukey, Biller: f.Biller, Catalog: f.Catalog},
+		close: func() {
+			novaLn.Close()
+			eucaLn.Close()
+		},
+	}
+	if speedup > 0 {
+		s.driver = sim.StartDriver(f.Engine, speedup, 5*time.Millisecond)
+	}
 	log.Printf("OSDC up: adler(openstack)=%s sullivan(eucalyptus)=%s", novaURL, eucaURL)
-	log.Printf("Tukey console on %s — login with demo/demo-pw (shibboleth)", *addr)
-	log.Fatal(http.ListenAndServe(*addr, console))
+	return s, nil
 }
 
-// serve mounts a handler on an ephemeral loopback port and returns its URL.
-func serve(h http.Handler) (string, error) {
+// Close stops the driver and the native-API listeners.
+func (s *server) Close() {
+	if s.driver != nil {
+		s.driver.Stop()
+	}
+	s.close()
+}
+
+func main() {
+	addr := flag.String("addr", ":8080", "console listen address")
+	speedup := flag.Float64("speedup", 60, "simulated seconds advanced per wall second (0 freezes the clock)")
+	sessionTTL := flag.Duration("session-ttl", 12*time.Hour, "wall-clock session lifetime (0 = never expire)")
+	flag.Parse()
+
+	s, err := newServer(1, *speedup, *sessionTTL)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer s.Close()
+	log.Printf("Tukey console on %s — login with demo/demo-pw (shibboleth); clock at %gx", *addr, *speedup)
+	log.Fatal(http.ListenAndServe(*addr, s.console))
+}
+
+// serve mounts a handler on an ephemeral loopback port and returns the
+// listener (for shutdown) and its URL.
+func serve(h http.Handler) (net.Listener, string, error) {
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
-		return "", err
+		return nil, "", err
 	}
 	go func() {
 		if err := http.Serve(ln, h); err != nil {
 			log.Printf("backend server: %v", err)
 		}
 	}()
-	return fmt.Sprintf("http://%s", ln.Addr()), nil
+	return ln, fmt.Sprintf("http://%s", ln.Addr()), nil
 }

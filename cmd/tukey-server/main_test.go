@@ -1,0 +1,107 @@
+package main
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"osdc/internal/core"
+)
+
+// TestUsageAccruesThroughHTTP is the regression test for the frozen-clock
+// bug: tukey-server used to build the federation but never step the
+// engine, so /console/usage reported zero core-hours and cycle 1 forever.
+// With the clock driver running, a launched VM must show nonzero usage
+// through the HTTP route within wall seconds.
+func TestUsageAccruesThroughHTTP(t *testing.T) {
+	// 1 wall second ≈ 1 simulated day: minute polls land immediately.
+	s, err := newServer(7, 86_400, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	srv := httptest.NewServer(s.console)
+	defer srv.Close()
+
+	// Login as the pre-enrolled demo researcher.
+	resp, err := http.Post(srv.URL+"/login", "application/json",
+		strings.NewReader(`{"provider":"shibboleth","username":"demo","secret":"demo-pw"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var login struct {
+		Token string `json:"token"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&login); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if login.Token == "" {
+		t.Fatal("no session token")
+	}
+	do := func(method, path, body string) *http.Response {
+		req, err := http.NewRequest(method, srv.URL+path, strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		req.Header.Set("X-Tukey-Session", login.Token)
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resp
+	}
+
+	// Launch a VM on each cloud through the console.
+	for _, cloud := range []string{core.ClusterAdler, core.ClusterSullivan} {
+		resp := do("POST", "/console/launch", `{"cloud":"`+cloud+`","name":"reg","flavor":"m1.large"}`)
+		if resp.StatusCode != http.StatusAccepted {
+			t.Fatalf("launch on %s: status %d", cloud, resp.StatusCode)
+		}
+		resp.Body.Close()
+	}
+
+	// The driver must advance the sim clock under us until the billing
+	// poller has metered the VMs: poll the HTTP route, not the internals.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		resp := do("GET", "/console/usage", "")
+		var usage struct {
+			CoreHours float64 `json:"core_hours"`
+			Cycle     int     `json:"cycle"`
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&usage); err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if usage.CoreHours > 0 {
+			if usage.Cycle < 1 {
+				t.Fatalf("cycle = %d", usage.Cycle)
+			}
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("usage still zero after 10 s wall with the clock driver running: %+v", usage)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestFrozenClockStaysAtZero pins the opt-out: with speedup 0 the engine
+// never advances, which is what the old tukey-server did unconditionally.
+func TestFrozenClockStaysAtZero(t *testing.T) {
+	s, err := newServer(8, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if s.driver != nil {
+		t.Fatal("speedup 0 must not start a driver")
+	}
+	if s.fed.Engine.Now() != 0 {
+		t.Fatalf("clock = %v, want 0", s.fed.Engine.Now())
+	}
+}

@@ -14,6 +14,7 @@ package billing
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"osdc/internal/iaas"
 	"osdc/internal/sim"
@@ -61,11 +62,19 @@ type Invoice struct {
 }
 
 // Biller polls clouds and storage and cuts monthly invoices.
+//
+// The pollers fire on the clock-driving goroutine while the Tukey console
+// reads CurrentUsage/Invoices/Cycle from HTTP handlers; mu covers the
+// accumulators, the invoice history and the cycle counter. Polls is
+// exported for tests and is only written under mu; read it only when no
+// poller can fire.
 type Biller struct {
 	engine  *sim.Engine
 	rates   Rates
 	clouds  []*iaas.Cloud
 	storage StorageFunc
+
+	mu      sync.Mutex
 	usage   map[string]*Usage
 	history []Invoice
 	cycle   int
@@ -112,9 +121,18 @@ func (b *Biller) user(u string) *Usage {
 // pollVMs samples every cloud: one sample = one minute of the user's
 // currently allocated cores.
 func (b *Biller) pollVMs() {
-	b.Polls++
+	// Sample the clouds before taking b.mu: RunningByUser takes each
+	// cloud's own lock, and holding one service lock while acquiring
+	// another is how deadlocks start.
+	samples := make([]map[string][2]int, 0, len(b.clouds))
 	for _, c := range b.clouds {
-		for user, v := range c.RunningByUser() {
+		samples = append(samples, c.RunningByUser())
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.Polls++
+	for _, byUser := range samples {
+		for user, v := range byUser {
 			u := b.user(user)
 			u.CoreMinutes += float64(v[1])
 			u.Samples++
@@ -127,13 +145,18 @@ func (b *Biller) pollStorage() {
 	if b.storage == nil {
 		return
 	}
-	for user, bytes := range b.storage() {
+	stored := b.storage()
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	for user, bytes := range stored {
 		b.user(user).GBDays += float64(bytes) / float64(1<<30)
 	}
 }
 
 // closeCycle cuts invoices and resets the accumulators.
 func (b *Biller) closeCycle() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
 	users := make([]string, 0, len(b.usage))
 	for u := range b.usage {
 		users = append(users, u)
@@ -162,6 +185,8 @@ func (b *Biller) closeCycle() {
 
 // CurrentUsage is what the web console shows mid-cycle.
 func (b *Biller) CurrentUsage(user string) Usage {
+	b.mu.Lock()
+	defer b.mu.Unlock()
 	if u, ok := b.usage[user]; ok {
 		return *u
 	}
@@ -170,6 +195,8 @@ func (b *Biller) CurrentUsage(user string) Usage {
 
 // Invoices returns cut invoices, optionally filtered by user ("" = all).
 func (b *Biller) Invoices(user string) []Invoice {
+	b.mu.Lock()
+	defer b.mu.Unlock()
 	var out []Invoice
 	for _, inv := range b.history {
 		if user == "" || inv.User == user {
@@ -180,7 +207,11 @@ func (b *Biller) Invoices(user string) []Invoice {
 }
 
 // Cycle returns the current (open) cycle number.
-func (b *Biller) Cycle() int { return b.cycle }
+func (b *Biller) Cycle() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.cycle
+}
 
 func (u Usage) String() string {
 	return fmt.Sprintf("%s: %.1f core-hours, %.1f GB-days", u.User, u.CoreHours(), u.GBDays)

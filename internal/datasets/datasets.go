@@ -8,6 +8,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
 
 	"osdc/internal/ark"
 	"osdc/internal/dfs"
@@ -27,9 +28,16 @@ type Dataset struct {
 }
 
 // Catalog is the curated dataset registry.
+//
+// The console searches the catalog from concurrent HTTP handlers while
+// curators publish; mu covers the curator set, the entry table and the
+// download counter. A *Dataset is immutable once published, so handing
+// pointers out of Search/Get/All without copying is safe.
 type Catalog struct {
-	ids      *ark.Service
-	vol      *dfs.Volume
+	ids *ark.Service
+	vol *dfs.Volume
+
+	mu       sync.RWMutex
 	curators map[string]bool
 	entries  map[string]*Dataset
 
@@ -48,11 +56,17 @@ func NewCatalog(ids *ark.Service, vol *dfs.Volume) *Catalog {
 
 // AddCurator authorizes a data curator (§3.2: "use a community of users and
 // data curators to identify data to add").
-func (c *Catalog) AddCurator(name string) { c.curators[name] = true }
+func (c *Catalog) AddCurator(name string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.curators[name] = true
+}
 
 // Publish registers a dataset: only curators may publish; the bytes are
 // accounted on the storage volume and an ARK is minted and bound.
 func (c *Catalog) Publish(curator string, d Dataset) (*Dataset, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	if !c.curators[curator] {
 		return nil, fmt.Errorf("datasets: %s is not a curator", curator)
 	}
@@ -81,6 +95,8 @@ func (c *Catalog) Publish(curator string, d Dataset) (*Dataset, error) {
 
 // Get looks a dataset up by exact name.
 func (c *Catalog) Get(name string) (*Dataset, bool) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
 	d, ok := c.entries[name]
 	return d, ok
 }
@@ -88,6 +104,8 @@ func (c *Catalog) Get(name string) (*Dataset, bool) {
 // Search returns datasets whose name, description, discipline or tags
 // contain the query (case-insensitive), sorted by name.
 func (c *Catalog) Search(query string) []*Dataset {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
 	q := strings.ToLower(query)
 	var out []*Dataset
 	for _, d := range c.entries {
@@ -105,6 +123,8 @@ func (c *Catalog) All() []*Dataset { return c.Search("") }
 
 // TotalBytes sums the published dataset sizes.
 func (c *Catalog) TotalBytes() int64 {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
 	var n int64
 	for _, d := range c.entries {
 		n += d.SizeBytes
@@ -114,6 +134,8 @@ func (c *Catalog) TotalBytes() int64 {
 
 // ByDiscipline groups sizes per discipline for the §4 breakdown.
 func (c *Catalog) ByDiscipline() map[string]int64 {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
 	out := make(map[string]int64)
 	for _, d := range c.entries {
 		out[d.Discipline] += d.SizeBytes
@@ -124,11 +146,14 @@ func (c *Catalog) ByDiscipline() map[string]int64 {
 // Download records an access (freely downloadable by anyone, §1) and
 // resolves the dataset's location.
 func (c *Catalog) Download(name string) (string, error) {
+	c.mu.Lock()
 	d, ok := c.entries[name]
 	if !ok {
+		c.mu.Unlock()
 		return "", fmt.Errorf("datasets: no dataset %q", name)
 	}
 	c.Downloads++
+	c.mu.Unlock()
 	return c.ids.Resolve(d.ARK)
 }
 

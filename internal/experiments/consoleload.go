@@ -1,0 +1,327 @@
+package experiments
+
+// The console-load scenario is the "many concurrent users" axis the paper
+// only implies: §5.1's Tukey console in front of the full federation,
+// hammered by N simulated researchers at once while the wall-clock driver
+// keeps the simulation clock — billing pollers, monitoring sweeps, VM boot
+// timers — running underneath the HTTP traffic. It doubles as the
+// integration stress for the service-layer locking: run it under -race and
+// every console route races against every poller.
+//
+// Metric convention: keys with the "live-" prefix are measured wall-clock
+// quantities (latency percentiles, requests/sec, metered usage) and are
+// NOT deterministic functions of the seed; everything else (request
+// counts, error counts, catalog hits) is. The osdc-bench golden test
+// normalizes live- metrics to zero before comparing.
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"osdc/internal/core"
+	"osdc/internal/iaas"
+	"osdc/internal/scenario"
+	"osdc/internal/sim"
+	"osdc/internal/tukey"
+)
+
+const consoleLoadDesc = "Tukey console under N concurrent researchers with the sim clock live (requests/sec, p50/p95/p99)"
+
+// consoleLoadUsers and consoleLoadIters fix the workload shape so the
+// request arithmetic below stays deterministic.
+const (
+	consoleLoadUsers = 8
+	consoleLoadIters = 5
+	// consoleLoadSpeedup is simulated seconds per wall second: fast enough
+	// that minute-granularity billing polls land many times within a
+	// sub-second run.
+	consoleLoadSpeedup = 60_000
+)
+
+// consoleLoadResult carries one researcher's measurements back to the
+// aggregator.
+type consoleLoadResult struct {
+	latencies []time.Duration
+	errors    int
+	launched  int
+	token     string
+}
+
+// consoleClient is one researcher's view of the console: it times every
+// request and counts unexpected statuses.
+type consoleClient struct {
+	base string
+	tok  string
+	res  *consoleLoadResult
+}
+
+func (c *consoleClient) do(method, path, body string, wantStatus int) (*http.Response, error) {
+	req, err := http.NewRequest(method, c.base+path, strings.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	if c.tok != "" {
+		req.Header.Set("X-Tukey-Session", c.tok)
+	}
+	start := time.Now()
+	resp, err := http.DefaultClient.Do(req)
+	c.res.latencies = append(c.res.latencies, time.Since(start))
+	if err != nil {
+		c.res.errors++
+		return nil, err
+	}
+	if resp.StatusCode != wantStatus {
+		c.res.errors++
+	}
+	return resp, nil
+}
+
+// drain closes a response body after decoding is done with it.
+func drain(resp *http.Response) {
+	if resp != nil {
+		resp.Body.Close()
+	}
+}
+
+// ConsoleLoad stands the federation up behind live HTTP — both native
+// cloud APIs plus the console — starts the wall-clock driver, and runs
+// consoleLoadUsers concurrent researchers through login → launch → list →
+// usage → datasets → status → terminate loops. It reports throughput and
+// latency percentiles (live- metrics) alongside deterministic request
+// accounting.
+func ConsoleLoad(seed uint64) (scenario.Result, error) {
+	f, err := core.New(core.Options{Seed: seed, Scale: 8})
+	if err != nil {
+		return scenario.Result{}, err
+	}
+	novaSrv := httptest.NewServer(&iaas.NovaAPI{Cloud: f.Adler})
+	defer novaSrv.Close()
+	eucaSrv := httptest.NewServer(&iaas.EucaAPI{Cloud: f.Sullivan})
+	defer eucaSrv.Close()
+	f.Tukey.AttachCloud(tukey.CloudConfig{Name: core.ClusterAdler, Stack: "openstack", Endpoint: novaSrv.URL})
+	f.Tukey.AttachCloud(tukey.CloudConfig{Name: core.ClusterSullivan, Stack: "eucalyptus", Endpoint: eucaSrv.URL})
+	console := httptest.NewServer(&tukey.Console{MW: f.Tukey, Biller: f.Biller, Catalog: f.Catalog})
+	defer console.Close()
+
+	users := make([]string, consoleLoadUsers)
+	for i := range users {
+		users[i] = fmt.Sprintf("load%02d", i)
+		f.EnrollResearcher(users[i], "pw-"+users[i])
+		f.Adler.SetQuota(users[i], iaas.Quota{MaxInstances: 10, MaxCores: 16})
+		f.Sullivan.SetQuota(users[i], iaas.Quota{MaxInstances: 10, MaxCores: 16})
+	}
+
+	// From here on the engine is shared: the driver advances the clock
+	// while the researchers' handlers schedule against it.
+	driver := sim.StartDriver(f.Engine, consoleLoadSpeedup, 2*time.Millisecond)
+	defer driver.Stop()
+	wallStart := time.Now()
+	simStart := f.Engine.Now()
+
+	results := make([]consoleLoadResult, consoleLoadUsers)
+	var datasetHits int64
+	var datasetOnce sync.Once
+
+	// Phase 1 (concurrent): every researcher logs in and parks one
+	// persistent VM on Adler. The barrier afterwards gives a sim timestamp
+	// at which all persistent VMs are provably running, which makes
+	// "usage becomes nonzero" deterministic rather than a timing accident.
+	var wg sync.WaitGroup
+	for i := range users {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c := &consoleClient{base: console.URL, res: &results[i]}
+			resp, err := c.do("POST", "/login", fmt.Sprintf(
+				`{"provider":"shibboleth","username":%q,"secret":%q}`, users[i], "pw-"+users[i]), http.StatusOK)
+			if err != nil {
+				return
+			}
+			var login struct {
+				Token string `json:"token"`
+			}
+			_ = json.NewDecoder(resp.Body).Decode(&login)
+			drain(resp)
+			c.tok = login.Token
+			results[i].token = login.Token
+
+			resp, _ = c.do("POST", "/console/launch", fmt.Sprintf(
+				`{"cloud":%q,"name":"%s-home","flavor":"m1.small"}`, core.ClusterAdler, users[i]), http.StatusAccepted)
+			if resp != nil && resp.StatusCode == http.StatusAccepted {
+				results[i].launched++
+			}
+			drain(resp)
+		}()
+	}
+	wg.Wait()
+	vmsUpAt := f.Engine.Now()
+
+	// Phase 2 (concurrent): the request storm. Each iteration launches a
+	// scratch VM on Sullivan, walks every read route, and terminates it.
+	for i := range users {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c := &consoleClient{base: console.URL, tok: results[i].token, res: &results[i]}
+			for it := 0; it < consoleLoadIters; it++ {
+				resp, _ := c.do("POST", "/console/launch", fmt.Sprintf(
+					`{"cloud":%q,"name":"%s-it%d","flavor":"m1.small"}`, core.ClusterSullivan, users[i], it), http.StatusAccepted)
+				var launch struct {
+					Server tukey.TaggedServer `json:"server"`
+				}
+				if resp != nil {
+					_ = json.NewDecoder(resp.Body).Decode(&launch)
+					if resp.StatusCode == http.StatusAccepted {
+						results[i].launched++
+					}
+				}
+				drain(resp)
+
+				resp, _ = c.do("GET", "/console/instances", "", http.StatusOK)
+				drain(resp)
+				resp, _ = c.do("GET", "/console/usage", "", http.StatusOK)
+				drain(resp)
+				resp, _ = c.do("GET", "/console/datasets?q=genomics", "", http.StatusOK)
+				if resp != nil && resp.StatusCode == http.StatusOK {
+					var ds struct {
+						Datasets []json.RawMessage `json:"datasets"`
+					}
+					_ = json.NewDecoder(resp.Body).Decode(&ds)
+					datasetOnce.Do(func() { datasetHits = int64(len(ds.Datasets)) })
+				}
+				drain(resp)
+				resp, _ = c.do("GET", "/console/status", "", http.StatusOK)
+				drain(resp)
+
+				resp, _ = c.do("POST", "/console/terminate", fmt.Sprintf(
+					`{"cloud":%q,"id":%q}`, core.ClusterSullivan, launch.Server.ID), http.StatusOK)
+				drain(resp)
+			}
+		}()
+	}
+	wg.Wait()
+
+	// Phase 3: wait (wall-clock) until the persistent VMs have been up for
+	// 31 simulated minutes, so the per-minute billing poll has sampled
+	// them — then every researcher reads their usage and shuts down.
+	waitDeadline := time.Now().Add(10 * time.Second)
+	for f.Engine.Now() < vmsUpAt+sim.Time(31*sim.Minute) {
+		if time.Now().After(waitDeadline) {
+			return scenario.Result{}, fmt.Errorf("console-load: clock driver advanced only to %v (from %v) in 10 s wall",
+				f.Engine.Now(), vmsUpAt)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	minCoreHours := -1.0
+	for i := range users {
+		c := &consoleClient{base: console.URL, tok: results[i].token, res: &results[i]}
+		resp, err := c.do("GET", "/console/usage", "", http.StatusOK)
+		if err != nil {
+			return scenario.Result{}, err
+		}
+		var usage struct {
+			CoreHours float64 `json:"core_hours"`
+		}
+		_ = json.NewDecoder(resp.Body).Decode(&usage)
+		drain(resp)
+		if minCoreHours < 0 || usage.CoreHours < minCoreHours {
+			minCoreHours = usage.CoreHours
+		}
+		resp, _ = c.do("POST", "/console/terminate", fmt.Sprintf(
+			`{"cloud":%q,"id":%q}`, core.ClusterAdler, firstInstanceID(console.URL, results[i].token, core.ClusterAdler)), http.StatusOK)
+		drain(resp)
+	}
+	wallElapsed := time.Since(wallStart)
+	driver.Stop()
+	simElapsed := f.Engine.Now() - simStart
+
+	// Aggregate.
+	var all []time.Duration
+	totalReqs, totalErrs, totalLaunched := 0, 0, 0
+	for i := range results {
+		all = append(all, results[i].latencies...)
+		totalReqs += len(results[i].latencies)
+		totalErrs += results[i].errors
+		totalLaunched += results[i].launched
+	}
+	sort.Slice(all, func(a, b int) bool { return all[a] < all[b] })
+	usageNonzero := 0.0
+	if minCoreHours > 0 {
+		usageNonzero = 1
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "console load: %d researchers × (login + persistent VM + %d op loops) against the live federation\n",
+		consoleLoadUsers, consoleLoadIters)
+	fmt.Fprintln(&b, strings.Repeat("-", 72))
+	fmt.Fprintf(&b, "requests         : %d total, %d errors, %d launches\n", totalReqs, totalErrs, totalLaunched)
+	fmt.Fprintf(&b, "throughput       : %.0f req/s over %v wall\n", float64(totalReqs)/wallElapsed.Seconds(), wallElapsed.Round(time.Millisecond))
+	fmt.Fprintf(&b, "latency          : p50 %.2f ms, p95 %.2f ms, p99 %.2f ms\n",
+		quantileMs(all, 0.50), quantileMs(all, 0.95), quantileMs(all, 0.99))
+	fmt.Fprintf(&b, "sim clock        : advanced %v while serving (speedup %d×)\n", sim.Time(simElapsed), consoleLoadSpeedup)
+	fmt.Fprintf(&b, "metered usage    : every researcher nonzero (min %.2f core-hours)\n", minCoreHours)
+
+	return scenario.Result{
+		Metrics: map[string]float64{
+			"users":              float64(consoleLoadUsers),
+			"requests-total":     float64(totalReqs),
+			"request-errors":     float64(totalErrs),
+			"instances-launched": float64(totalLaunched),
+			"datasets-hits":      float64(datasetHits),
+			"usage-nonzero":      usageNonzero,
+			"live-rps":           float64(totalReqs) / wallElapsed.Seconds(),
+			"live-p50-ms":        quantileMs(all, 0.50),
+			"live-p95-ms":        quantileMs(all, 0.95),
+			"live-p99-ms":        quantileMs(all, 0.99),
+			"live-sim-minutes":   float64(simElapsed) / sim.Minute,
+			"live-core-hours":    minCoreHours,
+		},
+		Table: b.String(),
+	}, nil
+}
+
+// firstInstanceID fetches the caller's first live instance ID on cloud via
+// the console listing (the persistent VM parked in phase 1).
+func firstInstanceID(base, token, cloud string) string {
+	req, _ := http.NewRequest("GET", base+"/console/instances", nil)
+	req.Header.Set("X-Tukey-Session", token)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return ""
+	}
+	defer resp.Body.Close()
+	var list struct {
+		Servers []tukey.TaggedServer `json:"servers"`
+	}
+	_ = json.NewDecoder(resp.Body).Decode(&list)
+	for _, s := range list.Servers {
+		if s.Cloud == cloud {
+			return s.ID
+		}
+	}
+	return ""
+}
+
+// quantileMs returns the q-quantile (nearest-rank) of sorted durations, in
+// milliseconds.
+func quantileMs(sorted []time.Duration, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := int(q*float64(len(sorted))+0.5) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return float64(sorted[idx]) / float64(time.Millisecond)
+}

@@ -175,4 +175,5 @@ func init() {
 
 	scenario.Register(scenario.New("mixed-workload", mixedWorkloadDesc, MixedWorkload))
 	scenario.Register(scenario.New("wan-contention", wanContentionDesc, WANContention))
+	scenario.Register(scenario.New("console-load", consoleLoadDesc, ConsoleLoad))
 }

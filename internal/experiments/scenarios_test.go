@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"reflect"
+	"strings"
 	"testing"
 
 	"osdc/internal/scenario"
@@ -9,7 +10,8 @@ import (
 
 func TestAllExperimentsRegistered(t *testing.T) {
 	want := []string{"table1", "table2", "table3", "fig1", "fig2", "fig3",
-		"cost", "provision", "ciphers", "mixed-workload", "wan-contention"}
+		"cost", "provision", "ciphers", "mixed-workload", "wan-contention",
+		"console-load"}
 	have := map[string]bool{}
 	for _, n := range scenario.Names() {
 		have[n] = true
@@ -38,6 +40,67 @@ func TestMixedWorkloadDeterministic(t *testing.T) {
 	}
 	if a.Metrics["elephant-mbit"] <= 0 || a.Metrics["science-total-TB"] <= 0 {
 		t.Fatalf("metrics incomplete: %v", a.Metrics)
+	}
+}
+
+// deterministicAggregates strips the live- (wall-clock-measured) metrics
+// from a sweep result, leaving only the seed-deterministic ones.
+func deterministicAggregates(sr scenario.SweepResult) map[string]scenario.Aggregate {
+	out := map[string]scenario.Aggregate{}
+	for _, m := range sr.Metrics {
+		if !strings.HasPrefix(m.Metric, "live-") {
+			out[m.Metric] = m
+		}
+	}
+	return out
+}
+
+// TestConsoleLoadSweepDeterministic runs the console-load scenario over a
+// multi-seed sweep twice: the live latency metrics may differ run to run,
+// but the request accounting must be bit-identical — concurrency must not
+// leak into the deterministic surface.
+func TestConsoleLoadSweepDeterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("live-HTTP load scenario")
+	}
+	s, ok := scenario.Get("console-load")
+	if !ok {
+		t.Fatal("console-load not registered")
+	}
+	seeds := scenario.Seeds(31, 2)
+	a, err := scenario.Sweep(s, seeds, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := scenario.Sweep(s, seeds, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	da, db := deterministicAggregates(a), deterministicAggregates(b)
+	if len(da) == 0 {
+		t.Fatalf("no deterministic metrics in %v", a.Metrics)
+	}
+	if !reflect.DeepEqual(da, db) {
+		t.Fatalf("deterministic metrics diverged across identical sweeps:\n%v\nvs\n%v", da, db)
+	}
+	if agg := da["request-errors"]; agg.Max != 0 {
+		t.Fatalf("console requests failed under load: %+v", agg)
+	}
+	if agg := da["usage-nonzero"]; agg.Min != 1 {
+		t.Fatalf("a researcher saw zero usage despite the clock driver: %+v", agg)
+	}
+	// Every live- metric must still be reported (the whole point of the
+	// scenario) even though its values float.
+	for _, name := range []string{"live-rps", "live-p50-ms", "live-p95-ms", "live-p99-ms"} {
+		found := false
+		for _, m := range a.Metrics {
+			if m.Metric == name {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("sweep lost metric %s: %v", name, a.Metrics)
+		}
 	}
 }
 

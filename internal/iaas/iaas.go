@@ -136,6 +136,13 @@ type Quota struct {
 func FreeTierQuota() Quota { return Quota{MaxInstances: 2, MaxCores: 4} }
 
 // Cloud is one compute cloud (e.g. OSDC-Adler or OSDC-Sullivan).
+//
+// mu covers everything that changes after setup: instances, host
+// allocations, quotas, images and the counters. Hosts and flavors are
+// attached before traffic starts and their identity is read-only after
+// that (their allocation fields are guarded by mu). API handlers call the
+// exported methods from concurrent goroutines while boot timers fire on
+// the clock-driving one.
 type Cloud struct {
 	Name    string
 	Stack   string // "openstack" or "eucalyptus" — selects the native API
@@ -200,6 +207,8 @@ func (c *Cloud) UsedCores() int {
 
 // RegisterImage adds a machine image.
 func (c *Cloud) RegisterImage(img Image) *Image {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	cp := img
 	if cp.ID == "" {
 		c.nextID++
@@ -209,8 +218,11 @@ func (c *Cloud) RegisterImage(img Image) *Image {
 	return &cp
 }
 
-// Images lists images visible to user, sorted by ID.
+// Images lists images visible to user, sorted by ID. Images are immutable
+// once registered, so the pointers are safe to share.
 func (c *Cloud) Images(user string) []*Image {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	var out []*Image
 	for _, img := range c.images {
 		if img.Public || img.Owner == user {
@@ -322,13 +334,19 @@ func (c *Cloud) Launch(user, name, flavorName, imageID string) (*Instance, error
 	best.instances[inst.ID] = inst
 	c.inst[inst.ID] = inst
 	c.Launches++
-	// VMs take ~90 s to boot.
+	// VMs take ~90 s to boot. The callback fires on the clock-driving
+	// goroutine, so it must re-take the cloud lock; scheduling while we
+	// hold c.mu is fine because the engine never fires events under its
+	// own lock (Cloud→Engine is the only lock order between the two).
 	c.engine.After(90, func() {
+		c.mu.Lock()
 		if inst.State == StateBuild {
 			inst.State = StateActive
 		}
+		c.mu.Unlock()
 	})
-	return inst, nil
+	cp := *inst
+	return &cp, nil
 }
 
 // Terminate releases an instance's resources.
@@ -358,26 +376,35 @@ func (c *Cloud) Terminate(user, id string) error {
 	return nil
 }
 
-// Instances lists a user's instances ("" = all), sorted by ID.
+// Instances lists a user's instances ("" = all), sorted by ID. The
+// returned records are point-in-time copies: the live instances keep
+// changing state (boot timers, terminations) on the clock-driving
+// goroutine, so handing out the internal pointers would race with every
+// caller that renders them.
 func (c *Cloud) Instances(user string) []*Instance {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	var out []*Instance
 	for _, i := range c.inst {
 		if user == "" || i.User == user {
-			out = append(out, i)
+			cp := *i
+			out = append(out, &cp)
 		}
 	}
 	sort.Slice(out, func(a, b int) bool { return out[a].ID < out[b].ID })
 	return out
 }
 
-// Instance looks up one instance.
+// Instance looks up one instance, returning a point-in-time copy.
 func (c *Cloud) Instance(id string) (*Instance, bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	i, ok := c.inst[id]
-	return i, ok
+	if !ok {
+		return nil, false
+	}
+	cp := *i
+	return &cp, true
 }
 
 // RunningByUser returns user → (instance count, cores) for active VMs: the

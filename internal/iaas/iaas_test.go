@@ -30,8 +30,10 @@ func TestLaunchLifecycle(t *testing.T) {
 		t.Fatalf("state = %s, want BUILD", inst.State)
 	}
 	e.RunFor(120)
-	if inst.State != StateActive {
-		t.Fatalf("state after boot = %s, want ACTIVE", inst.State)
+	// Launch returned a point-in-time copy; re-fetch to see the boot.
+	booted, ok := c.Instance(inst.ID)
+	if !ok || booted.State != StateActive {
+		t.Fatalf("state after boot = %+v, want ACTIVE", booted)
 	}
 	if c.UsedCores() != 4 {
 		t.Fatalf("used cores = %d, want 4", c.UsedCores())
@@ -40,14 +42,15 @@ func TestLaunchLifecycle(t *testing.T) {
 	if err := c.Terminate("alice", inst.ID); err != nil {
 		t.Fatal(err)
 	}
-	if inst.State != StateTerminated {
-		t.Fatal("not terminated")
+	gone, ok := c.Instance(inst.ID)
+	if !ok || gone.State != StateTerminated {
+		t.Fatalf("instance after terminate = %+v, want TERMINATED", gone)
 	}
 	if c.UsedCores() != 0 {
 		t.Fatalf("cores not released: %d", c.UsedCores())
 	}
 	// Core-seconds: 4 cores for ~3720 s.
-	cs := inst.CoreSecondsUntil(e.Now())
+	cs := gone.CoreSecondsUntil(e.Now())
 	if cs < 4*3700 || cs > 4*3740 {
 		t.Fatalf("core-seconds = %v, want ~14880", cs)
 	}

@@ -12,6 +12,7 @@ package monitor
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"osdc/internal/iaas"
 	"osdc/internal/sim"
@@ -67,7 +68,9 @@ func (c Check) Evaluate() (State, float64) {
 }
 
 // Agent is the NRPE-like remote agent: it holds the checks configured for
-// one host and runs them on request from the master.
+// one host and runs them on request from the master. Checks are registered
+// at setup time, before polling starts; the check table is read-only after
+// that, so RunCheck needs no lock.
 type Agent struct {
 	Host   string
 	checks map[string]Check
@@ -113,13 +116,20 @@ type Alert struct {
 // Master is the Nagios master server: it polls every agent's checks on an
 // interval and alerts on state transitions (not on steady bad states —
 // Nagios-style notification on change, with re-notification left out).
+//
+// pollAll fires on the clock-driving goroutine while status pages read
+// Alerts/StateOf; mu covers the agent table, the state map, the alert log
+// and the ChecksRun counter. The notify callback is invoked without the
+// lock held.
 type Master struct {
 	engine *sim.Engine
+	notify func(Alert)
+	ticker *sim.Ticker
+
+	mu     sync.Mutex
 	agents map[string]*Agent
 	last   map[string]State // "host/check" -> last state
 	alerts []Alert
-	notify func(Alert)
-	ticker *sim.Ticker
 
 	ChecksRun int64
 }
@@ -136,43 +146,68 @@ func NewMaster(e *sim.Engine, interval sim.Duration, notify func(Alert)) *Master
 }
 
 // AddAgent registers a host's agent with the master.
-func (m *Master) AddAgent(a *Agent) { m.agents[a.Host] = a }
+func (m *Master) AddAgent(a *Agent) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.agents[a.Host] = a
+}
 
 // Stop halts polling.
 func (m *Master) Stop() { m.ticker.Stop() }
 
 func (m *Master) pollAll() {
+	m.mu.Lock()
 	hosts := make([]string, 0, len(m.agents))
 	for h := range m.agents {
 		hosts = append(hosts, h)
 	}
+	m.mu.Unlock()
 	sort.Strings(hosts)
+	now := m.engine.Now()
+	var fired []Alert
 	for _, h := range hosts {
+		m.mu.Lock()
 		a := m.agents[h]
+		m.mu.Unlock()
 		for _, name := range a.CheckNames() {
+			// Run the plugin outside the lock: plugins reach into other
+			// subsystems (disk models, clouds) with locks of their own.
 			st, v, err := a.RunCheck(name)
 			if err != nil {
 				st = StateUnknown
 			}
-			m.ChecksRun++
 			key := h + "/" + name
+			m.mu.Lock()
+			m.ChecksRun++
 			if st != m.last[key] && st != StateOK {
-				al := Alert{Host: h, Check: name, State: st, Value: v, At: m.engine.Now()}
+				al := Alert{Host: h, Check: name, State: st, Value: v, At: now}
 				m.alerts = append(m.alerts, al)
-				if m.notify != nil {
-					m.notify(al)
-				}
+				fired = append(fired, al)
 			}
 			m.last[key] = st
+			m.mu.Unlock()
+		}
+	}
+	if m.notify != nil {
+		for _, al := range fired {
+			m.notify(al)
 		}
 	}
 }
 
 // Alerts returns all fired alerts.
-func (m *Master) Alerts() []Alert { return append([]Alert(nil), m.alerts...) }
+func (m *Master) Alerts() []Alert {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return append([]Alert(nil), m.alerts...)
+}
 
 // StateOf returns the last observed state of host/check.
-func (m *Master) StateOf(host, check string) State { return m.last[host+"/"+check] }
+func (m *Master) StateOf(host, check string) State {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.last[host+"/"+check]
+}
 
 // --- the in-house cloud usage monitor ---
 
@@ -187,11 +222,15 @@ type UsageSnapshot struct {
 	ActiveUsers int
 }
 
-// UsageMonitor samples IaaS clouds periodically.
+// UsageMonitor samples IaaS clouds periodically. sample fires on the
+// clock-driving goroutine while PublicStatus serves web requests; mu
+// covers the snapshot table.
 type UsageMonitor struct {
 	engine *sim.Engine
 	clouds []*iaas.Cloud
 	ticker *sim.Ticker
+
+	mu     sync.Mutex
 	latest map[string]UsageSnapshot
 }
 
@@ -204,6 +243,7 @@ func NewUsageMonitor(e *sim.Engine, clouds []*iaas.Cloud, interval sim.Duration)
 
 func (um *UsageMonitor) sample() {
 	for _, c := range um.clouds {
+		// Query the cloud before taking um.mu; each call locks the cloud.
 		byUser := c.RunningByUser()
 		snap := UsageSnapshot{
 			At: um.engine.Now(), Cloud: c.Name,
@@ -213,12 +253,16 @@ func (um *UsageMonitor) sample() {
 		for _, v := range byUser {
 			snap.RunningVMs += v[0]
 		}
+		um.mu.Lock()
 		um.latest[c.Name] = snap
+		um.mu.Unlock()
 	}
 }
 
 // PublicStatus returns the latest snapshot per cloud, sorted by name.
 func (um *UsageMonitor) PublicStatus() []UsageSnapshot {
+	um.mu.Lock()
+	defer um.mu.Unlock()
 	names := make([]string, 0, len(um.latest))
 	for n := range um.latest {
 		names = append(names, n)

@@ -1,0 +1,72 @@
+package sim
+
+import (
+	"sync"
+	"time"
+)
+
+// Driver advances a shared Engine in wall-clock time: every Interval of
+// real time it runs the engine forward by the elapsed wall time multiplied
+// by Speedup. This is what turns the discrete-event federation into a live
+// service — billing pollers, monitoring sweeps and VM boot timers all fire
+// while HTTP handlers schedule against the same clock.
+//
+// The driver is the engine's single clock-driving goroutine (see the
+// shared-mode contract in the package docs); everything else may only
+// schedule, cancel and read.
+type Driver struct {
+	engine   *Engine
+	speedup  float64
+	interval time.Duration
+
+	stopOnce sync.Once
+	stop     chan struct{}
+	done     chan struct{}
+}
+
+// StartDriver switches e into shared mode and starts a goroutine advancing
+// it: speedup is simulated seconds per wall second (<= 0 means 1, i.e.
+// real time), interval the wall period between advances (<= 0 means 5 ms).
+// Stop the driver before tearing the engine's world down.
+func StartDriver(e *Engine, speedup float64, interval time.Duration) *Driver {
+	if speedup <= 0 {
+		speedup = 1
+	}
+	if interval <= 0 {
+		interval = 5 * time.Millisecond
+	}
+	e.Share()
+	d := &Driver{
+		engine: e, speedup: speedup, interval: interval,
+		stop: make(chan struct{}), done: make(chan struct{}),
+	}
+	go d.loop()
+	return d
+}
+
+func (d *Driver) loop() {
+	defer close(d.done)
+	tick := time.NewTicker(d.interval)
+	defer tick.Stop()
+	last := time.Now()
+	for {
+		select {
+		case <-d.stop:
+			return
+		case now := <-tick.C:
+			dt := now.Sub(last).Seconds()
+			last = now
+			if dt > 0 {
+				d.engine.RunFor(dt * d.speedup)
+			}
+		}
+	}
+}
+
+// Stop halts the driver and waits for its goroutine to exit. The engine is
+// left at whatever virtual time it reached; it remains in shared mode.
+// Stop is idempotent.
+func (d *Driver) Stop() {
+	d.stopOnce.Do(func() { close(d.stop) })
+	<-d.done
+}

@@ -1,0 +1,131 @@
+package sim
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestSharedEngineConcurrentScheduling pins the shared-mode contract: many
+// goroutines scheduling and cancelling against an engine while one
+// goroutine drives the clock. Run with -race.
+func TestSharedEngineConcurrentScheduling(t *testing.T) {
+	e := NewEngine(1)
+	e.Share()
+
+	var fired sync.Map
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	wg.Add(1)
+	go func() { // the clock driver
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				e.RunFor(10)
+			}
+		}
+	}()
+	const writers, perWriter = 8, 200
+	for w := 0; w < writers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				key := w*perWriter + i
+				h := e.After(Duration(i%7), func() { fired.Store(key, true) })
+				if i%5 == 0 {
+					h.Cancel()
+				}
+				_ = e.Now()
+				_ = e.Pending()
+			}
+		}()
+	}
+	// Let the writers finish, then give the driver time to drain.
+	done := make(chan struct{})
+	go func() {
+		wg.Wait()
+		close(done)
+	}()
+	time.Sleep(50 * time.Millisecond)
+	close(stop)
+	<-done
+
+	e.Run() // drain whatever is left, single-threaded again
+	kept := 0
+	fired.Range(func(_, _ any) bool { kept++; return true })
+	// 1 in 5 events per writer was cancelled before it could fire; at least
+	// the rest must have fired.
+	if min := writers * perWriter * 4 / 5; kept < min {
+		t.Fatalf("fired %d events, want >= %d", kept, min)
+	}
+}
+
+// TestSharedModeMatchesUnsharedTrace: enabling the lock must not change
+// single-threaded semantics.
+func TestSharedModeMatchesUnsharedTrace(t *testing.T) {
+	run := func(shared bool) []Time {
+		e := NewEngine(9)
+		if shared {
+			e.Share()
+		}
+		var trace []Time
+		tick := e.Every(3, func() { trace = append(trace, e.Now()) })
+		e.After(10, func() { tick.Stop() })
+		e.Run()
+		return trace
+	}
+	a, b := run(false), run(true)
+	if len(a) != len(b) || len(a) == 0 {
+		t.Fatalf("traces differ in length: %v vs %v", a, b)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("traces diverge at %d: %v vs %v", i, a, b)
+		}
+	}
+}
+
+func TestDriverAdvancesClock(t *testing.T) {
+	e := NewEngine(3)
+	var mu sync.Mutex
+	ticks := 0
+	e.Every(Minute, func() { mu.Lock(); ticks++; mu.Unlock() })
+
+	// 1 wall ms ≈ 1 simulated minute.
+	d := StartDriver(e, 60_000, time.Millisecond)
+	deadline := time.After(5 * time.Second)
+	for {
+		if e.Now() >= Time(10*Minute) {
+			break
+		}
+		select {
+		case <-deadline:
+			t.Fatalf("driver advanced the clock only to %v in 5 s wall", e.Now())
+		default:
+			time.Sleep(time.Millisecond)
+		}
+	}
+	d.Stop()
+	mu.Lock()
+	defer mu.Unlock()
+	if ticks < 10 {
+		t.Fatalf("minute ticker fired %d times by %v, want >= 10", ticks, e.Now())
+	}
+}
+
+func TestDriverStopHaltsAdvance(t *testing.T) {
+	e := NewEngine(4)
+	d := StartDriver(e, 1000, time.Millisecond)
+	time.Sleep(10 * time.Millisecond)
+	d.Stop()
+	at := e.Now()
+	time.Sleep(20 * time.Millisecond)
+	if e.Now() != at {
+		t.Fatalf("clock moved after Stop: %v -> %v", at, e.Now())
+	}
+}

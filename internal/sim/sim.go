@@ -15,11 +15,25 @@
 // either on pop or, once they outnumber live events, by an O(n) rebuild —
 // so a schedule-heavy workload that cancels most of its timers (retry
 // timers, timeouts that rarely fire) cannot grow the heap without bound.
+//
+// # Shared mode
+//
+// By default an Engine is single-threaded and lock-free: a scenario owns
+// its engine and drives it from one goroutine, which is the hot path the
+// sweeps exercise. Calling Share before handing the engine to multiple
+// goroutines switches it into shared mode, where every public method takes
+// an internal mutex. Event callbacks always fire with the lock released,
+// so a callback may freely call At/After/Every/Now/Cancel. Exactly one
+// goroutine — the clock driver — may call Step/Run/RunUntil/RunFor/Halt;
+// any number of goroutines may schedule, cancel and read the clock. This
+// is what lets live HTTP handlers share the clock with the Driver that
+// advances it.
 package sim
 
 import (
 	"fmt"
 	"math"
+	"sync"
 	"time"
 )
 
@@ -74,7 +88,9 @@ type event struct {
 // Handle is inert: Cancel is a no-op and Cancelled reports false. The
 // cancelled bit lives in the Handle value itself, so copies of a Handle do
 // not observe each other's Cancel calls (the engine-side effect — the event
-// not firing — is shared regardless of which copy cancelled it).
+// not firing — is shared regardless of which copy cancelled it). In shared
+// mode the bit is read and written under the engine lock, so goroutines
+// sharing one Handle may race Cancel against Cancel or Cancelled safely.
 type Handle struct {
 	e         *Engine
 	seq       uint64
@@ -86,7 +102,12 @@ type Handle struct {
 // Safe to call multiple times and after the event has fired (then it is a
 // no-op).
 func (h *Handle) Cancel() {
-	if h.e == nil || h.cancelled {
+	if h.e == nil {
+		return
+	}
+	h.e.lock()
+	defer h.e.unlock()
+	if h.cancelled {
 		return
 	}
 	h.cancelled = true
@@ -94,11 +115,24 @@ func (h *Handle) Cancel() {
 }
 
 // Cancelled reports whether Cancel was called on this Handle.
-func (h Handle) Cancelled() bool { return h.cancelled }
+func (h *Handle) Cancelled() bool {
+	if h.e == nil {
+		return false
+	}
+	h.e.lock()
+	defer h.e.unlock()
+	return h.cancelled
+}
 
 // Engine is the discrete-event scheduler. The zero value is not usable; use
 // NewEngine.
 type Engine struct {
+	// lockOn enables the internal mutex (see Share). It is written once,
+	// before any concurrent use, so the unsynchronized read in lock() is
+	// ordered by the goroutine creation that follows Share().
+	lockOn bool
+	mu     sync.Mutex
+
 	now Time
 	// queue is a 4-ary min-heap ordered by (at, seq): children of node i
 	// live at 4i+1..4i+4.
@@ -121,20 +155,50 @@ func NewEngine(seed uint64) *Engine {
 	return &Engine{rng: NewRNG(seed)}
 }
 
-// Now returns the current virtual time.
-func (e *Engine) Now() Time { return e.now }
+// Share switches the engine into shared (locked) mode. It must be called
+// before the engine becomes reachable from more than one goroutine; the
+// goroutines started afterwards observe the flag through the usual
+// happens-before of goroutine creation. There is no way back to lock-free
+// mode. Calling Share more than once is harmless.
+func (e *Engine) Share() { e.lockOn = true }
 
-// RNG returns the engine's deterministic random source.
+func (e *Engine) lock() {
+	if e.lockOn {
+		e.mu.Lock()
+	}
+}
+
+func (e *Engine) unlock() {
+	if e.lockOn {
+		e.mu.Unlock()
+	}
+}
+
+// Now returns the current virtual time.
+func (e *Engine) Now() Time {
+	e.lock()
+	defer e.unlock()
+	return e.now
+}
+
+// RNG returns the engine's deterministic random source. The RNG is not
+// protected by shared mode; only single-threaded scenario code may use it.
 func (e *Engine) RNG() *RNG { return e.rng }
 
 // Fired returns the number of events executed so far.
-func (e *Engine) Fired() uint64 { return e.fired }
+func (e *Engine) Fired() uint64 {
+	e.lock()
+	defer e.unlock()
+	return e.fired
+}
 
 // Pending returns the number of live (non-cancelled) events still queued.
 // The count is exact except after Cancel calls on already-fired events
 // (a documented no-op): each leaves a stale tombstone that under-counts
 // Pending by one until the next compaction sweeps it away.
 func (e *Engine) Pending() int {
+	e.lock()
+	defer e.unlock()
 	if n := len(e.queue) - len(e.cancelled); n > 0 {
 		return n
 	}
@@ -143,18 +207,32 @@ func (e *Engine) Pending() int {
 
 // SetTrace installs a trace sink invoked by Tracef. A nil sink disables
 // tracing.
-func (e *Engine) SetTrace(fn func(t Time, msg string)) { e.trace = fn }
+func (e *Engine) SetTrace(fn func(t Time, msg string)) {
+	e.lock()
+	defer e.unlock()
+	e.trace = fn
+}
 
 // Tracef emits a trace line if tracing is enabled.
 func (e *Engine) Tracef(format string, args ...interface{}) {
-	if e.trace != nil {
-		e.trace(e.now, fmt.Sprintf(format, args...))
+	e.lock()
+	trace, now := e.trace, e.now
+	e.unlock()
+	if trace != nil {
+		trace(now, fmt.Sprintf(format, args...))
 	}
 }
 
 // At schedules fire to run at absolute time t. Scheduling in the past (t <
 // Now) panics: that is always a logic bug in a discrete-event model.
 func (e *Engine) At(t Time, fire func()) Handle {
+	e.lock()
+	defer e.unlock()
+	return e.at(t, fire)
+}
+
+// at is At with the lock already held.
+func (e *Engine) at(t Time, fire func()) Handle {
 	if t < e.now {
 		panic(fmt.Sprintf("sim: scheduling into the past: at=%v now=%v", t, e.now))
 	}
@@ -169,7 +247,9 @@ func (e *Engine) After(d Duration, fire func()) Handle {
 	if d < 0 {
 		panic(fmt.Sprintf("sim: negative delay %v", d))
 	}
-	return e.At(e.now+Time(d), fire)
+	e.lock()
+	defer e.unlock()
+	return e.at(e.now+Time(d), fire)
 }
 
 // Every schedules fire to run every period seconds, starting one period from
@@ -183,56 +263,101 @@ func (e *Engine) Every(period Duration, fire func()) *Ticker {
 	return tk
 }
 
-// Ticker is a repeating event created by Every.
+// Ticker is a repeating event created by Every. Its own mutex (not the
+// engine's) makes Stop safe to call from any goroutine while the tick
+// callback fires on the clock-driving one.
 type Ticker struct {
-	engine  *Engine
-	period  Duration
-	fire    func()
+	engine *Engine
+	period Duration
+	fire   func()
+
+	mu      sync.Mutex
 	handle  Handle
 	stopped bool
 }
 
 func (tk *Ticker) schedule() {
-	tk.handle = tk.engine.After(tk.period, func() {
-		if tk.stopped {
-			return
-		}
-		tk.fire()
-		if !tk.stopped {
-			tk.schedule()
-		}
-	})
+	h := tk.engine.After(tk.period, tk.tick)
+	tk.mu.Lock()
+	tk.handle = h
+	tk.mu.Unlock()
+}
+
+func (tk *Ticker) tick() {
+	tk.mu.Lock()
+	stopped := tk.stopped
+	tk.mu.Unlock()
+	if stopped {
+		return
+	}
+	tk.fire()
+	tk.mu.Lock()
+	stopped = tk.stopped
+	tk.mu.Unlock()
+	if !stopped {
+		tk.schedule()
+	}
 }
 
 // Stop cancels future ticks.
 func (tk *Ticker) Stop() {
+	tk.mu.Lock()
 	tk.stopped = true
-	tk.handle.Cancel()
+	h := tk.handle
+	tk.mu.Unlock()
+	h.Cancel()
 }
 
-// Halt stops the run loop after the current event returns.
+// Halt stops the run loop after the current event returns. Only the
+// clock-driving goroutine (or a callback it is firing) may call it.
 func (e *Engine) Halt() { e.halted = true }
+
+// takeNext pops the earliest live event with timestamp ≤ deadline, advances
+// the clock to it, and returns its callback — which the caller must invoke
+// with the lock released, so the callback can schedule and cancel freely.
+// It returns nil when no live event is due by deadline; with clamp set it
+// then also advances the clock to the deadline, atomically with the
+// emptiness check. The atomicity matters in shared mode: if the clamp
+// happened after the lock was dropped, a concurrent After could slip an
+// event in below the deadline and the clamp would strand it in the past.
+func (e *Engine) takeNext(deadline Time, clamp bool) func() {
+	e.lock()
+	defer e.unlock()
+	for len(e.queue) > 0 {
+		top := e.queue[0]
+		if len(e.cancelled) > 0 {
+			if _, dead := e.cancelled[top.seq]; dead {
+				delete(e.cancelled, top.seq)
+				e.pop()
+				continue
+			}
+		}
+		if top.at > deadline {
+			break
+		}
+		if top.at < e.now {
+			panic("sim: event queue time went backwards")
+		}
+		e.pop()
+		e.now = top.at
+		e.fired++
+		return top.fire
+	}
+	if clamp && e.now < deadline {
+		e.now = deadline
+	}
+	return nil
+}
 
 // Step executes the single earliest pending event. It reports false when the
 // queue is empty.
 func (e *Engine) Step() bool {
-	for len(e.queue) > 0 {
-		ev := e.pop()
-		if len(e.cancelled) > 0 {
-			if _, dead := e.cancelled[ev.seq]; dead {
-				delete(e.cancelled, ev.seq)
-				continue
-			}
-		}
-		if ev.at < e.now {
-			panic("sim: event queue time went backwards")
-		}
-		e.now = ev.at
-		e.fired++
-		ev.fire()
-		return true
+	fire := e.takeNext(Forever, false)
+	if fire == nil {
+		return false
 	}
-	return false
+	fire()
+	return true
 }
 
 // Run executes events until the queue drains or Halt is called. It returns
@@ -241,48 +366,30 @@ func (e *Engine) Run() Time {
 	e.halted = false
 	for !e.halted && e.Step() {
 	}
-	return e.now
+	return e.Now()
 }
 
 // RunUntil executes events with timestamps ≤ deadline, then sets the clock
-// to deadline (if it has not passed it already) and returns.
+// to deadline (if it has not passed it already) and returns. If Halt fires
+// during the run, the clock stays where the halt occurred instead of
+// jumping to the deadline.
 func (e *Engine) RunUntil(deadline Time) Time {
 	e.halted = false
 	for !e.halted {
-		// Peek at the earliest live event.
-		at, ok := e.peek()
-		if !ok || at > deadline {
+		fire := e.takeNext(deadline, true)
+		if fire == nil {
 			break
 		}
-		e.Step()
+		fire()
 	}
-	if e.now < deadline {
-		e.now = deadline
-	}
-	return e.now
+	return e.Now()
 }
 
 // RunFor advances the clock by d. See RunUntil.
-func (e *Engine) RunFor(d Duration) Time { return e.RunUntil(e.now + Time(d)) }
-
-// peek returns the timestamp of the earliest live event, discarding any
-// cancelled events that have reached the top of the heap.
-func (e *Engine) peek() (Time, bool) {
-	for len(e.queue) > 0 {
-		if len(e.cancelled) > 0 {
-			if _, dead := e.cancelled[e.queue[0].seq]; dead {
-				delete(e.cancelled, e.queue[0].seq)
-				e.pop()
-				continue
-			}
-		}
-		return e.queue[0].at, true
-	}
-	return 0, false
-}
+func (e *Engine) RunFor(d Duration) Time { return e.RunUntil(e.Now() + Time(d)) }
 
 // cancel tombstones seq and compacts the heap once tombstones outnumber
-// live events.
+// live events. Caller (Handle.Cancel) holds the lock in shared mode.
 func (e *Engine) cancel(seq uint64) {
 	if len(e.queue) == 0 {
 		// Nothing is pending, so this seq (and any lingering tombstone)

@@ -52,6 +52,11 @@ func SimulateShared(rng *sim.RNG, path Path, ctrls []Controller, totalBytes []in
 
 	type flowState struct {
 		remaining float64
+		// retrans accumulates fractional lost packets across ticks; the
+		// per-tick losses of a slow flow are routinely < 1 packet, so
+		// truncating every tick would systematically undercount. Rounded
+		// into Result.Retransmit once, at flow completion.
+		retrans   float64
 		sinceCtrl sim.Duration
 		lossInWin bool
 		done      bool
@@ -100,7 +105,7 @@ func SimulateShared(rng *sim.RNG, path Path, ctrls []Controller, totalBytes []in
 				lost = sent
 			}
 			arrived := sent - lost
-			results[i].Retransmit += int64(lost + congDrops)
+			flows[i].retrans += lost + congDrops
 			if lost > 0 || congDrops >= 1 {
 				flows[i].lossInWin = true
 			}
@@ -117,6 +122,7 @@ func SimulateShared(rng *sim.RNG, path Path, ctrls []Controller, totalBytes []in
 					dt -= over / deliveredNow * tick
 				}
 				results[i].Duration = t + dt
+				results[i].Retransmit = int64(math.Round(flows[i].retrans))
 				flows[i].done = true
 				active--
 			}

@@ -106,3 +106,26 @@ func TestSharedCapsThrottlePerFlow(t *testing.T) {
 		t.Fatalf("capped flow ran at %.0f mbit/s past its 100 mbit/s cap", mbit)
 	}
 }
+
+// TestSharedFractionalDropsAccumulate is the SimulateShared mirror of
+// TestSimulateFractionalDropsAccumulate: sub-packet per-tick drops must
+// accumulate instead of truncating to zero every tick.
+func TestSharedFractionalDropsAccumulate(t *testing.T) {
+	path := Path{BandwidthBps: 100e6, RTT: 0.01, Loss: 0, MSS: 1000}
+	ctrls := []Controller{&stubNoBackoff{interval: 0.01, pps: 12550}}
+	results := SimulateShared(sim.NewRNG(3), path, ctrls, []int64{10_000_000}, Caps{})
+	if got := results[0].Retransmit; got < 35 || got > 45 {
+		t.Fatalf("retransmits = %d, want ~40 (fractional drops must accumulate)", got)
+	}
+}
+
+// stubNoBackoff keeps a constant rate regardless of loss feedback.
+type stubNoBackoff struct {
+	interval sim.Duration
+	pps      float64
+}
+
+func (c *stubNoBackoff) Name() string           { return "stub-constant" }
+func (c *stubNoBackoff) Interval() sim.Duration { return c.interval }
+func (c *stubNoBackoff) RatePps() float64       { return c.pps }
+func (c *stubNoBackoff) OnInterval(bool)        {}

@@ -150,6 +150,10 @@ func Simulate(rng *sim.RNG, path Path, ctrl Controller, totalBytes int64, caps C
 
 	var delivered float64
 	var t sim.Duration
+	// Fractional lost packets accumulate across intervals and are rounded
+	// once at the end; truncating per interval undercounts slow flows
+	// whose per-interval loss is < 1 packet (mirrored in SimulateShared).
+	var retrans float64
 	for delivered < float64(totalBytes) {
 		dt := ctrl.Interval()
 		rawPps := ctrl.RatePps()
@@ -178,7 +182,7 @@ func Simulate(rng *sim.RNG, path Path, ctrl Controller, totalBytes int64, caps C
 		// arrivals as goodput and drops as retransmissions is exact in the
 		// steady state (duplicates are rare enough to ignore).
 		arrived := sent - lost
-		res.Retransmit += int64(lost + congDrops)
+		retrans += lost + congDrops
 		deliveredNow := arrived * float64(path.MSS)
 		delivered += deliveredNow
 		if bps := deliveredNow * 8 / dt; bps > res.PeakBps {
@@ -202,6 +206,7 @@ func Simulate(rng *sim.RNG, path Path, ctrl Controller, totalBytes int64, caps C
 		}
 	}
 	res.Duration = t
+	res.Retransmit = int64(math.Round(retrans))
 	return res
 }
 

@@ -149,3 +149,18 @@ func TestResultThroughputZeroDuration(t *testing.T) {
 		t.Fatal("zero-duration result must report zero throughput")
 	}
 }
+
+// TestSimulateFractionalDropsAccumulate pins the retransmit accounting for
+// slow flows: a sender 0.4% above the bottleneck drops exactly half a
+// packet per 10 ms interval, which per-interval truncation would count as
+// zero forever.
+func TestSimulateFractionalDropsAccumulate(t *testing.T) {
+	path := Path{BandwidthBps: 100e6, RTT: 0.01, Loss: 0, MSS: 1000}
+	// bottleneck = 12500 pps; offering 12550 drops 0.5 packets per 10 ms.
+	ctrl := &fixedRate{pps: 12550, dt: 0.01}
+	res := Simulate(sim.NewRNG(3), path, ctrl, 10_000_000, Caps{})
+	// 10 MB at 125 kB per interval = 80 intervals × 0.5 drops = ~40.
+	if res.Retransmit < 35 || res.Retransmit > 45 {
+		t.Fatalf("retransmits = %d, want ~40 (fractional drops must accumulate)", res.Retransmit)
+	}
+}

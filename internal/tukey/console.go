@@ -152,6 +152,12 @@ func (c *Console) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]interface{}{"datasets": c.Catalog.Search(q)})
 
 	case r.URL.Path == "/console/status" && r.Method == http.MethodGet:
+		// Cloud topology is operator data: like every other /console/*
+		// route this requires a session (it used to be the one
+		// unauthenticated leak).
+		if _, ok := c.session(w, r); !ok {
+			return
+		}
 		writeJSON(w, http.StatusOK, map[string]interface{}{"clouds": c.MW.Clouds()})
 
 	default:

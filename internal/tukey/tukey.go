@@ -30,6 +30,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"time"
 )
 
 // Provider identifies a federated login method.
@@ -125,15 +126,30 @@ type CloudConfig struct {
 	FlavorMap map[string]string
 }
 
+// session is one logged-in identity plus its wall-clock expiry (zero =
+// never expires).
+type session struct {
+	id      Identity
+	expires time.Time
+}
+
 // Middleware is the Tukey middleware: user DB + auth proxy + translation
 // proxies.
+//
+// Every field behind mu — the user DB, the attached clouds, the session
+// store and the counters — is read and written from concurrent HTTP
+// handlers, so all paths (including the counter increments) go through the
+// lock. The outbound cloud round trips themselves happen with the lock
+// released.
 type Middleware struct {
 	mu       sync.Mutex
 	idps     map[Provider]IdP
 	userDB   map[string][]CloudCredential // federated identifier -> creds
 	clouds   []CloudConfig
-	sessions map[string]Identity // token -> identity
+	sessions map[string]session // token -> session
 	nextTok  int
+	ttl      time.Duration    // session lifetime; 0 = sessions never expire
+	now      func() time.Time // test hook; time.Now when nil
 	client   *http.Client
 
 	Logins       int64
@@ -146,26 +162,71 @@ func NewMiddleware() *Middleware {
 	return &Middleware{
 		idps:     make(map[Provider]IdP),
 		userDB:   make(map[string][]CloudCredential),
-		sessions: make(map[string]Identity),
+		sessions: make(map[string]session),
 		client:   &http.Client{},
 	}
 }
 
+// SetSessionTTL bounds session lifetime: tokens minted after the call
+// expire ttl of wall-clock time after login and are reaped lazily on their
+// next use. ttl <= 0 restores the default (sessions live forever).
+func (m *Middleware) SetSessionTTL(ttl time.Duration) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if ttl < 0 {
+		ttl = 0
+	}
+	m.ttl = ttl
+}
+
+func (m *Middleware) wallNow() time.Time {
+	if m.now != nil {
+		return m.now()
+	}
+	return time.Now()
+}
+
 // RegisterIdP attaches an identity provider.
-func (m *Middleware) RegisterIdP(p IdP) { m.idps[p.Name()] = p }
+func (m *Middleware) RegisterIdP(p IdP) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.idps[p.Name()] = p
+}
 
 // AttachCloud registers a cloud stack.
 func (m *Middleware) AttachCloud(cfg CloudConfig) {
 	if cfg.Stack != "openstack" && cfg.Stack != "eucalyptus" {
 		panic("tukey: unsupported stack " + cfg.Stack)
 	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
 	m.clouds = append(m.clouds, cfg)
+}
+
+// cloudConfigs snapshots the attached clouds so fan-out loops can run
+// without the lock.
+func (m *Middleware) cloudConfigs() []CloudConfig {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return append([]CloudConfig(nil), m.clouds...)
+}
+
+// cloudConfigByName copies out one attached cloud's config.
+func (m *Middleware) cloudConfigByName(name string) (CloudConfig, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for _, c := range m.clouds {
+		if c.Name == name {
+			return c, true
+		}
+	}
+	return CloudConfig{}, false
 }
 
 // Clouds returns the attached cloud names in order.
 func (m *Middleware) Clouds() []string {
 	var out []string
-	for _, c := range m.clouds {
+	for _, c := range m.cloudConfigs() {
 		out = append(out, c.Name)
 	}
 	return out
@@ -182,34 +243,63 @@ func (m *Middleware) GrantCredentials(identifier string, creds ...CloudCredentia
 // proxy looks up the cloud credentials for it (§5.2). Returns a session
 // token.
 func (m *Middleware) Login(p Provider, username, secret string) (string, error) {
+	m.mu.Lock()
 	idp, ok := m.idps[p]
+	m.mu.Unlock()
 	if !ok {
 		return "", fmt.Errorf("tukey: no identity provider %q", p)
 	}
+	// The IdP assertion happens outside the lock; enrolled IdP tables are
+	// setup-time state.
 	id, err := idp.Assert(username, secret)
+	m.mu.Lock()
+	defer m.mu.Unlock()
 	if err != nil {
 		m.LoginFails++
 		return "", err
 	}
-	m.mu.Lock()
-	defer m.mu.Unlock()
 	if _, ok := m.userDB[id.Identifier]; !ok {
 		m.LoginFails++
 		return "", fmt.Errorf("tukey: %s authenticated but has no OSDC account", id.Identifier)
 	}
 	m.nextTok++
 	tok := fmt.Sprintf("tukey-sess-%06d", m.nextTok)
-	m.sessions[tok] = id
+	s := session{id: id}
+	if m.ttl > 0 {
+		s.expires = m.wallNow().Add(m.ttl)
+	}
+	m.sessions[tok] = s
 	m.Logins++
 	return tok, nil
 }
 
-// identityFor resolves a session token.
+// identityFor resolves a session token, reaping it if it has expired.
 func (m *Middleware) identityFor(token string) (Identity, bool) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	id, ok := m.sessions[token]
-	return id, ok
+	s, ok := m.sessions[token]
+	if !ok {
+		return Identity{}, false
+	}
+	if !s.expires.IsZero() && m.wallNow().After(s.expires) {
+		delete(m.sessions, token)
+		return Identity{}, false
+	}
+	return s.id, true
+}
+
+// SessionCount reports live (unexpired) sessions, reaping expired ones on
+// the way — the console's gauge of concurrent users.
+func (m *Middleware) SessionCount() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	now := m.wallNow()
+	for tok, s := range m.sessions {
+		if !s.expires.IsZero() && now.After(s.expires) {
+			delete(m.sessions, tok)
+		}
+	}
+	return len(m.sessions)
 }
 
 // credsFor returns the user's credential for a cloud, if any.
@@ -244,7 +334,7 @@ func (m *Middleware) ListServers(token string) ([]TaggedServer, error) {
 		return nil, fmt.Errorf("tukey: invalid session")
 	}
 	var out []TaggedServer
-	for _, cfg := range m.clouds {
+	for _, cfg := range m.cloudConfigs() {
 		cred, ok := m.credsFor(id, cfg.Name)
 		if !ok {
 			continue
@@ -264,8 +354,15 @@ func (m *Middleware) ListServers(token string) ([]TaggedServer, error) {
 	return out, nil
 }
 
-func (m *Middleware) listOne(cfg CloudConfig, cred CloudCredential) ([]TaggedServer, error) {
+// countTranslation bumps the translation counter under the lock.
+func (m *Middleware) countTranslation() {
+	m.mu.Lock()
 	m.Translations++
+	m.mu.Unlock()
+}
+
+func (m *Middleware) listOne(cfg CloudConfig, cred CloudCredential) ([]TaggedServer, error) {
+	m.countTranslation()
 	switch cfg.Stack {
 	case "openstack":
 		req, err := http.NewRequest("GET", cfg.Endpoint+"/v2/servers", nil)
@@ -361,13 +458,8 @@ func (m *Middleware) LaunchServer(token, cloud, name, flavor string) (*TaggedSer
 	if !ok {
 		return nil, fmt.Errorf("tukey: invalid session")
 	}
-	var cfg *CloudConfig
-	for i := range m.clouds {
-		if m.clouds[i].Name == cloud {
-			cfg = &m.clouds[i]
-		}
-	}
-	if cfg == nil {
+	cfg, ok := m.cloudConfigByName(cloud)
+	if !ok {
 		return nil, fmt.Errorf("tukey: unknown cloud %q", cloud)
 	}
 	cred, ok := m.credsFor(id, cloud)
@@ -380,7 +472,7 @@ func (m *Middleware) LaunchServer(token, cloud, name, flavor string) (*TaggedSer
 			native = f
 		}
 	}
-	m.Translations++
+	m.countTranslation()
 	switch cfg.Stack {
 	case "openstack":
 		payload := fmt.Sprintf(`{"server":{"name":%q,"flavorRef":%q}}`, name, native)
@@ -449,20 +541,15 @@ func (m *Middleware) TerminateServer(token, cloud, id string) error {
 	if !ok {
 		return fmt.Errorf("tukey: invalid session")
 	}
-	var cfg *CloudConfig
-	for i := range m.clouds {
-		if m.clouds[i].Name == cloud {
-			cfg = &m.clouds[i]
-		}
-	}
-	if cfg == nil {
+	cfg, ok := m.cloudConfigByName(cloud)
+	if !ok {
 		return fmt.Errorf("tukey: unknown cloud %q", cloud)
 	}
 	cred, ok := m.credsFor(ident, cloud)
 	if !ok {
 		return fmt.Errorf("tukey: no credentials on %s", cloud)
 	}
-	m.Translations++
+	m.countTranslation()
 	switch cfg.Stack {
 	case "openstack":
 		req, err := http.NewRequest("DELETE", cfg.Endpoint+"/v2/servers/"+id, nil)

@@ -7,6 +7,7 @@ import (
 	"net/http/httptest"
 	"strings"
 	"testing"
+	"time"
 
 	"osdc/internal/iaas"
 	"osdc/internal/sim"
@@ -263,10 +264,22 @@ func TestConsoleRequiresSession(t *testing.T) {
 	}
 }
 
-func TestConsoleStatusPublic(t *testing.T) {
+func TestConsoleStatusRequiresSession(t *testing.T) {
 	_, srv := consoleRig(t)
+	// Unauthenticated: the topology must not leak.
 	resp := consoleDo(t, srv, "GET", "/console/status", "", "")
+	if resp.StatusCode != http.StatusUnauthorized {
+		t.Fatalf("unauthenticated status = %d, want 401", resp.StatusCode)
+	}
+	resp.Body.Close()
+
+	// With a session the clouds are listed as before.
+	tok := consoleLogin(t, srv)
+	resp = consoleDo(t, srv, "GET", "/console/status", tok, "")
 	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("authenticated status = %d, want 200", resp.StatusCode)
+	}
 	var out struct {
 		Clouds []string `json:"clouds"`
 	}
@@ -275,6 +288,54 @@ func TestConsoleStatusPublic(t *testing.T) {
 	}
 	if len(out.Clouds) != 2 {
 		t.Fatalf("clouds = %v", out.Clouds)
+	}
+}
+
+func TestSessionExpiry(t *testing.T) {
+	r := newRig(t)
+	clock := time.Unix(1_350_000_000, 0) // any fixed instant
+	r.mw.now = func() time.Time { return clock }
+	r.mw.SetSessionTTL(30 * time.Minute)
+
+	tok, err := r.mw.Login(Shibboleth, "alice", "pw1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := r.mw.identityFor(tok); !ok {
+		t.Fatal("fresh session rejected")
+	}
+	if n := r.mw.SessionCount(); n != 1 {
+		t.Fatalf("session count = %d, want 1", n)
+	}
+
+	clock = clock.Add(31 * time.Minute)
+	if _, ok := r.mw.identityFor(tok); ok {
+		t.Fatal("expired session accepted")
+	}
+	if n := r.mw.SessionCount(); n != 0 {
+		t.Fatalf("session count after expiry = %d, want 0", n)
+	}
+	// A new login mints a fresh, valid session.
+	tok2, err := r.mw.Login(Shibboleth, "alice", "pw1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := r.mw.identityFor(tok2); !ok {
+		t.Fatal("re-login session rejected")
+	}
+}
+
+func TestSessionsWithoutTTLNeverExpire(t *testing.T) {
+	r := newRig(t)
+	clock := time.Unix(1_350_000_000, 0)
+	r.mw.now = func() time.Time { return clock }
+	tok, err := r.mw.Login(Shibboleth, "alice", "pw1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	clock = clock.Add(1000 * time.Hour)
+	if _, ok := r.mw.identityFor(tok); !ok {
+		t.Fatal("session without TTL expired")
 	}
 }
 
