@@ -15,6 +15,7 @@ import (
 
 	"osdc/internal/billing"
 	"osdc/internal/cipher"
+	"osdc/internal/cloudapi"
 	"osdc/internal/experiments"
 	"osdc/internal/iaas"
 	"osdc/internal/scenario"
@@ -134,7 +135,7 @@ func BenchmarkSection64Billing(b *testing.B) {
 		c := iaas.NewCloud(e, "adler", "openstack", "chicago")
 		c.AddRack("r", 10)
 		c.SetQuota("u", iaas.Quota{MaxInstances: 100, MaxCores: 1000})
-		biller := billing.New(e, billing.DefaultRates(), []*iaas.Cloud{c}, nil)
+		biller := billing.New(e, billing.DefaultRates(), []cloudapi.CloudAPI{cloudapi.NewLocal(c)}, nil)
 		for v := 0; v < 8; v++ {
 			if _, err := c.Launch("u", "vm", "m1.large", ""); err != nil {
 				b.Fatal(err)

@@ -3,13 +3,16 @@
 //
 // Usage:
 //
-//	osdc-bench [-exp all|<name>] [-seed N] [-seeds N] [-parallel N] [-json] [-list]
+//	osdc-bench [-exp all|<name>] [-seed N] [-seeds N] [-parallel N]
+//	           [-param k=v,k2=v2] [-json] [-list]
 //
 // With -seeds 1 (the default) each scenario runs once and prints its
 // paper-style table. With -seeds N > 1 the seeds fan out over a worker
 // pool (-parallel, default NumCPU) and the per-metric mean/std/min/max
-// aggregates are printed instead. -json emits the same results as JSON;
-// -list enumerates the registered scenarios.
+// aggregates are printed instead. -param overrides a parametric scenario's
+// workload shape (e.g. -exp console-load -param users=32,think-ms=5) and
+// requires naming one scenario with -exp. -json emits the same results as
+// JSON; -list enumerates the registered scenarios with their parameters.
 //
 // Experiments live in internal/experiments and self-register into
 // internal/scenario; adding a scenario there makes it appear here with no
@@ -23,6 +26,8 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"sort"
+	"strconv"
 	"strings"
 
 	_ "osdc/internal/experiments" // populate the scenario registry
@@ -55,6 +60,7 @@ func run(args []string, stdout io.Writer) error {
 	parallel := fs.Int("parallel", 0, "sweep workers (0 = NumCPU)")
 	asJSON := fs.Bool("json", false, "emit JSON instead of formatted tables")
 	list := fs.Bool("list", false, "list registered scenarios and exit")
+	params := fs.String("param", "", "comma-separated k=v overrides for a parametric scenario (requires -exp <name>)")
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
 			fs.SetOutput(stdout)
@@ -66,7 +72,10 @@ func run(args []string, stdout io.Writer) error {
 
 	if *list {
 		for _, s := range scenario.All() {
-			fmt.Fprintf(stdout, "%-16s %s\n", s.Name(), s.Describe())
+			fmt.Fprintf(stdout, "%-20s %s\n", s.Name(), s.Describe())
+			if p, ok := s.(scenario.Parametric); ok {
+				fmt.Fprintf(stdout, "%-20s params: %s\n", "", formatParams(p.Params()))
+			}
 		}
 		return nil
 	}
@@ -83,6 +92,25 @@ func run(args []string, stdout io.Writer) error {
 			return fmt.Errorf("unknown scenario %q (have: %s)", *exp, strings.Join(scenario.Names(), ", "))
 		}
 		selected = []scenario.Scenario{s}
+	}
+
+	if *params != "" {
+		if *exp == "all" {
+			return fmt.Errorf("-param requires naming one scenario with -exp")
+		}
+		overrides, err := parseParams(*params)
+		if err != nil {
+			return err
+		}
+		p, ok := selected[0].(scenario.Parametric)
+		if !ok {
+			return fmt.Errorf("scenario %q takes no parameters", *exp)
+		}
+		tuned, err := p.With(overrides)
+		if err != nil {
+			return err
+		}
+		selected[0] = tuned
 	}
 
 	var jsonOut []interface{}
@@ -120,4 +148,35 @@ func run(args []string, stdout io.Writer) error {
 		return enc.Encode(jsonOut)
 	}
 	return nil
+}
+
+// parseParams turns "users=32,think-ms=5" into a parameter map.
+func parseParams(s string) (map[string]float64, error) {
+	out := map[string]float64{}
+	for _, pair := range strings.Split(s, ",") {
+		k, v, ok := strings.Cut(strings.TrimSpace(pair), "=")
+		if !ok || k == "" {
+			return nil, fmt.Errorf("bad -param entry %q, want k=v", pair)
+		}
+		f, err := strconv.ParseFloat(v, 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad -param value in %q: %v", pair, err)
+		}
+		out[k] = f
+	}
+	return out, nil
+}
+
+// formatParams renders a parameter map as sorted k=v pairs.
+func formatParams(p map[string]float64) string {
+	keys := make([]string, 0, len(p))
+	for k := range p {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	parts := make([]string, len(keys))
+	for i, k := range keys {
+		parts[i] = fmt.Sprintf("%s=%g", k, p[k])
+	}
+	return strings.Join(parts, " ")
 }

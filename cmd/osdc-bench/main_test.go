@@ -165,3 +165,45 @@ func TestBadSeedCount(t *testing.T) {
 		t.Fatal("expected error for -seeds 0")
 	}
 }
+
+func TestParamOverridesWorkload(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-exp", "console-load", "-seed", "5", "-param", "users=2,iters=1", "-json"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	var parsed []struct {
+		Metrics map[string]float64 `json:"metrics"`
+	}
+	if err := json.Unmarshal(out.Bytes(), &parsed); err != nil {
+		t.Fatalf("-param -json: %v\n%s", err, out.String())
+	}
+	if len(parsed) != 1 || parsed[0].Metrics["users"] != 2 || parsed[0].Metrics["iterations"] != 1 {
+		t.Fatalf("params not applied: %+v", parsed)
+	}
+}
+
+func TestParamErrors(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-param", "users=2"}, &out); err == nil || !strings.Contains(err.Error(), "-exp") {
+		t.Fatalf("err = %v, want -param-requires--exp error", err)
+	}
+	if err := run([]string{"-exp", "table1", "-param", "users=2"}, &out); err == nil || !strings.Contains(err.Error(), "no parameters") {
+		t.Fatalf("err = %v, want takes-no-parameters error", err)
+	}
+	if err := run([]string{"-exp", "console-load", "-param", "bogus"}, &out); err == nil {
+		t.Fatal("malformed -param accepted")
+	}
+	if err := run([]string{"-exp", "console-load", "-param", "userz=3"}, &out); err == nil || !strings.Contains(err.Error(), "userz") {
+		t.Fatalf("err = %v, want unknown-parameter error", err)
+	}
+}
+
+func TestListShowsParams(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-list"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "users=8") {
+		t.Fatalf("-list does not show console-load params:\n%s", out.String())
+	}
+}

@@ -9,9 +9,18 @@
 // VM boot timers all fire under live traffic, and /console/usage actually
 // accrues.
 //
+// Topology: by default both clouds share the federation engine behind
+// per-cloud loopback servers (single process, one clock). With
+// -remote-clouds every cloud instead runs as its own site — a private
+// sim.Engine, its own wall-clock driver, its own HTTP listener — and the
+// console, billing and monitoring reach it only through cloudapi.Remote
+// clients speaking the cloud's native dialect, the paper's actual
+// deployment shape (§5.2, §7).
+//
 // Usage:
 //
 //	tukey-server [-addr :8080] [-speedup 60] [-session-ttl 12h]
+//	             [-remote-clouds] [-rate-limit N] [-rate-burst M]
 //
 // Then:
 //
@@ -28,69 +37,115 @@ import (
 	"net/http"
 	"time"
 
+	"osdc/internal/cloudapi"
 	"osdc/internal/core"
 	"osdc/internal/iaas"
 	"osdc/internal/sim"
 	"osdc/internal/tukey"
 )
 
+// options bundle the server knobs (one struct so tests can set exactly
+// what they exercise).
+type options struct {
+	seed         uint64
+	speedup      float64       // simulated seconds per wall second; <= 0 freezes every clock
+	sessionTTL   time.Duration // 0 = sessions never expire
+	remoteClouds bool          // per-site topology: one engine + listener per cloud
+	rateLimit    float64       // per-user console requests/second; 0 = off
+	rateBurst    float64       // per-user burst; 0 = 2× rateLimit
+}
+
 // server is the assembled service: the federation, its console handler,
-// and the clock driver keeping the simulation live.
+// the clock drivers keeping the simulation(s) live, and every listener to
+// shut down.
 type server struct {
 	fed     *core.Federation
 	console *tukey.Console
-	driver  *sim.Driver
-	close   func() // shuts the native-API listeners down
+	driver  *sim.Driver      // console-side clock; nil when frozen
+	sites   []*cloudapi.Site // per-cloud worlds in -remote-clouds mode
+	close   func()           // shuts the native-API listeners down
 }
 
-// newServer builds the federation, mounts both native cloud APIs on
-// loopback listeners, enrolls the demo researcher, and starts the clock
-// driver (speedup simulated seconds per wall second; <= 0 leaves the clock
-// stopped, which tests use to advance it manually).
-func newServer(seed uint64, speedup float64, sessionTTL time.Duration) (*server, error) {
-	f, err := core.New(core.Options{Seed: seed, Scale: 4})
+// newServer builds the federation in the requested topology, enrolls the
+// demo researcher, and starts the clock driver(s).
+func newServer(opt options) (*server, error) {
+	f, err := core.New(core.Options{Seed: opt.seed, Scale: 4})
 	if err != nil {
 		return nil, err
+	}
+	if opt.sessionTTL > 0 {
+		f.Tukey.SetSessionTTL(opt.sessionTTL)
 	}
 
-	novaLn, novaURL, err := serve(&iaas.NovaAPI{Cloud: f.Adler})
-	if err != nil {
-		return nil, err
-	}
-	eucaLn, eucaURL, err := serve(&iaas.EucaAPI{Cloud: f.Sullivan})
-	if err != nil {
-		novaLn.Close()
-		return nil, err
-	}
-	f.Tukey.AttachCloud(tukey.CloudConfig{Name: core.ClusterAdler, Stack: "openstack", Endpoint: novaURL})
-	f.Tukey.AttachCloud(tukey.CloudConfig{Name: core.ClusterSullivan, Stack: "eucalyptus", Endpoint: eucaURL})
-	if sessionTTL > 0 {
-		f.Tukey.SetSessionTTL(sessionTTL)
+	s := &server{fed: f, close: func() {}}
+	// apis reach each cloud's operator plane for quota administration.
+	apis := make(map[string]cloudapi.CloudAPI)
+
+	if opt.remoteClouds {
+		// Every cloud becomes a site: own engine (offset seeds keep the
+		// worlds distinct), own driver, own listener. The console-side
+		// services are rewired onto Remote transports — after this, a
+		// cloud is an address.
+		sites, err := f.StartRemoteSites(opt.seed, 4, opt.speedup)
+		if err != nil {
+			s.Close()
+			return nil, err
+		}
+		s.sites = sites
+		for _, site := range sites {
+			apis[site.Cloud.Name] = site.Remote()
+			log.Printf("cloud site %s (%s) on %s, private engine", site.Cloud.Name, site.Cloud.Stack, site.URL)
+		}
+	} else {
+		novaLn, novaURL, err := serve(cloudapi.NewServer(f.Adler))
+		if err != nil {
+			return nil, err
+		}
+		eucaLn, eucaURL, err := serve(cloudapi.NewServer(f.Sullivan))
+		if err != nil {
+			novaLn.Close()
+			return nil, err
+		}
+		s.close = func() {
+			novaLn.Close()
+			eucaLn.Close()
+		}
+		f.Tukey.AttachCloud(tukey.CloudConfig{Name: core.ClusterAdler, Stack: "openstack", Endpoint: novaURL})
+		f.Tukey.AttachCloud(tukey.CloudConfig{Name: core.ClusterSullivan, Stack: "eucalyptus", Endpoint: eucaURL})
+		apis[core.ClusterAdler] = f.AdlerAPI
+		apis[core.ClusterSullivan] = f.SullivanAPI
+		log.Printf("OSDC up: adler(openstack)=%s sullivan(eucalyptus)=%s", novaURL, eucaURL)
 	}
 
 	f.EnrollResearcher("demo", "demo-pw")
-	f.Adler.SetQuota("demo", iaas.Quota{MaxInstances: 10, MaxCores: 64})
-	f.Sullivan.SetQuota("demo", iaas.Quota{MaxInstances: 10, MaxCores: 64})
+	for _, api := range apis {
+		if err := api.SetQuota("demo", iaas.Quota{MaxInstances: 10, MaxCores: 64}); err != nil {
+			s.Close()
+			return nil, err
+		}
+	}
 
-	s := &server{
-		fed:     f,
-		console: &tukey.Console{MW: f.Tukey, Biller: f.Biller, Catalog: f.Catalog},
-		close: func() {
-			novaLn.Close()
-			eucaLn.Close()
-		},
+	s.console = &tukey.Console{MW: f.Tukey, Biller: f.Biller, Catalog: f.Catalog}
+	if opt.rateLimit > 0 {
+		burst := opt.rateBurst
+		if burst <= 0 {
+			burst = 2 * opt.rateLimit
+		}
+		s.console.Limiter = tukey.NewRateLimiter(opt.rateLimit, burst)
 	}
-	if speedup > 0 {
-		s.driver = sim.StartDriver(f.Engine, speedup, 5*time.Millisecond)
+	if opt.speedup > 0 {
+		s.driver = sim.StartDriver(f.Engine, opt.speedup, 5*time.Millisecond)
 	}
-	log.Printf("OSDC up: adler(openstack)=%s sullivan(eucalyptus)=%s", novaURL, eucaURL)
 	return s, nil
 }
 
-// Close stops the driver and the native-API listeners.
+// Close stops every driver and listener.
 func (s *server) Close() {
 	if s.driver != nil {
 		s.driver.Stop()
+	}
+	for _, site := range s.sites {
+		site.Close()
 	}
 	s.close()
 }
@@ -99,14 +154,25 @@ func main() {
 	addr := flag.String("addr", ":8080", "console listen address")
 	speedup := flag.Float64("speedup", 60, "simulated seconds advanced per wall second (0 freezes the clock)")
 	sessionTTL := flag.Duration("session-ttl", 12*time.Hour, "wall-clock session lifetime (0 = never expire)")
+	remote := flag.Bool("remote-clouds", false, "run each cloud behind its own HTTP listener with its own engine and clock driver")
+	rateLimit := flag.Float64("rate-limit", 0, "per-user console requests/second (0 = unlimited)")
+	rateBurst := flag.Float64("rate-burst", 0, "per-user burst size (0 = 2× -rate-limit)")
 	flag.Parse()
 
-	s, err := newServer(1, *speedup, *sessionTTL)
+	s, err := newServer(options{
+		seed: 1, speedup: *speedup, sessionTTL: *sessionTTL,
+		remoteClouds: *remote, rateLimit: *rateLimit, rateBurst: *rateBurst,
+	})
 	if err != nil {
 		log.Fatal(err)
 	}
 	defer s.Close()
-	log.Printf("Tukey console on %s — login with demo/demo-pw (shibboleth); clock at %gx", *addr, *speedup)
+	topology := "single-process"
+	if *remote {
+		topology = "per-site remote"
+	}
+	log.Printf("Tukey console on %s (%s topology) — login with demo/demo-pw (shibboleth); clock at %gx",
+		*addr, topology, *speedup)
 	log.Fatal(http.ListenAndServe(*addr, s.console))
 }
 

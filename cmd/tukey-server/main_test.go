@@ -9,7 +9,46 @@ import (
 	"time"
 
 	"osdc/internal/core"
+	"osdc/internal/tukey"
 )
+
+// consoleDo issues one authenticated console request.
+func consoleDo(t *testing.T, base, method, path, token, body string) *http.Response {
+	t.Helper()
+	req, err := http.NewRequest(method, base+path, strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if token != "" {
+		req.Header.Set("X-Tukey-Session", token)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp
+}
+
+// login authenticates the pre-enrolled demo researcher.
+func login(t *testing.T, base string) string {
+	t.Helper()
+	resp, err := http.Post(base+"/login", "application/json",
+		strings.NewReader(`{"provider":"shibboleth","username":"demo","secret":"demo-pw"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out struct {
+		Token string `json:"token"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Token == "" {
+		t.Fatal("no session token")
+	}
+	return out.Token
+}
 
 // TestUsageAccruesThroughHTTP is the regression test for the frozen-clock
 // bug: tukey-server used to build the federation but never step the
@@ -18,46 +57,19 @@ import (
 // through the HTTP route within wall seconds.
 func TestUsageAccruesThroughHTTP(t *testing.T) {
 	// 1 wall second ≈ 1 simulated day: minute polls land immediately.
-	s, err := newServer(7, 86_400, 0)
+	s, err := newServer(options{seed: 7, speedup: 86_400})
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer s.Close()
 	srv := httptest.NewServer(s.console)
 	defer srv.Close()
-
-	// Login as the pre-enrolled demo researcher.
-	resp, err := http.Post(srv.URL+"/login", "application/json",
-		strings.NewReader(`{"provider":"shibboleth","username":"demo","secret":"demo-pw"}`))
-	if err != nil {
-		t.Fatal(err)
-	}
-	var login struct {
-		Token string `json:"token"`
-	}
-	if err := json.NewDecoder(resp.Body).Decode(&login); err != nil {
-		t.Fatal(err)
-	}
-	resp.Body.Close()
-	if login.Token == "" {
-		t.Fatal("no session token")
-	}
-	do := func(method, path, body string) *http.Response {
-		req, err := http.NewRequest(method, srv.URL+path, strings.NewReader(body))
-		if err != nil {
-			t.Fatal(err)
-		}
-		req.Header.Set("X-Tukey-Session", login.Token)
-		resp, err := http.DefaultClient.Do(req)
-		if err != nil {
-			t.Fatal(err)
-		}
-		return resp
-	}
+	tok := login(t, srv.URL)
 
 	// Launch a VM on each cloud through the console.
 	for _, cloud := range []string{core.ClusterAdler, core.ClusterSullivan} {
-		resp := do("POST", "/console/launch", `{"cloud":"`+cloud+`","name":"reg","flavor":"m1.large"}`)
+		resp := consoleDo(t, srv.URL, "POST", "/console/launch", tok,
+			`{"cloud":"`+cloud+`","name":"reg","flavor":"m1.large"}`)
 		if resp.StatusCode != http.StatusAccepted {
 			t.Fatalf("launch on %s: status %d", cloud, resp.StatusCode)
 		}
@@ -68,7 +80,7 @@ func TestUsageAccruesThroughHTTP(t *testing.T) {
 	// poller has metered the VMs: poll the HTTP route, not the internals.
 	deadline := time.Now().Add(10 * time.Second)
 	for {
-		resp := do("GET", "/console/usage", "")
+		resp := consoleDo(t, srv.URL, "GET", "/console/usage", tok, "")
 		var usage struct {
 			CoreHours float64 `json:"core_hours"`
 			Cycle     int     `json:"cycle"`
@@ -93,7 +105,7 @@ func TestUsageAccruesThroughHTTP(t *testing.T) {
 // TestFrozenClockStaysAtZero pins the opt-out: with speedup 0 the engine
 // never advances, which is what the old tukey-server did unconditionally.
 func TestFrozenClockStaysAtZero(t *testing.T) {
-	s, err := newServer(8, 0, 0)
+	s, err := newServer(options{seed: 8})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -103,5 +115,139 @@ func TestFrozenClockStaysAtZero(t *testing.T) {
 	}
 	if s.fed.Engine.Now() != 0 {
 		t.Fatalf("clock = %v, want 0", s.fed.Engine.Now())
+	}
+}
+
+// TestRemoteCloudsFullConsoleFlow is the -remote-clouds acceptance walk:
+// each cloud behind its own HTTP listener with its own engine and driver,
+// and the whole console flow — login → status → launch → list → usage →
+// terminate — working over Remote transports only.
+func TestRemoteCloudsFullConsoleFlow(t *testing.T) {
+	s, err := newServer(options{seed: 9, speedup: 86_400, remoteClouds: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if len(s.sites) != 2 {
+		t.Fatalf("%d cloud sites, want 2", len(s.sites))
+	}
+	if s.sites[0].URL == s.sites[1].URL {
+		t.Fatal("both clouds share one listener")
+	}
+	if s.sites[0].Engine == s.sites[1].Engine || s.sites[0].Engine == s.fed.Engine {
+		t.Fatal("cloud sites must not share an engine")
+	}
+	srv := httptest.NewServer(s.console)
+	defer srv.Close()
+	tok := login(t, srv.URL)
+
+	// Status: both remote clouds attached.
+	resp := consoleDo(t, srv.URL, "GET", "/console/status", tok, "")
+	var status struct {
+		Clouds []string `json:"clouds"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&status); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if len(status.Clouds) != 2 {
+		t.Fatalf("clouds = %v, want both remote sites", status.Clouds)
+	}
+
+	// Launch on each cloud (each request crosses console → middleware →
+	// remote dialect → site listener).
+	for _, cloud := range []string{core.ClusterAdler, core.ClusterSullivan} {
+		resp := consoleDo(t, srv.URL, "POST", "/console/launch", tok,
+			`{"cloud":"`+cloud+`","name":"remote-vm","flavor":"m1.large"}`)
+		if resp.StatusCode != http.StatusAccepted {
+			t.Fatalf("launch on %s: status %d", cloud, resp.StatusCode)
+		}
+		resp.Body.Close()
+	}
+
+	// The aggregated listing shows both clouds' VMs.
+	resp = consoleDo(t, srv.URL, "GET", "/console/instances", tok, "")
+	var list struct {
+		Servers []tukey.TaggedServer `json:"servers"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&list); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if len(list.Servers) != 2 {
+		t.Fatalf("aggregated %d servers, want 2: %+v", len(list.Servers), list.Servers)
+	}
+	byCloud := map[string]tukey.TaggedServer{}
+	for _, srv := range list.Servers {
+		byCloud[srv.Cloud] = srv
+	}
+	if len(byCloud) != 2 {
+		t.Fatalf("servers not spread across both clouds: %+v", list.Servers)
+	}
+
+	// Usage accrues: the console-engine biller polls the sites over HTTP.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		resp := consoleDo(t, srv.URL, "GET", "/console/usage", tok, "")
+		var usage struct {
+			CoreHours float64 `json:"core_hours"`
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&usage); err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if usage.CoreHours > 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("usage still zero after 10 s wall in remote topology")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	// Terminate both; the listing empties.
+	for cloud, srvr := range byCloud {
+		resp := consoleDo(t, srv.URL, "POST", "/console/terminate", tok,
+			`{"cloud":"`+cloud+`","id":"`+srvr.ID+`"}`)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("terminate %s on %s: status %d", srvr.ID, cloud, resp.StatusCode)
+		}
+		resp.Body.Close()
+	}
+	resp = consoleDo(t, srv.URL, "GET", "/console/instances", tok, "")
+	list.Servers = nil
+	if err := json.NewDecoder(resp.Body).Decode(&list); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if len(list.Servers) != 0 {
+		t.Fatalf("servers after terminate = %+v", list.Servers)
+	}
+}
+
+// TestRateLimitFlag wires the -rate-limit flag through to 429s: a burst of
+// requests from one user exhausts their bucket while the next user still
+// gets through.
+func TestRateLimitFlag(t *testing.T) {
+	s, err := newServer(options{seed: 10, rateLimit: 1, rateBurst: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	srv := httptest.NewServer(s.console)
+	defer srv.Close()
+	tok := login(t, srv.URL) // spends 1 of demo's 3 tokens
+
+	limited := false
+	for i := 0; i < 5; i++ {
+		resp := consoleDo(t, srv.URL, "GET", "/console/status", tok, "")
+		resp.Body.Close()
+		if resp.StatusCode == http.StatusTooManyRequests {
+			limited = true
+			break
+		}
+	}
+	if !limited {
+		t.Fatal("burst of 6 requests against burst=3 never saw 429")
 	}
 }

@@ -13,10 +13,12 @@ package billing
 
 import (
 	"fmt"
+	"hash/fnv"
 	"sort"
 	"sync"
+	"sync/atomic"
 
-	"osdc/internal/iaas"
+	"osdc/internal/cloudapi"
 	"osdc/internal/sim"
 )
 
@@ -61,21 +63,39 @@ type Invoice struct {
 	FreeCredit float64
 }
 
+// usageShards is the accumulator shard count. At millions of users one
+// mutex over every accumulator serializes the pollers against every
+// console usage read; sharding by user hash (the same trick as sim's heap
+// sharding) keeps contention bounded by shard, not by population.
+const usageShards = 16
+
+// usageShard is one lock's worth of per-user accumulators.
+type usageShard struct {
+	mu    sync.Mutex
+	usage map[string]*Usage
+}
+
 // Biller polls clouds and storage and cuts monthly invoices.
 //
 // The pollers fire on the clock-driving goroutine while the Tukey console
-// reads CurrentUsage/Invoices/Cycle from HTTP handlers; mu covers the
-// accumulators, the invoice history and the cycle counter. Polls is
-// exported for tests and is only written under mu; read it only when no
-// poller can fire.
+// reads CurrentUsage/Invoices/Cycle from HTTP handlers. Per-user
+// accumulators live in 16 user-hash shards, each behind its own mutex, so
+// one hot reader no longer serializes every other user; the invoice
+// history and cycle counter have their own lock, and the poll counters are
+// atomics.
+//
+// The clouds are reached only through cloudapi.CloudAPI: in the
+// single-process topology they are Local wrappers sharing the engine, in
+// the remote topology they are HTTP clients — metering does not care.
 type Biller struct {
 	engine  *sim.Engine
 	rates   Rates
-	clouds  []*iaas.Cloud
+	clouds  []cloudapi.CloudAPI
 	storage StorageFunc
 
-	mu      sync.Mutex
-	usage   map[string]*Usage
+	shards [usageShards]usageShard
+
+	histMu  sync.Mutex
 	history []Invoice
 	cycle   int
 
@@ -83,7 +103,11 @@ type Biller struct {
 	pollDay *sim.Ticker
 	pollMon *sim.Ticker
 
-	Polls int64
+	// Polls counts completed per-minute VM sweeps; PollErrors counts
+	// per-cloud sample failures (an unreachable remote site). Both are
+	// atomics — read them with atomic.LoadInt64 while pollers may fire.
+	Polls      int64
+	PollErrors int64
 }
 
 // DaysPerCycle is the billing month (30 days).
@@ -91,10 +115,10 @@ const DaysPerCycle = 30
 
 // New starts a biller: per-minute VM polling, daily storage sampling, and a
 // 30-day invoice cycle, all on the simulation clock.
-func New(e *sim.Engine, rates Rates, clouds []*iaas.Cloud, storage StorageFunc) *Biller {
-	b := &Biller{
-		engine: e, rates: rates, clouds: clouds, storage: storage,
-		usage: make(map[string]*Usage), cycle: 1,
+func New(e *sim.Engine, rates Rates, clouds []cloudapi.CloudAPI, storage StorageFunc) *Biller {
+	b := &Biller{engine: e, rates: rates, clouds: clouds, storage: storage, cycle: 1}
+	for i := range b.shards {
+		b.shards[i].usage = make(map[string]*Usage)
 	}
 	b.pollMin = e.Every(sim.Minute, b.pollVMs)
 	b.pollDay = e.Every(sim.Day, b.pollStorage)
@@ -109,33 +133,60 @@ func (b *Biller) Stop() {
 	b.pollMon.Stop()
 }
 
-func (b *Biller) user(u string) *Usage {
-	if x, ok := b.usage[u]; ok {
+// shardFor hashes a user onto its accumulator shard.
+func (b *Biller) shardFor(user string) *usageShard {
+	h := fnv.New32a()
+	_, _ = h.Write([]byte(user))
+	return &b.shards[h.Sum32()%usageShards]
+}
+
+// accrueCores credits one minute-sample of cores to user.
+func (b *Biller) accrueCores(user string, cores int) {
+	sh := b.shardFor(user)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	u := sh.user(user)
+	u.CoreMinutes += float64(cores)
+	u.Samples++
+}
+
+// accrueGB credits a daily storage sample to user.
+func (b *Biller) accrueGB(user string, bytes int64) {
+	sh := b.shardFor(user)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	sh.user(user).GBDays += float64(bytes) / float64(1<<30)
+}
+
+// user returns the accumulator for u, creating it; callers hold sh.mu.
+func (sh *usageShard) user(u string) *Usage {
+	if x, ok := sh.usage[u]; ok {
 		return x
 	}
 	x := &Usage{User: u}
-	b.usage[u] = x
+	sh.usage[u] = x
 	return x
 }
 
 // pollVMs samples every cloud: one sample = one minute of the user's
 // currently allocated cores.
 func (b *Biller) pollVMs() {
-	// Sample the clouds before taking b.mu: RunningByUser takes each
-	// cloud's own lock, and holding one service lock while acquiring
-	// another is how deadlocks start.
-	samples := make([]map[string][2]int, 0, len(b.clouds))
+	// Sample the clouds before touching any shard: a sample is a lock
+	// acquisition (Local) or a network round trip (Remote), and holding
+	// one service lock while taking another is how deadlocks start.
+	samples := make([]cloudapi.Usage, 0, len(b.clouds))
 	for _, c := range b.clouds {
-		samples = append(samples, c.RunningByUser())
+		u, err := c.Usage()
+		if err != nil {
+			atomic.AddInt64(&b.PollErrors, 1)
+			continue
+		}
+		samples = append(samples, u)
 	}
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	b.Polls++
-	for _, byUser := range samples {
-		for user, v := range byUser {
-			u := b.user(user)
-			u.CoreMinutes += float64(v[1])
-			u.Samples++
+	atomic.AddInt64(&b.Polls, 1)
+	for _, sample := range samples {
+		for user, v := range sample.ByUser {
+			b.accrueCores(user, v.Cores)
 		}
 	}
 }
@@ -145,25 +196,42 @@ func (b *Biller) pollStorage() {
 	if b.storage == nil {
 		return
 	}
-	stored := b.storage()
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	for user, bytes := range stored {
-		b.user(user).GBDays += float64(bytes) / float64(1<<30)
+	for user, bytes := range b.storage() {
+		b.accrueGB(user, bytes)
 	}
 }
 
 // closeCycle cuts invoices and resets the accumulators.
 func (b *Biller) closeCycle() {
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	users := make([]string, 0, len(b.usage))
-	for u := range b.usage {
+	// histMu is taken for the whole close, before any shard is drained:
+	// a console handler that reads a freshly reset accumulator (zero
+	// usage) then asks Cycle()/Invoices() blocks here and observes the
+	// *new* cycle with the old cycle's invoices cut — never "no usage" in
+	// a cycle it accrued in. Lock order histMu → shard is safe because no
+	// other path holds a shard lock while taking histMu.
+	b.histMu.Lock()
+	defer b.histMu.Unlock()
+
+	// Drain every shard. Pollers interleaving mid-drain would split a
+	// user's sample between two cycles, but both tickers fire on the
+	// clock-driving goroutine, so drain and accrual never overlap.
+	all := make(map[string]*Usage)
+	for i := range b.shards {
+		sh := &b.shards[i]
+		sh.mu.Lock()
+		for name, u := range sh.usage {
+			all[name] = u
+		}
+		sh.usage = make(map[string]*Usage)
+		sh.mu.Unlock()
+	}
+	users := make([]string, 0, len(all))
+	for u := range all {
 		users = append(users, u)
 	}
 	sort.Strings(users)
 	for _, name := range users {
-		u := b.usage[name]
+		u := all[name]
 		inv := Invoice{User: name, Cycle: b.cycle}
 		inv.CoreHours = u.CoreHours()
 		billable := inv.CoreHours - b.rates.FreeCoreHours
@@ -179,15 +247,16 @@ func (b *Biller) closeCycle() {
 		inv.Total = inv.Compute + inv.Storage
 		b.history = append(b.history, inv)
 	}
-	b.usage = make(map[string]*Usage)
 	b.cycle++
 }
 
-// CurrentUsage is what the web console shows mid-cycle.
+// CurrentUsage is what the web console shows mid-cycle; it takes only the
+// caller's shard lock.
 func (b *Biller) CurrentUsage(user string) Usage {
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	if u, ok := b.usage[user]; ok {
+	sh := b.shardFor(user)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if u, ok := sh.usage[user]; ok {
 		return *u
 	}
 	return Usage{User: user}
@@ -195,8 +264,8 @@ func (b *Biller) CurrentUsage(user string) Usage {
 
 // Invoices returns cut invoices, optionally filtered by user ("" = all).
 func (b *Biller) Invoices(user string) []Invoice {
-	b.mu.Lock()
-	defer b.mu.Unlock()
+	b.histMu.Lock()
+	defer b.histMu.Unlock()
 	var out []Invoice
 	for _, inv := range b.history {
 		if user == "" || inv.User == user {
@@ -208,8 +277,8 @@ func (b *Biller) Invoices(user string) []Invoice {
 
 // Cycle returns the current (open) cycle number.
 func (b *Biller) Cycle() int {
-	b.mu.Lock()
-	defer b.mu.Unlock()
+	b.histMu.Lock()
+	defer b.histMu.Unlock()
 	return b.cycle
 }
 

@@ -4,6 +4,7 @@ import (
 	"math"
 	"testing"
 
+	"osdc/internal/cloudapi"
 	"osdc/internal/iaas"
 	"osdc/internal/sim"
 )
@@ -14,7 +15,7 @@ func setup(t *testing.T) (*sim.Engine, *iaas.Cloud, *Biller) {
 	c := iaas.NewCloud(e, "adler", "openstack", "chicago")
 	c.AddRack("r", 8)
 	c.SetQuota("alice", iaas.Quota{MaxInstances: 50, MaxCores: 400})
-	b := New(e, DefaultRates(), []*iaas.Cloud{c}, nil)
+	b := New(e, DefaultRates(), []cloudapi.CloudAPI{cloudapi.NewLocal(c)}, nil)
 	return e, c, b
 }
 

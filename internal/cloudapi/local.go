@@ -1,0 +1,95 @@
+package cloudapi
+
+import (
+	"osdc/internal/iaas"
+)
+
+// Local is the in-process CloudAPI backend: it wraps a *iaas.Cloud sharing
+// the caller's engine, so every simulation scenario keeps its
+// single-process determinism. Local and Remote must stay observably
+// identical — the parity test in this package holds them to it.
+type Local struct {
+	C *iaas.Cloud
+}
+
+// NewLocal wraps an in-process cloud.
+func NewLocal(c *iaas.Cloud) *Local { return &Local{C: c} }
+
+// Name implements CloudAPI.
+func (l *Local) Name() string { return l.C.Name }
+
+// Stack implements CloudAPI.
+func (l *Local) Stack() string { return l.C.Stack }
+
+// view projects an iaas snapshot copy onto the federation-level record.
+func view(i *iaas.Instance) Instance {
+	return Instance{
+		ID: i.ID, Name: i.Name, User: i.User,
+		Flavor: i.Flavor.Name, Image: i.ImageID, Status: string(i.State),
+	}
+}
+
+// Launch implements CloudAPI.
+func (l *Local) Launch(user, name, flavor, image string) (Instance, error) {
+	inst, err := l.C.Launch(user, name, flavor, image)
+	if err != nil {
+		return Instance{}, err
+	}
+	return view(inst), nil
+}
+
+// Terminate implements CloudAPI.
+func (l *Local) Terminate(user, id string) error { return l.C.Terminate(user, id) }
+
+// Instances implements CloudAPI.
+func (l *Local) Instances(user string) ([]Instance, error) {
+	var out []Instance
+	for _, i := range l.C.Instances(user) {
+		if i.State == iaas.StateTerminated {
+			continue
+		}
+		out = append(out, view(i))
+	}
+	return out, nil
+}
+
+// Instance implements CloudAPI.
+func (l *Local) Instance(id string) (Instance, error) {
+	i, ok := l.C.Instance(id)
+	if !ok {
+		return Instance{}, ErrNotFound
+	}
+	return view(i), nil
+}
+
+// Images implements CloudAPI.
+func (l *Local) Images(user string) ([]Image, error) {
+	var out []Image
+	for _, img := range l.C.Images(user) {
+		out = append(out, Image{ID: img.ID, Name: img.Name, Public: img.Public})
+	}
+	return out, nil
+}
+
+// Flavors implements CloudAPI.
+func (l *Local) Flavors() ([]iaas.Flavor, error) { return l.C.Flavors(), nil }
+
+// SetQuota implements CloudAPI.
+func (l *Local) SetQuota(user string, q iaas.Quota) error {
+	l.C.SetQuota(user, q)
+	return nil
+}
+
+// Usage implements CloudAPI.
+func (l *Local) Usage() (Usage, error) {
+	byUser := l.C.RunningByUser()
+	u := Usage{
+		ByUser:     make(map[string]UserUsage, len(byUser)),
+		UsedCores:  l.C.UsedCores(),
+		TotalCores: l.C.TotalCores(),
+	}
+	for user, v := range byUser {
+		u.ByUser[user] = UserUsage{Instances: v[0], Cores: v[1]}
+	}
+	return u, nil
+}

@@ -1,0 +1,464 @@
+package cloudapi
+
+import (
+	"encoding/json"
+	"encoding/xml"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strings"
+	"time"
+
+	"osdc/internal/iaas"
+)
+
+// Remote is the over-the-wire CloudAPI backend: an HTTP client that reaches
+// a per-cloud Server. Tenant operations speak the cloud's *native* dialect
+// — OpenStack JSON for "openstack" stacks, EC2 query calls with XML
+// responses for "eucalyptus" — exactly the translation work the Tukey
+// middleware's proxies did in-process before this layer existed (§5.2);
+// operator operations (usage, quotas, EC2 flavor listings, ID lookup) use
+// the Server's JSON plane.
+//
+// Quota and capacity rejections are mapped back onto iaas.ErrQuota /
+// iaas.ErrCapacity so callers see the same error classes through both
+// backends.
+type Remote struct {
+	name     string
+	stack    string
+	endpoint string // base URL, no trailing slash
+	client   *http.Client
+}
+
+// DefaultTimeout bounds every round trip of a Remote built with a nil
+// client. The billing and monitoring pollers call Usage() from the
+// clock-driving goroutine: without a deadline, one hung site would block
+// the driver and freeze the entire simulation clock instead of surfacing
+// as a PollErrors increment.
+const DefaultTimeout = 10 * time.Second
+
+// NewRemote builds a client for the cloud name speaking stack ("openstack"
+// or "eucalyptus") at endpoint. client may be nil for a private client
+// with DefaultTimeout.
+func NewRemote(name, stack, endpoint string, client *http.Client) *Remote {
+	if stack != "openstack" && stack != "eucalyptus" {
+		panic("cloudapi: unsupported stack " + stack)
+	}
+	if client == nil {
+		client = &http.Client{Timeout: DefaultTimeout}
+	}
+	return &Remote{name: name, stack: stack, endpoint: strings.TrimRight(endpoint, "/"), client: client}
+}
+
+// Name implements CloudAPI.
+func (r *Remote) Name() string { return r.name }
+
+// Stack implements CloudAPI.
+func (r *Remote) Stack() string { return r.stack }
+
+// Endpoint returns the base URL the client speaks to.
+func (r *Remote) Endpoint() string { return r.endpoint }
+
+// ec2ToOpenStack maps EC2 state names to OpenStack statuses — one of the
+// §5.2 "rules of the configuration file".
+func ec2ToOpenStack(s string) string {
+	switch s {
+	case "pending":
+		return "BUILD"
+	case "running":
+		return "ACTIVE"
+	case "stopped":
+		return "SHUTOFF"
+	case "terminated":
+		return "TERMINATED"
+	default:
+		return strings.ToUpper(s)
+	}
+}
+
+// launchError classifies a rejected launch: quota and capacity rejections
+// keep their iaas error classes across the wire.
+func (r *Remote) launchError(user, flavor string, status int, ecode, msg string) error {
+	switch {
+	case status == http.StatusForbidden || ecode == "InstanceLimitExceeded":
+		return fmt.Errorf("cloudapi: %s: %w", r.name, iaas.ErrQuota{User: user, Reason: msg})
+	case status == http.StatusConflict || ecode == "InsufficientInstanceCapacity":
+		return fmt.Errorf("cloudapi: %s: %w", r.name, iaas.ErrCapacity{Flavor: flavor})
+	}
+	return fmt.Errorf("cloudapi: %s rejected launch (%d): %s", r.name, status, msg)
+}
+
+// --- the OpenStack JSON dialect ---
+
+// novaWire is the wire form NovaAPI serves for one server.
+type novaWire struct {
+	ID     string `json:"id"`
+	Name   string `json:"name"`
+	Status string `json:"status"`
+	Flavor string `json:"flavorRef"`
+	Image  string `json:"imageRef"`
+	UserID string `json:"user_id"`
+}
+
+func (w novaWire) instance(user string) Instance {
+	if w.UserID != "" {
+		user = w.UserID
+	}
+	return Instance{ID: w.ID, Name: w.Name, User: user, Flavor: w.Flavor, Image: w.Image, Status: w.Status}
+}
+
+func (r *Remote) novaDo(method, path, body, user string) (*http.Response, error) {
+	var rd io.Reader
+	if body != "" {
+		rd = strings.NewReader(body)
+	}
+	req, err := http.NewRequest(method, r.endpoint+path, rd)
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("X-Auth-User", user)
+	return r.client.Do(req)
+}
+
+func (r *Remote) novaInstances(user string) ([]Instance, error) {
+	resp, err := r.novaDo(http.MethodGet, "/v2/servers", "", user)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	var body struct {
+		Servers []novaWire `json:"servers"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		return nil, err
+	}
+	var out []Instance
+	for _, s := range body.Servers {
+		out = append(out, s.instance(user))
+	}
+	return out, nil
+}
+
+func (r *Remote) novaLaunch(user, name, flavor, image string) (Instance, error) {
+	payload := fmt.Sprintf(`{"server":{"name":%q,"flavorRef":%q,"imageRef":%q}}`, name, flavor, image)
+	resp, err := r.novaDo(http.MethodPost, "/v2/servers", payload, user)
+	if err != nil {
+		return Instance{}, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		var fail struct {
+			Error struct {
+				Message string `json:"message"`
+			} `json:"error"`
+		}
+		_ = json.NewDecoder(resp.Body).Decode(&fail)
+		return Instance{}, r.launchError(user, flavor, resp.StatusCode, "", fail.Error.Message)
+	}
+	var body struct {
+		Server novaWire `json:"server"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		return Instance{}, err
+	}
+	return body.Server.instance(user), nil
+}
+
+func (r *Remote) novaTerminate(user, id string) error {
+	resp, err := r.novaDo(http.MethodDelete, "/v2/servers/"+id, "", user)
+	if err != nil {
+		return err
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNoContent {
+		return fmt.Errorf("cloudapi: terminate on %s returned %d", r.name, resp.StatusCode)
+	}
+	return nil
+}
+
+func (r *Remote) novaImages(user string) ([]Image, error) {
+	resp, err := r.novaDo(http.MethodGet, "/v2/images", "", user)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	var body struct {
+		Images []Image `json:"images"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		return nil, err
+	}
+	return body.Images, nil
+}
+
+func (r *Remote) novaFlavors() ([]iaas.Flavor, error) {
+	resp, err := r.novaDo(http.MethodGet, "/v2/flavors", "", "flavor-reader")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	var body struct {
+		Flavors []struct {
+			Name   string `json:"name"`
+			VCPUs  int    `json:"vcpus"`
+			RAMMB  int    `json:"ram"`
+			DiskGB int    `json:"disk"`
+		} `json:"flavors"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		return nil, err
+	}
+	var out []iaas.Flavor
+	for _, f := range body.Flavors {
+		out = append(out, iaas.Flavor{Name: f.Name, VCPUs: f.VCPUs, RAMMB: f.RAMMB, DiskGB: f.DiskGB})
+	}
+	return out, nil
+}
+
+// --- the EC2 query/XML dialect ---
+
+func (r *Remote) ec2Get(q url.Values) (int, []byte, error) {
+	resp, err := r.client.Get(r.endpoint + "/?" + q.Encode())
+	if err != nil {
+		return 0, nil, err
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	return resp.StatusCode, raw, err
+}
+
+// ec2FailBody extracts the error code and message from an EC2 error
+// response.
+func ec2FailBody(raw []byte) (code, msg string) {
+	var fail struct {
+		Code    string `xml:"Errors>Error>Code"`
+		Message string `xml:"Errors>Error>Message"`
+	}
+	_ = xml.Unmarshal(raw, &fail)
+	return fail.Code, fail.Message
+}
+
+func (r *Remote) ec2Instances(user string) ([]Instance, error) {
+	q := url.Values{"Action": {"DescribeInstances"}, "AWSAccessKeyId": {user}}
+	status, raw, err := r.ec2Get(q)
+	if err != nil {
+		return nil, err
+	}
+	if status != http.StatusOK {
+		_, msg := ec2FailBody(raw)
+		return nil, fmt.Errorf("cloudapi: %s DescribeInstances (%d): %s", r.name, status, msg)
+	}
+	var body struct {
+		Reservations []struct {
+			Items []struct {
+				InstanceID   string `xml:"instanceId"`
+				ImageID      string `xml:"imageId"`
+				InstanceType string `xml:"instanceType"`
+				StateName    string `xml:"instanceState>name"`
+				KeyName      string `xml:"keyName"`
+			} `xml:"instancesSet>item"`
+		} `xml:"reservationSet>item"`
+	}
+	if err := xml.Unmarshal(raw, &body); err != nil {
+		return nil, err
+	}
+	var out []Instance
+	for _, res := range body.Reservations {
+		for _, it := range res.Items {
+			out = append(out, Instance{
+				ID: it.InstanceID, Name: it.KeyName, User: user,
+				Flavor: it.InstanceType, Image: it.ImageID, Status: ec2ToOpenStack(it.StateName),
+			})
+		}
+	}
+	return out, nil
+}
+
+func (r *Remote) ec2Launch(user, name, flavor, image string) (Instance, error) {
+	q := url.Values{
+		"Action": {"RunInstances"}, "AWSAccessKeyId": {user},
+		"InstanceType": {flavor}, "KeyName": {name},
+	}
+	if image != "" {
+		q.Set("ImageId", image)
+	}
+	status, raw, err := r.ec2Get(q)
+	if err != nil {
+		return Instance{}, err
+	}
+	if status != http.StatusOK {
+		code, msg := ec2FailBody(raw)
+		return Instance{}, r.launchError(user, flavor, status, code, msg)
+	}
+	var body struct {
+		Items []struct {
+			InstanceID string `xml:"instanceId"`
+			ImageID    string `xml:"imageId"`
+			Type       string `xml:"instanceType"`
+			StateName  string `xml:"instanceState>name"`
+			KeyName    string `xml:"keyName"`
+		} `xml:"instancesSet>item"`
+	}
+	if err := xml.Unmarshal(raw, &body); err != nil {
+		return Instance{}, err
+	}
+	if len(body.Items) == 0 {
+		return Instance{}, fmt.Errorf("cloudapi: empty RunInstances response from %s", r.name)
+	}
+	it := body.Items[0]
+	return Instance{
+		ID: it.InstanceID, Name: it.KeyName, User: user,
+		Flavor: it.Type, Image: it.ImageID, Status: ec2ToOpenStack(it.StateName),
+	}, nil
+}
+
+func (r *Remote) ec2Terminate(user, id string) error {
+	q := url.Values{"Action": {"TerminateInstances"}, "AWSAccessKeyId": {user}, "InstanceId.1": {id}}
+	status, raw, err := r.ec2Get(q)
+	if err != nil {
+		return err
+	}
+	if status != http.StatusOK {
+		_, msg := ec2FailBody(raw)
+		return fmt.Errorf("cloudapi: terminate on %s returned %d: %s", r.name, status, msg)
+	}
+	return nil
+}
+
+func (r *Remote) ec2Images(user string) ([]Image, error) {
+	q := url.Values{"Action": {"DescribeImages"}, "AWSAccessKeyId": {user}}
+	status, raw, err := r.ec2Get(q)
+	if err != nil {
+		return nil, err
+	}
+	if status != http.StatusOK {
+		_, msg := ec2FailBody(raw)
+		return nil, fmt.Errorf("cloudapi: %s DescribeImages (%d): %s", r.name, status, msg)
+	}
+	var body struct {
+		Images []struct {
+			ImageID string `xml:"imageId"`
+			Name    string `xml:"name"`
+			Public  bool   `xml:"isPublic"`
+		} `xml:"imagesSet>item"`
+	}
+	if err := xml.Unmarshal(raw, &body); err != nil {
+		return nil, err
+	}
+	var out []Image
+	for _, im := range body.Images {
+		out = append(out, Image{ID: im.ImageID, Name: im.Name, Public: im.Public})
+	}
+	return out, nil
+}
+
+// --- the operator plane (JSON, stack-independent) ---
+
+func (r *Remote) operatorGet(path string, into interface{}) (int, error) {
+	resp, err := r.client.Get(r.endpoint + path)
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return resp.StatusCode, nil
+	}
+	return resp.StatusCode, json.NewDecoder(resp.Body).Decode(into)
+}
+
+// --- CloudAPI ---
+
+// Launch implements CloudAPI via the native dialect.
+func (r *Remote) Launch(user, name, flavor, image string) (Instance, error) {
+	if r.stack == "eucalyptus" {
+		return r.ec2Launch(user, name, flavor, image)
+	}
+	return r.novaLaunch(user, name, flavor, image)
+}
+
+// Terminate implements CloudAPI via the native dialect.
+func (r *Remote) Terminate(user, id string) error {
+	if r.stack == "eucalyptus" {
+		return r.ec2Terminate(user, id)
+	}
+	return r.novaTerminate(user, id)
+}
+
+// Instances implements CloudAPI via the native dialect.
+func (r *Remote) Instances(user string) ([]Instance, error) {
+	if r.stack == "eucalyptus" {
+		return r.ec2Instances(user)
+	}
+	return r.novaInstances(user)
+}
+
+// Images implements CloudAPI via the native dialect.
+func (r *Remote) Images(user string) ([]Image, error) {
+	if r.stack == "eucalyptus" {
+		return r.ec2Images(user)
+	}
+	return r.novaImages(user)
+}
+
+// Flavors implements CloudAPI: the OpenStack dialect lists flavors
+// natively; EC2 never did, so the eucalyptus path uses the operator plane.
+func (r *Remote) Flavors() ([]iaas.Flavor, error) {
+	if r.stack == "openstack" {
+		return r.novaFlavors()
+	}
+	var body struct {
+		Flavors []iaas.Flavor `json:"flavors"`
+	}
+	status, err := r.operatorGet("/cloudapi/flavors", &body)
+	if err != nil {
+		return nil, err
+	}
+	if status != http.StatusOK {
+		return nil, fmt.Errorf("cloudapi: %s flavors returned %d", r.name, status)
+	}
+	return body.Flavors, nil
+}
+
+// Instance implements CloudAPI via the operator plane.
+func (r *Remote) Instance(id string) (Instance, error) {
+	var inst Instance
+	status, err := r.operatorGet("/cloudapi/instance?id="+url.QueryEscape(id), &inst)
+	if err != nil {
+		return Instance{}, err
+	}
+	if status == http.StatusNotFound {
+		return Instance{}, ErrNotFound
+	}
+	if status != http.StatusOK {
+		return Instance{}, fmt.Errorf("cloudapi: %s instance lookup returned %d", r.name, status)
+	}
+	return inst, nil
+}
+
+// SetQuota implements CloudAPI via the operator plane.
+func (r *Remote) SetQuota(user string, q iaas.Quota) error {
+	payload := fmt.Sprintf(`{"user":%q,"max_instances":%d,"max_cores":%d}`, user, q.MaxInstances, q.MaxCores)
+	resp, err := r.client.Post(r.endpoint+"/cloudapi/quota", "application/json", strings.NewReader(payload))
+	if err != nil {
+		return err
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNoContent {
+		return fmt.Errorf("cloudapi: %s quota update returned %d", r.name, resp.StatusCode)
+	}
+	return nil
+}
+
+// Usage implements CloudAPI via the operator plane.
+func (r *Remote) Usage() (Usage, error) {
+	var u Usage
+	status, err := r.operatorGet("/cloudapi/usage", &u)
+	if err != nil {
+		return Usage{}, err
+	}
+	if status != http.StatusOK {
+		return Usage{}, fmt.Errorf("cloudapi: %s usage returned %d", r.name, status)
+	}
+	return u, nil
+}

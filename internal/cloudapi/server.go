@@ -1,0 +1,110 @@
+package cloudapi
+
+import (
+	"encoding/json"
+	"errors"
+	"net/http"
+	"strings"
+
+	"osdc/internal/iaas"
+)
+
+// Server exposes one cloud over HTTP the way a real OSDC site does: the
+// cloud's *native* API (OpenStack JSON or EC2 query/XML, per its stack) for
+// tenant operations, plus a small JSON operator plane under /cloudapi/ for
+// the pieces the native dialects never carried — usage sampling for the
+// billing and monitoring pollers, quota administration, flavor listings for
+// the EC2 dialect, and instance lookup by ID.
+//
+// One Server per cloud is the unit of federation: tukey-server's
+// -remote-clouds mode gives each its own listener and engine, and every
+// service reaches it only through Remote.
+type Server struct {
+	local  *Local
+	native http.Handler
+}
+
+// NewServer builds the per-cloud server, picking the native dialect handler
+// from the cloud's stack.
+func NewServer(c *iaas.Cloud) *Server {
+	s := &Server{local: NewLocal(c)}
+	switch c.Stack {
+	case "openstack":
+		s.native = &iaas.NovaAPI{Cloud: c}
+	case "eucalyptus":
+		s.native = &iaas.EucaAPI{Cloud: c}
+	default:
+		panic("cloudapi: unsupported stack " + c.Stack)
+	}
+	return s
+}
+
+// meta is the /cloudapi/meta discovery document.
+type meta struct {
+	Name  string `json:"name"`
+	Stack string `json:"stack"`
+	Site  string `json:"site"`
+}
+
+// quotaRequest is the /cloudapi/quota wire form.
+type quotaRequest struct {
+	User         string `json:"user"`
+	MaxInstances int    `json:"max_instances"`
+	MaxCores     int    `json:"max_cores"`
+}
+
+func serveJSON(w http.ResponseWriter, code int, v interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func serveError(w http.ResponseWriter, code int, msg string) {
+	serveJSON(w, code, map[string]string{"error": msg})
+}
+
+// ServeHTTP implements http.Handler: /cloudapi/* is the operator plane,
+// everything else passes through to the native dialect.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if !strings.HasPrefix(r.URL.Path, "/cloudapi/") {
+		s.native.ServeHTTP(w, r)
+		return
+	}
+	switch {
+	case r.URL.Path == "/cloudapi/meta" && r.Method == http.MethodGet:
+		serveJSON(w, http.StatusOK, meta{Name: s.local.C.Name, Stack: s.local.C.Stack, Site: s.local.C.Site})
+
+	case r.URL.Path == "/cloudapi/usage" && r.Method == http.MethodGet:
+		u, _ := s.local.Usage()
+		serveJSON(w, http.StatusOK, u)
+
+	case r.URL.Path == "/cloudapi/flavors" && r.Method == http.MethodGet:
+		fs, _ := s.local.Flavors()
+		serveJSON(w, http.StatusOK, map[string]interface{}{"flavors": fs})
+
+	case r.URL.Path == "/cloudapi/instance" && r.Method == http.MethodGet:
+		id := r.URL.Query().Get("id")
+		inst, err := s.local.Instance(id)
+		if errors.Is(err, ErrNotFound) {
+			serveError(w, http.StatusNotFound, "no instance "+id)
+			return
+		}
+		serveJSON(w, http.StatusOK, inst)
+
+	case r.URL.Path == "/cloudapi/quota" && r.Method == http.MethodPost:
+		var req quotaRequest
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			serveError(w, http.StatusBadRequest, "bad JSON: "+err.Error())
+			return
+		}
+		if req.User == "" {
+			serveError(w, http.StatusBadRequest, "quota needs a user")
+			return
+		}
+		_ = s.local.SetQuota(req.User, iaas.Quota{MaxInstances: req.MaxInstances, MaxCores: req.MaxCores})
+		w.WriteHeader(http.StatusNoContent)
+
+	default:
+		serveError(w, http.StatusNotFound, "no operator route "+r.Method+" "+r.URL.Path)
+	}
+}

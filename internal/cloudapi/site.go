@@ -1,0 +1,59 @@
+package cloudapi
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+	"time"
+
+	"osdc/internal/iaas"
+	"osdc/internal/sim"
+)
+
+// Site is one cloud running as its own miniature process: a private engine
+// (and optionally a wall-clock driver advancing it), the cloud it hosts,
+// and a loopback HTTP listener serving the cloud's Server. This is the
+// remote-topology building block — every service reaches a Site only
+// through a Remote pointed at its URL.
+//
+// Clock note: a Site's engine ticks independently of every other engine in
+// the process. The services tolerate that (billing samples whatever the
+// remote cloud reports now); cross-engine clock sync is the contained
+// follow-up this layer was cut for.
+type Site struct {
+	Engine *sim.Engine
+	Cloud  *iaas.Cloud
+	URL    string
+
+	driver *sim.Driver
+	ln     net.Listener
+}
+
+// StartSite serves c's per-cloud Server on an ephemeral loopback port and,
+// when speedup > 0, starts a wall-clock driver advancing e (speedup
+// simulated seconds per wall second).
+func StartSite(e *sim.Engine, c *iaas.Cloud, speedup float64) (*Site, error) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, fmt.Errorf("cloudapi: site %s: %w", c.Name, err)
+	}
+	s := &Site{Engine: e, Cloud: c, URL: "http://" + ln.Addr().String(), ln: ln}
+	go func() { _ = http.Serve(ln, NewServer(c)) }()
+	if speedup > 0 {
+		s.driver = sim.StartDriver(e, speedup, 2*time.Millisecond)
+	}
+	return s, nil
+}
+
+// Remote returns a client for this site.
+func (s *Site) Remote() *Remote {
+	return NewRemote(s.Cloud.Name, s.Cloud.Stack, s.URL, nil)
+}
+
+// Close stops the driver (if any) and the listener.
+func (s *Site) Close() {
+	if s.driver != nil {
+		s.driver.Stop()
+	}
+	_ = s.ln.Close()
+}

@@ -21,6 +21,7 @@ import (
 
 	"osdc/internal/ark"
 	"osdc/internal/billing"
+	"osdc/internal/cloudapi"
 	"osdc/internal/datasets"
 	"osdc/internal/dfs"
 	"osdc/internal/gateway"
@@ -53,6 +54,13 @@ type Federation struct {
 
 	Adler    *iaas.Cloud
 	Sullivan *iaas.Cloud
+
+	// AdlerAPI and SullivanAPI are the transports the science-cloud
+	// services use to reach the clouds: Local wrappers in this
+	// single-process assembly, swappable for Remotes via UseCloudAPIs in
+	// the per-site topology.
+	AdlerAPI    cloudapi.CloudAPI
+	SullivanAPI cloudapi.CloudAPI
 
 	AdlerGFS    *dfs.Volume // 156 TB (§7.1)
 	SullivanGFS *dfs.Volume // 38 TB
@@ -101,17 +109,10 @@ func New(opt Options) (*Federation, error) {
 	// --- compute clouds ---
 	// OSDC-Adler & Sullivan together are 1248 cores (Table 2): 156 paper
 	// servers. Split 2 racks Adler / 2 racks Sullivan.
-	f.Adler = iaas.NewCloud(e, ClusterAdler, "openstack", simnet.SiteChicagoKenwood)
-	f.Adler.AddRack("adler-r1", 39/opt.Scale)
-	f.Adler.AddRack("adler-r2", 39/opt.Scale)
-	f.Sullivan = iaas.NewCloud(e, ClusterSullivan, "eucalyptus", simnet.SiteChicagoNU)
-	f.Sullivan.AddRack("sullivan-r1", 39/opt.Scale)
-	f.Sullivan.AddRack("sullivan-r2", 39/opt.Scale)
-	for _, c := range []*iaas.Cloud{f.Adler, f.Sullivan} {
-		c.RegisterImage(iaas.Image{Name: "ubuntu-12.04-server", Public: true, Portable: true})
-		c.RegisterImage(iaas.Image{Name: "osdc-datasci", Public: true, Portable: true,
-			Tools: []string{"python-numpy", "R", "hadoop-client"}})
-	}
+	f.Adler = BuildCloud(e, ClusterAdler, opt.Scale)
+	f.Sullivan = BuildCloud(e, ClusterSullivan, opt.Scale)
+	f.AdlerAPI = cloudapi.NewLocal(f.Adler)
+	f.SullivanAPI = cloudapi.NewLocal(f.Sullivan)
 
 	// --- storage volumes (§7.1 sizes) ---
 	var err error
@@ -148,8 +149,8 @@ func New(opt Options) (*Federation, error) {
 	}
 	f.Sharing = sharing.NewStore(e)
 	f.DropDir = sharing.NewDropDir(e, f.Sharing, 10)
-	f.Biller = billing.New(e, billing.DefaultRates(), []*iaas.Cloud{f.Adler, f.Sullivan}, nil)
-	f.UsageMon = monitor.NewUsageMonitor(e, []*iaas.Cloud{f.Adler, f.Sullivan}, 5*sim.Minute)
+	f.Biller = billing.New(e, billing.DefaultRates(), []cloudapi.CloudAPI{f.AdlerAPI, f.SullivanAPI}, nil)
+	f.UsageMon = monitor.NewUsageMonitor(e, []cloudapi.CloudAPI{f.AdlerAPI, f.SullivanAPI}, 5*sim.Minute)
 
 	// --- Tukey middleware with both IdPs ---
 	f.Tukey = tukey.NewMiddleware()
@@ -175,6 +176,74 @@ func New(opt Options) (*Federation, error) {
 		}
 	}
 	return f, nil
+}
+
+// BuildCloud constructs one of the federation's utility clouds — racks,
+// images, stack dialect per Table 2 — standalone on the given engine. It is
+// the per-site building block: core.New uses it for the single-process
+// assembly, and the remote topologies (tukey-server -remote-clouds, the
+// console-load remote scenario) call it once per private engine to stand
+// each cloud up behind its own cloudapi.Server.
+func BuildCloud(e *sim.Engine, name string, scale int) *iaas.Cloud {
+	if scale < 1 {
+		scale = 1
+	}
+	var c *iaas.Cloud
+	switch name {
+	case ClusterAdler:
+		c = iaas.NewCloud(e, ClusterAdler, "openstack", simnet.SiteChicagoKenwood)
+		c.AddRack("adler-r1", 39/scale)
+		c.AddRack("adler-r2", 39/scale)
+	case ClusterSullivan:
+		c = iaas.NewCloud(e, ClusterSullivan, "eucalyptus", simnet.SiteChicagoNU)
+		c.AddRack("sullivan-r1", 39/scale)
+		c.AddRack("sullivan-r2", 39/scale)
+	default:
+		panic("core: BuildCloud knows no cloud " + name)
+	}
+	c.RegisterImage(iaas.Image{Name: "ubuntu-12.04-server", Public: true, Portable: true})
+	c.RegisterImage(iaas.Image{Name: "osdc-datasci", Public: true, Portable: true,
+		Tools: []string{"python-numpy", "R", "hadoop-client"}})
+	return c
+}
+
+// StartRemoteSites converts the federation to the per-site topology: each
+// utility cloud is stood up as its own cloudapi.Site — a private engine at
+// an offset seed, its own wall-clock driver (when speedup > 0) and its own
+// HTTP listener — then attached to Tukey and wired into billing/monitoring
+// through cloudapi.Remote transports only. The returned sites are the
+// caller's to Close.
+func (f *Federation) StartRemoteSites(seed uint64, scale int, speedup float64) ([]*cloudapi.Site, error) {
+	var sites []*cloudapi.Site
+	var remotes []cloudapi.CloudAPI
+	for i, name := range []string{ClusterAdler, ClusterSullivan} {
+		e := sim.NewEngine(seed + uint64(i+1)*1000)
+		site, err := cloudapi.StartSite(e, BuildCloud(e, name, scale), speedup)
+		if err != nil {
+			for _, s := range sites {
+				s.Close()
+			}
+			return nil, err
+		}
+		sites = append(sites, site)
+		remotes = append(remotes, site.Remote())
+		f.Tukey.AttachCloud(tukey.CloudConfig{API: site.Remote()})
+	}
+	f.UseCloudAPIs(remotes...)
+	return sites, nil
+}
+
+// UseCloudAPIs rewires the federation's metering and usage monitoring onto
+// the given cloud transports — typically cloudapi.Remote clients for
+// per-site cloud servers — stopping the pollers that watched the
+// in-process clouds. The in-process Adler/Sullivan stay constructed (other
+// subsystems reference them) but are no longer what the services bill or
+// monitor.
+func (f *Federation) UseCloudAPIs(apis ...cloudapi.CloudAPI) {
+	f.Biller.Stop()
+	f.UsageMon.Stop()
+	f.Biller = billing.New(f.Engine, billing.DefaultRates(), apis, nil)
+	f.UsageMon = monitor.NewUsageMonitor(f.Engine, apis, 5*sim.Minute)
 }
 
 func boundScale(scale, max int) int {

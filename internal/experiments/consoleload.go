@@ -8,6 +8,19 @@ package experiments
 // integration stress for the service-layer locking: run it under -race and
 // every console route races against every poller.
 //
+// The scenario is parametric (users, iters, think-ms) and runs in either
+// federation topology:
+//
+//   - console-load: the single-process topology — both clouds share the
+//     federation engine, served over loopback HTTP by per-cloud servers;
+//   - console-load-remote: the per-site topology — every cloud gets its
+//     own sim.Engine, wall-clock driver and HTTP listener (a
+//     cloudapi.Site), and Tukey/billing reach it only through
+//     cloudapi.Remote. Same workload, different deployment.
+//
+// console-knee sweeps the user axis (8/32/128) with a read-only request
+// mix and reports where console p95 latency knees.
+//
 // Metric convention: keys with the "live-" prefix are measured wall-clock
 // quantities (latency percentiles, requests/sec, metered usage) and are
 // NOT deterministic functions of the seed; everything else (request
@@ -24,6 +37,7 @@ import (
 	"sync"
 	"time"
 
+	"osdc/internal/cloudapi"
 	"osdc/internal/core"
 	"osdc/internal/iaas"
 	"osdc/internal/scenario"
@@ -31,18 +45,127 @@ import (
 	"osdc/internal/tukey"
 )
 
-const consoleLoadDesc = "Tukey console under N concurrent researchers with the sim clock live (requests/sec, p50/p95/p99)"
-
-// consoleLoadUsers and consoleLoadIters fix the workload shape so the
-// request arithmetic below stays deterministic.
 const (
-	consoleLoadUsers = 8
-	consoleLoadIters = 5
-	// consoleLoadSpeedup is simulated seconds per wall second: fast enough
-	// that minute-granularity billing polls land many times within a
-	// sub-second run.
-	consoleLoadSpeedup = 60_000
+	consoleLoadDesc       = "Tukey console under N concurrent researchers with the sim clock live (requests/sec, p50/p95/p99)"
+	consoleLoadRemoteDesc = "console-load in the per-site topology: every cloud behind its own engine, driver and HTTP listener"
+	consoleKneeDesc       = "console p95 latency across the user axis (8/32/128 researchers), locating the knee"
 )
+
+// consoleLoadSpeedup is simulated seconds per wall second: fast enough
+// that minute-granularity billing polls land many times within a
+// sub-second run.
+const consoleLoadSpeedup = 60_000
+
+// ConsoleLoadOpts shape the console-load workload; the scenario registry
+// exposes them as parameters (users, iters, think-ms) plus the topology
+// choice baked into the scenario name.
+type ConsoleLoadOpts struct {
+	Users int           // concurrent researchers
+	Iters int           // op loops per researcher
+	Think time.Duration // wall-clock pause between op loops
+	// Remote selects the per-site topology: each cloud on its own engine
+	// behind its own cloudapi.Site, services federating over HTTP.
+	Remote bool
+}
+
+// DefaultConsoleLoadOpts is the historic 8×5 workload.
+func DefaultConsoleLoadOpts() ConsoleLoadOpts { return ConsoleLoadOpts{Users: 8, Iters: 5} }
+
+// consoleLoadOptsFrom maps scenario params onto opts.
+func consoleLoadOptsFrom(params map[string]float64, remote bool) ConsoleLoadOpts {
+	return ConsoleLoadOpts{
+		Users:  int(params["users"]),
+		Iters:  int(params["iters"]),
+		Think:  time.Duration(params["think-ms"]) * time.Millisecond,
+		Remote: remote,
+	}
+}
+
+// consoleRig is a live-HTTP federation in either topology: the console
+// server, the per-cloud admin transports (for quotas), and every running
+// clock driver and listener that teardown must stop.
+type consoleRig struct {
+	f       *core.Federation
+	console *httptest.Server
+	// admin reaches each cloud's operator plane: Local wrappers in the
+	// single-process topology, Remotes in the per-site one.
+	admin   map[string]cloudapi.CloudAPI
+	drivers []*sim.Driver
+	closers []func()
+}
+
+// startConsoleRig stands the federation up behind live HTTP. In the local
+// topology both clouds share the federation engine behind per-cloud
+// servers; in the remote topology each cloud gets a private engine +
+// driver + listener (cloudapi.Site) and the console-side services are
+// rewired onto Remote transports.
+func startConsoleRig(seed uint64, remote bool, speedup float64) (*consoleRig, error) {
+	f, err := core.New(core.Options{Seed: seed, Scale: 8})
+	if err != nil {
+		return nil, err
+	}
+	rig := &consoleRig{f: f, admin: map[string]cloudapi.CloudAPI{}}
+
+	if remote {
+		// Per-site worlds: own engine, own cloud, own listener, own
+		// clock; billing and monitoring watch them over the wire.
+		sites, err := f.StartRemoteSites(seed, 8, speedup)
+		if err != nil {
+			rig.close()
+			return nil, err
+		}
+		for _, site := range sites {
+			rig.closers = append(rig.closers, site.Close)
+			rig.admin[site.Cloud.Name] = site.Remote()
+		}
+	} else {
+		for _, c := range []*iaas.Cloud{f.Adler, f.Sullivan} {
+			srv := httptest.NewServer(cloudapi.NewServer(c))
+			rig.closers = append(rig.closers, srv.Close)
+			f.Tukey.AttachCloud(tukey.CloudConfig{Name: c.Name, Stack: c.Stack, Endpoint: srv.URL})
+		}
+		rig.admin[core.ClusterAdler] = f.AdlerAPI
+		rig.admin[core.ClusterSullivan] = f.SullivanAPI
+	}
+
+	rig.console = httptest.NewServer(&tukey.Console{MW: f.Tukey, Biller: f.Biller, Catalog: f.Catalog})
+	rig.closers = append(rig.closers, rig.console.Close)
+
+	// The console-side engine goes live last: from here on handlers and
+	// pollers share it.
+	rig.drivers = append(rig.drivers, sim.StartDriver(f.Engine, speedup, 2*time.Millisecond))
+	return rig, nil
+}
+
+// stopDrivers halts every clock (idempotent); close also stops listeners.
+func (rig *consoleRig) stopDrivers() {
+	for _, d := range rig.drivers {
+		d.Stop()
+	}
+}
+
+func (rig *consoleRig) close() {
+	rig.stopDrivers()
+	for _, c := range rig.closers {
+		c()
+	}
+}
+
+// enroll provisions n researchers with quotas on every cloud, returning
+// their usernames.
+func (rig *consoleRig) enroll(n int, quota iaas.Quota) ([]string, error) {
+	users := make([]string, n)
+	for i := range users {
+		users[i] = fmt.Sprintf("load%03d", i)
+		rig.f.EnrollResearcher(users[i], "pw-"+users[i])
+		for _, api := range rig.admin {
+			if err := api.SetQuota(users[i], quota); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return users, nil
+}
 
 // consoleLoadResult carries one researcher's measurements back to the
 // aggregator.
@@ -89,42 +212,51 @@ func drain(resp *http.Response) {
 	}
 }
 
-// ConsoleLoad stands the federation up behind live HTTP — both native
-// cloud APIs plus the console — starts the wall-clock driver, and runs
-// consoleLoadUsers concurrent researchers through login → launch → list →
-// usage → datasets → status → terminate loops. It reports throughput and
+// login authenticates one researcher and records the token.
+func (c *consoleClient) login(user string) error {
+	resp, err := c.do("POST", "/login", fmt.Sprintf(
+		`{"provider":"shibboleth","username":%q,"secret":%q}`, user, "pw-"+user), http.StatusOK)
+	if err != nil {
+		return err
+	}
+	var login struct {
+		Token string `json:"token"`
+	}
+	_ = json.NewDecoder(resp.Body).Decode(&login)
+	drain(resp)
+	c.tok = login.Token
+	c.res.token = login.Token
+	return nil
+}
+
+// ConsoleLoad runs opts.Users concurrent researchers through login →
+// launch → list → usage → datasets → status → terminate loops against the
+// live federation in the chosen topology. It reports throughput and
 // latency percentiles (live- metrics) alongside deterministic request
 // accounting.
-func ConsoleLoad(seed uint64) (scenario.Result, error) {
-	f, err := core.New(core.Options{Seed: seed, Scale: 8})
+func ConsoleLoad(seed uint64, opts ConsoleLoadOpts) (scenario.Result, error) {
+	if opts.Users <= 0 {
+		opts.Users = 8
+	}
+	if opts.Iters <= 0 {
+		opts.Iters = 5
+	}
+	rig, err := startConsoleRig(seed, opts.Remote, consoleLoadSpeedup)
 	if err != nil {
 		return scenario.Result{}, err
 	}
-	novaSrv := httptest.NewServer(&iaas.NovaAPI{Cloud: f.Adler})
-	defer novaSrv.Close()
-	eucaSrv := httptest.NewServer(&iaas.EucaAPI{Cloud: f.Sullivan})
-	defer eucaSrv.Close()
-	f.Tukey.AttachCloud(tukey.CloudConfig{Name: core.ClusterAdler, Stack: "openstack", Endpoint: novaSrv.URL})
-	f.Tukey.AttachCloud(tukey.CloudConfig{Name: core.ClusterSullivan, Stack: "eucalyptus", Endpoint: eucaSrv.URL})
-	console := httptest.NewServer(&tukey.Console{MW: f.Tukey, Biller: f.Biller, Catalog: f.Catalog})
-	defer console.Close()
-
-	users := make([]string, consoleLoadUsers)
-	for i := range users {
-		users[i] = fmt.Sprintf("load%02d", i)
-		f.EnrollResearcher(users[i], "pw-"+users[i])
-		f.Adler.SetQuota(users[i], iaas.Quota{MaxInstances: 10, MaxCores: 16})
-		f.Sullivan.SetQuota(users[i], iaas.Quota{MaxInstances: 10, MaxCores: 16})
+	defer rig.close()
+	users, err := rig.enroll(opts.Users, iaas.Quota{MaxInstances: 10, MaxCores: 16})
+	if err != nil {
+		return scenario.Result{}, err
 	}
+	console := rig.console
+	f := rig.f
 
-	// From here on the engine is shared: the driver advances the clock
-	// while the researchers' handlers schedule against it.
-	driver := sim.StartDriver(f.Engine, consoleLoadSpeedup, 2*time.Millisecond)
-	defer driver.Stop()
 	wallStart := time.Now()
 	simStart := f.Engine.Now()
 
-	results := make([]consoleLoadResult, consoleLoadUsers)
+	results := make([]consoleLoadResult, opts.Users)
 	var datasetHits int64
 	var datasetOnce sync.Once
 
@@ -139,20 +271,10 @@ func ConsoleLoad(seed uint64) (scenario.Result, error) {
 		go func() {
 			defer wg.Done()
 			c := &consoleClient{base: console.URL, res: &results[i]}
-			resp, err := c.do("POST", "/login", fmt.Sprintf(
-				`{"provider":"shibboleth","username":%q,"secret":%q}`, users[i], "pw-"+users[i]), http.StatusOK)
-			if err != nil {
+			if err := c.login(users[i]); err != nil {
 				return
 			}
-			var login struct {
-				Token string `json:"token"`
-			}
-			_ = json.NewDecoder(resp.Body).Decode(&login)
-			drain(resp)
-			c.tok = login.Token
-			results[i].token = login.Token
-
-			resp, _ = c.do("POST", "/console/launch", fmt.Sprintf(
+			resp, _ := c.do("POST", "/console/launch", fmt.Sprintf(
 				`{"cloud":%q,"name":"%s-home","flavor":"m1.small"}`, core.ClusterAdler, users[i]), http.StatusAccepted)
 			if resp != nil && resp.StatusCode == http.StatusAccepted {
 				results[i].launched++
@@ -164,14 +286,15 @@ func ConsoleLoad(seed uint64) (scenario.Result, error) {
 	vmsUpAt := f.Engine.Now()
 
 	// Phase 2 (concurrent): the request storm. Each iteration launches a
-	// scratch VM on Sullivan, walks every read route, and terminates it.
+	// scratch VM on Sullivan, walks every read route, terminates it, and
+	// then thinks for opts.Think of wall time.
 	for i := range users {
 		i := i
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
 			c := &consoleClient{base: console.URL, tok: results[i].token, res: &results[i]}
-			for it := 0; it < consoleLoadIters; it++ {
+			for it := 0; it < opts.Iters; it++ {
 				resp, _ := c.do("POST", "/console/launch", fmt.Sprintf(
 					`{"cloud":%q,"name":"%s-it%d","flavor":"m1.small"}`, core.ClusterSullivan, users[i], it), http.StatusAccepted)
 				var launch struct {
@@ -204,14 +327,21 @@ func ConsoleLoad(seed uint64) (scenario.Result, error) {
 				resp, _ = c.do("POST", "/console/terminate", fmt.Sprintf(
 					`{"cloud":%q,"id":%q}`, core.ClusterSullivan, launch.Server.ID), http.StatusOK)
 				drain(resp)
+
+				if opts.Think > 0 {
+					time.Sleep(opts.Think)
+				}
 			}
 		}()
 	}
 	wg.Wait()
 
 	// Phase 3: wait (wall-clock) until the persistent VMs have been up for
-	// 31 simulated minutes, so the per-minute billing poll has sampled
-	// them — then every researcher reads their usage and shuts down.
+	// 31 simulated minutes on the billing engine, so the per-minute poll
+	// has sampled them — then every researcher reads their usage and shuts
+	// down. In the remote topology the clouds' clocks tick elsewhere;
+	// billing samples whatever the sites report, so the console engine is
+	// still the right clock to wait on.
 	waitDeadline := time.Now().Add(10 * time.Second)
 	for f.Engine.Now() < vmsUpAt+sim.Time(31*sim.Minute) {
 		if time.Now().After(waitDeadline) {
@@ -240,7 +370,7 @@ func ConsoleLoad(seed uint64) (scenario.Result, error) {
 		drain(resp)
 	}
 	wallElapsed := time.Since(wallStart)
-	driver.Stop()
+	rig.stopDrivers()
 	simElapsed := f.Engine.Now() - simStart
 
 	// Aggregate.
@@ -257,10 +387,14 @@ func ConsoleLoad(seed uint64) (scenario.Result, error) {
 	if minCoreHours > 0 {
 		usageNonzero = 1
 	}
+	topology, remoteFlag := "single-process", 0.0
+	if opts.Remote {
+		topology, remoteFlag = "per-site remote", 1
+	}
 
 	var b strings.Builder
-	fmt.Fprintf(&b, "console load: %d researchers × (login + persistent VM + %d op loops) against the live federation\n",
-		consoleLoadUsers, consoleLoadIters)
+	fmt.Fprintf(&b, "console load: %d researchers × (login + persistent VM + %d op loops), %s topology\n",
+		opts.Users, opts.Iters, topology)
 	fmt.Fprintln(&b, strings.Repeat("-", 72))
 	fmt.Fprintf(&b, "requests         : %d total, %d errors, %d launches\n", totalReqs, totalErrs, totalLaunched)
 	fmt.Fprintf(&b, "throughput       : %.0f req/s over %v wall\n", float64(totalReqs)/wallElapsed.Seconds(), wallElapsed.Round(time.Millisecond))
@@ -271,7 +405,10 @@ func ConsoleLoad(seed uint64) (scenario.Result, error) {
 
 	return scenario.Result{
 		Metrics: map[string]float64{
-			"users":              float64(consoleLoadUsers),
+			"users":              float64(opts.Users),
+			"iterations":         float64(opts.Iters),
+			"think-ms":           float64(opts.Think) / float64(time.Millisecond),
+			"remote-topology":    remoteFlag,
 			"requests-total":     float64(totalReqs),
 			"request-errors":     float64(totalErrs),
 			"instances-launched": float64(totalLaunched),
@@ -286,6 +423,92 @@ func ConsoleLoad(seed uint64) (scenario.Result, error) {
 		},
 		Table: b.String(),
 	}, nil
+}
+
+// kneeUserPoints is the user axis ConsoleKnee sweeps.
+var kneeUserPoints = []int{8, 32, 128}
+
+// kneeIters is the read loops per researcher at each point — enough
+// requests for a stable p95, small enough that 128 users stay fast.
+const kneeIters = 2
+
+// ConsoleKnee probes console latency across the user axis: at each point N
+// researchers log in and hammer the read routes (instances, usage,
+// datasets, status) concurrently, in the single-process topology. The knee
+// is the first point whose p95 exceeds twice the baseline p95 — the
+// admission-control sizing number ROADMAP asked for.
+func ConsoleKnee(seed uint64) (scenario.Result, error) {
+	metrics := map[string]float64{"points": float64(len(kneeUserPoints))}
+	var b strings.Builder
+	fmt.Fprintf(&b, "console latency knee: read-route storm at %v researchers\n", kneeUserPoints)
+	fmt.Fprintln(&b, strings.Repeat("-", 72))
+
+	baseP95, knee := 0.0, 0.0
+	for _, n := range kneeUserPoints {
+		rig, err := startConsoleRig(seed, false, consoleLoadSpeedup)
+		if err != nil {
+			return scenario.Result{}, err
+		}
+		users, err := rig.enroll(n, iaas.FreeTierQuota())
+		if err != nil {
+			rig.close()
+			return scenario.Result{}, err
+		}
+		results := make([]consoleLoadResult, n)
+		var wg sync.WaitGroup
+		for i := range users {
+			i := i
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				c := &consoleClient{base: rig.console.URL, res: &results[i]}
+				if err := c.login(users[i]); err != nil {
+					return
+				}
+				for it := 0; it < kneeIters; it++ {
+					for _, path := range []string{
+						"/console/instances", "/console/usage",
+						"/console/datasets?q=genomics", "/console/status",
+					} {
+						resp, _ := c.do("GET", path, "", http.StatusOK)
+						drain(resp)
+					}
+				}
+			}()
+		}
+		wg.Wait()
+		rig.close()
+
+		var all []time.Duration
+		reqs, errs := 0, 0
+		for i := range results {
+			all = append(all, results[i].latencies...)
+			reqs += len(results[i].latencies)
+			errs += results[i].errors
+		}
+		sort.Slice(all, func(a, b int) bool { return all[a] < all[b] })
+		p95 := quantileMs(all, 0.95)
+		if baseP95 == 0 {
+			baseP95 = p95
+		} else if knee == 0 && p95 > 2*baseP95 {
+			knee = float64(n)
+		}
+		key := fmt.Sprintf("[%d-users]", n)
+		metrics["requests-total"+key] = float64(reqs)
+		metrics["request-errors"+key] = float64(errs)
+		metrics["live-p50-ms"+key] = quantileMs(all, 0.50)
+		metrics["live-p95-ms"+key] = p95
+		fmt.Fprintf(&b, "%4d users: %4d requests, %d errors, p50 %.2f ms, p95 %.2f ms\n",
+			n, reqs, errs, quantileMs(all, 0.50), p95)
+	}
+	metrics["live-knee-users"] = knee
+	if knee > 0 {
+		fmt.Fprintf(&b, "p95 knees (>2× the %d-user baseline) at %.0f users\n", kneeUserPoints[0], knee)
+	} else {
+		fmt.Fprintf(&b, "no p95 knee up to %d users (>2× the %d-user baseline)\n",
+			kneeUserPoints[len(kneeUserPoints)-1], kneeUserPoints[0])
+	}
+	return scenario.Result{Metrics: metrics, Table: b.String()}, nil
 }
 
 // firstInstanceID fetches the caller's first live instance ID on cloud via

@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"strings"
 
+	"osdc/internal/cloudapi"
 	"osdc/internal/core"
 	"osdc/internal/iaas"
 	"osdc/internal/scenario"
@@ -30,12 +31,14 @@ func MixedWorkload(seed uint64) (scenario.Result, error) {
 		return scenario.Result{}, err
 	}
 
-	// Compute side: one researcher with four m1.large per cloud.
+	// Compute side: one researcher with four m1.large per cloud, driven
+	// through the same CloudAPI transports the services use.
 	const user = "mixed"
-	f.Adler.SetQuota(user, iaas.Quota{MaxInstances: 10, MaxCores: 64})
-	f.Sullivan.SetQuota(user, iaas.Quota{MaxInstances: 10, MaxCores: 64})
 	launched := 0
-	for _, c := range []*iaas.Cloud{f.Adler, f.Sullivan} {
+	for _, c := range []cloudapi.CloudAPI{f.AdlerAPI, f.SullivanAPI} {
+		if err := c.SetQuota(user, iaas.Quota{MaxInstances: 10, MaxCores: 64}); err != nil {
+			return scenario.Result{}, err
+		}
 		for v := 0; v < 2; v++ {
 			if _, err := c.Launch(user, fmt.Sprintf("mixed-%d", v), "m1.large", ""); err != nil {
 				return scenario.Result{}, err

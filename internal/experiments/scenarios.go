@@ -175,5 +175,17 @@ func init() {
 
 	scenario.Register(scenario.New("mixed-workload", mixedWorkloadDesc, MixedWorkload))
 	scenario.Register(scenario.New("wan-contention", wanContentionDesc, WANContention))
-	scenario.Register(scenario.New("console-load", consoleLoadDesc, ConsoleLoad))
+
+	// console-load runs in both federation topologies and takes its
+	// workload shape from scenario params (osdc-bench -param users=32,...).
+	consoleLoadDefaults := map[string]float64{"users": 8, "iters": 5, "think-ms": 0}
+	scenario.Register(scenario.NewParametric("console-load", consoleLoadDesc, consoleLoadDefaults,
+		func(seed uint64, params map[string]float64) (scenario.Result, error) {
+			return ConsoleLoad(seed, consoleLoadOptsFrom(params, false))
+		}))
+	scenario.Register(scenario.NewParametric("console-load-remote", consoleLoadRemoteDesc, consoleLoadDefaults,
+		func(seed uint64, params map[string]float64) (scenario.Result, error) {
+			return ConsoleLoad(seed, consoleLoadOptsFrom(params, true))
+		}))
+	scenario.Register(scenario.New("console-knee", consoleKneeDesc, ConsoleKnee))
 }

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"fmt"
 	"reflect"
 	"strings"
 	"testing"
@@ -11,7 +12,7 @@ import (
 func TestAllExperimentsRegistered(t *testing.T) {
 	want := []string{"table1", "table2", "table3", "fig1", "fig2", "fig3",
 		"cost", "provision", "ciphers", "mixed-workload", "wan-contention",
-		"console-load"}
+		"console-load", "console-load-remote", "console-knee"}
 	have := map[string]bool{}
 	for _, n := range scenario.Names() {
 		have[n] = true
@@ -100,6 +101,101 @@ func TestConsoleLoadSweepDeterministic(t *testing.T) {
 		}
 		if !found {
 			t.Fatalf("sweep lost metric %s: %v", name, a.Metrics)
+		}
+	}
+}
+
+// TestConsoleLoadRemoteTopology runs the same workload in the per-site
+// topology: every cloud behind its own engine and listener, billing
+// sampling over the wire. The deterministic surface must match the
+// single-process run: same request count, zero errors, usage metered.
+func TestConsoleLoadRemoteTopology(t *testing.T) {
+	if testing.Short() {
+		t.Skip("live-HTTP load scenario")
+	}
+	remote, err := ConsoleLoad(31, ConsoleLoadOpts{Users: 8, Iters: 5, Remote: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	local, err := ConsoleLoad(31, ConsoleLoadOpts{Users: 8, Iters: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{"requests-total", "request-errors", "instances-launched", "usage-nonzero"} {
+		if remote.Metrics[key] != local.Metrics[key] {
+			t.Fatalf("%s diverged across topologies: remote=%v local=%v",
+				key, remote.Metrics[key], local.Metrics[key])
+		}
+	}
+	if remote.Metrics["request-errors"] != 0 {
+		t.Fatalf("remote topology saw request errors: %v", remote.Metrics)
+	}
+	if remote.Metrics["usage-nonzero"] != 1 {
+		t.Fatalf("remote topology metered no usage: %v", remote.Metrics)
+	}
+	if remote.Metrics["remote-topology"] != 1 || local.Metrics["remote-topology"] != 0 {
+		t.Fatalf("topology flags wrong: remote=%v local=%v",
+			remote.Metrics["remote-topology"], local.Metrics["remote-topology"])
+	}
+}
+
+// TestConsoleLoadParams pins that scenario params actually reshape the
+// workload: more users and iterations mean proportionally more requests.
+func TestConsoleLoadParams(t *testing.T) {
+	if testing.Short() {
+		t.Skip("live-HTTP load scenario")
+	}
+	p, ok := scenario.Get("console-load")
+	if !ok {
+		t.Fatal("console-load not registered")
+	}
+	param, ok := p.(scenario.Parametric)
+	if !ok {
+		t.Fatal("console-load is not parametric")
+	}
+	small, err := param.With(map[string]float64{"users": 2, "iters": 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := small.Run(77)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 2 users × (login + persistent launch) + 2 × 1 iteration × 6 ops
+	// + 2 × (usage + terminate) in the wind-down.
+	if got := r.Metrics["requests-total"]; got != 2*2+2*6+2*2 {
+		t.Fatalf("requests-total = %v with users=2 iters=1, want 20", got)
+	}
+	if r.Metrics["users"] != 2 || r.Metrics["iterations"] != 1 {
+		t.Fatalf("params not reflected in metrics: %v", r.Metrics)
+	}
+	if _, err := param.With(map[string]float64{"no-such-param": 1}); err == nil {
+		t.Fatal("unknown parameter silently accepted")
+	}
+}
+
+// TestConsoleKneeShape checks the user-axis sweep reports every point with
+// clean requests.
+func TestConsoleKneeShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("live-HTTP load scenario")
+	}
+	r, err := ConsoleKnee(13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range []int{8, 32, 128} {
+		key := fmt.Sprintf("[%d-users]", n)
+		// login + iters × 4 read routes per user.
+		want := float64(n * (1 + kneeIters*4))
+		if got := r.Metrics["requests-total"+key]; got != want {
+			t.Fatalf("requests-total%s = %v, want %v", key, got, want)
+		}
+		if errs := r.Metrics["request-errors"+key]; errs != 0 {
+			t.Fatalf("request-errors%s = %v", key, errs)
+		}
+		if _, ok := r.Metrics["live-p95-ms"+key]; !ok {
+			t.Fatalf("missing p95 for %s: %v", key, r.Metrics)
 		}
 	}
 }

@@ -13,8 +13,9 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 
-	"osdc/internal/iaas"
+	"osdc/internal/cloudapi"
 	"osdc/internal/sim"
 )
 
@@ -222,20 +223,25 @@ type UsageSnapshot struct {
 	ActiveUsers int
 }
 
-// UsageMonitor samples IaaS clouds periodically. sample fires on the
-// clock-driving goroutine while PublicStatus serves web requests; mu
-// covers the snapshot table.
+// UsageMonitor samples the attached clouds periodically through their
+// cloudapi transports — in-process Local wrappers or HTTP Remotes, the
+// monitor does not care. sample fires on the clock-driving goroutine while
+// PublicStatus serves web requests; mu covers the snapshot table.
 type UsageMonitor struct {
 	engine *sim.Engine
-	clouds []*iaas.Cloud
+	clouds []cloudapi.CloudAPI
 	ticker *sim.Ticker
 
 	mu     sync.Mutex
 	latest map[string]UsageSnapshot
+
+	// SampleErrors counts failed cloud samples (an unreachable remote
+	// site); read it with atomic.LoadInt64 while sampling may fire.
+	SampleErrors int64
 }
 
 // NewUsageMonitor starts sampling every interval.
-func NewUsageMonitor(e *sim.Engine, clouds []*iaas.Cloud, interval sim.Duration) *UsageMonitor {
+func NewUsageMonitor(e *sim.Engine, clouds []cloudapi.CloudAPI, interval sim.Duration) *UsageMonitor {
 	um := &UsageMonitor{engine: e, clouds: clouds, latest: make(map[string]UsageSnapshot)}
 	um.ticker = e.Every(interval, um.sample)
 	return um
@@ -243,18 +249,23 @@ func NewUsageMonitor(e *sim.Engine, clouds []*iaas.Cloud, interval sim.Duration)
 
 func (um *UsageMonitor) sample() {
 	for _, c := range um.clouds {
-		// Query the cloud before taking um.mu; each call locks the cloud.
-		byUser := c.RunningByUser()
-		snap := UsageSnapshot{
-			At: um.engine.Now(), Cloud: c.Name,
-			UsedCores: c.UsedCores(), TotalCores: c.TotalCores(),
-			ActiveUsers: len(byUser),
+		// Query the cloud before taking um.mu; a sample is a lock
+		// acquisition (Local) or a network round trip (Remote).
+		u, err := c.Usage()
+		if err != nil {
+			atomic.AddInt64(&um.SampleErrors, 1)
+			continue
 		}
-		for _, v := range byUser {
-			snap.RunningVMs += v[0]
+		snap := UsageSnapshot{
+			At: um.engine.Now(), Cloud: c.Name(),
+			UsedCores: u.UsedCores, TotalCores: u.TotalCores,
+			ActiveUsers: len(u.ByUser),
+		}
+		for _, v := range u.ByUser {
+			snap.RunningVMs += v.Instances
 		}
 		um.mu.Lock()
-		um.latest[c.Name] = snap
+		um.latest[c.Name()] = snap
 		um.mu.Unlock()
 	}
 }

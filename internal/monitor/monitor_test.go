@@ -4,6 +4,7 @@ import (
 	"errors"
 	"testing"
 
+	"osdc/internal/cloudapi"
 	"osdc/internal/iaas"
 	"osdc/internal/sim"
 )
@@ -110,7 +111,7 @@ func TestUsageMonitorPublishesSnapshot(t *testing.T) {
 	if _, err := c.Launch("u", "vm", "m1.large", ""); err != nil {
 		t.Fatal(err)
 	}
-	um := NewUsageMonitor(e, []*iaas.Cloud{c}, 300)
+	um := NewUsageMonitor(e, []cloudapi.CloudAPI{cloudapi.NewLocal(c)}, 300)
 	e.RunFor(301)
 	status := um.PublicStatus()
 	if len(status) != 1 {

@@ -81,6 +81,72 @@ func New(name, desc string, run func(seed uint64) (Result, error)) Scenario {
 	return fn{name: name, desc: desc, run: run}
 }
 
+// Parametric is a Scenario whose workload shape is tuned by named numeric
+// parameters (user counts, iteration counts, think times). Run uses the
+// defaults; With derives a Scenario with overrides applied, so sweeps and
+// the CLI's -param flag can re-shape a scenario without re-registering it.
+type Parametric interface {
+	Scenario
+	// Params returns a copy of the default parameter set.
+	Params() map[string]float64
+	// With derives a Scenario overriding the named defaults. Unknown
+	// parameter names error — a silently ignored typo would run the
+	// default workload while claiming otherwise.
+	With(overrides map[string]float64) (Scenario, error)
+}
+
+// paramFn adapts a parameterized run function to Parametric.
+type paramFn struct {
+	name, desc string
+	params     map[string]float64
+	run        func(seed uint64, params map[string]float64) (Result, error)
+}
+
+func (p paramFn) Name() string     { return p.name }
+func (p paramFn) Describe() string { return p.desc }
+
+func (p paramFn) Params() map[string]float64 {
+	out := make(map[string]float64, len(p.params))
+	for k, v := range p.params {
+		out[k] = v
+	}
+	return out
+}
+
+func (p paramFn) Run(seed uint64) (Result, error) { return p.run(seed, p.Params()) }
+
+func (p paramFn) With(overrides map[string]float64) (Scenario, error) {
+	merged := p.Params()
+	for k, v := range overrides {
+		if _, ok := merged[k]; !ok {
+			return nil, fmt.Errorf("scenario: %s has no parameter %q (have: %s)",
+				p.name, k, strings.Join(p.paramNames(), ", "))
+		}
+		merged[k] = v
+	}
+	return paramFn{name: p.name, desc: p.desc, params: merged, run: p.run}, nil
+}
+
+func (p paramFn) paramNames() []string {
+	names := make([]string, 0, len(p.params))
+	for k := range p.params {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// NewParametric builds a Parametric scenario from defaults and a run
+// function receiving the effective parameter map (always a private copy).
+func NewParametric(name, desc string, defaults map[string]float64,
+	run func(seed uint64, params map[string]float64) (Result, error)) Parametric {
+	cp := make(map[string]float64, len(defaults))
+	for k, v := range defaults {
+		cp[k] = v
+	}
+	return paramFn{name: name, desc: desc, params: cp, run: run}
+}
+
 var (
 	regMu    sync.RWMutex
 	registry = map[string]Scenario{}

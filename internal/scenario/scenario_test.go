@@ -163,3 +163,53 @@ func TestSweepNoSeeds(t *testing.T) {
 		t.Fatal("expected error for empty seed set")
 	}
 }
+
+// --- Parametric ---
+
+func TestParametricDefaultsAndOverrides(t *testing.T) {
+	p := NewParametric("param-demo", "demo", map[string]float64{"users": 8, "iters": 5},
+		func(seed uint64, params map[string]float64) (Result, error) {
+			return Result{Metrics: map[string]float64{
+				"product": params["users"] * params["iters"],
+			}}, nil
+		})
+
+	r, err := p.Run(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Metrics["product"] != 40 {
+		t.Fatalf("default run product = %v, want 40", r.Metrics["product"])
+	}
+
+	big, err := p.With(map[string]float64{"users": 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if big.Name() != p.Name() {
+		t.Fatalf("derived scenario renamed itself: %q", big.Name())
+	}
+	r, err = big.Run(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Metrics["product"] != 500 {
+		t.Fatalf("override run product = %v, want 500", r.Metrics["product"])
+	}
+	// The original is untouched and its defaults cannot be mutated from
+	// outside.
+	p.Params()["users"] = 0
+	r, _ = p.Run(1)
+	if r.Metrics["product"] != 40 {
+		t.Fatalf("defaults mutated through Params(): %v", r.Metrics)
+	}
+}
+
+func TestParametricRejectsUnknownParam(t *testing.T) {
+	p := NewParametric("param-strict", "", map[string]float64{"users": 1},
+		func(uint64, map[string]float64) (Result, error) { return Result{}, nil })
+	_, err := p.With(map[string]float64{"userz": 2})
+	if err == nil || !strings.Contains(err.Error(), "userz") {
+		t.Fatalf("err = %v, want unknown-parameter error naming the typo", err)
+	}
+}

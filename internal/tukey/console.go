@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"net/http"
 	"strings"
+	"sync/atomic"
 
 	"osdc/internal/billing"
 	"osdc/internal/datasets"
@@ -28,9 +29,17 @@ type Console struct {
 	MW      *Middleware
 	Biller  *billing.Biller
 	Catalog *datasets.Catalog
+	// Limiter, when set, is the per-user admission control: every console
+	// route charges one token against the caller's federated identifier
+	// (for /login, the attempted username) and answers 429 when the bucket
+	// is empty.
+	Limiter *RateLimiter
 	// UserFor maps a federated identity to the local username the biller
 	// and catalog know. Defaults to the identifier's local part.
 	UserFor func(Identity) string
+
+	// RateLimited counts requests rejected with 429.
+	RateLimited int64
 }
 
 func (c *Console) localUser(id Identity) string {
@@ -47,14 +56,40 @@ func (c *Console) localUser(id Identity) string {
 	return local
 }
 
+// invalidSessionKey is the shared rate-limit bucket for requests bearing
+// no valid session. Tokens are sequential ("tukey-sess-000042"), so
+// guessing must be throttled; one coarse bucket (rather than per-token
+// keys, which would be attacker-chosen) bounds the sweep rate without
+// letting the sweep grow the key space. The leading NUL keeps it disjoint
+// from any federated identifier.
+const invalidSessionKey = "\x00invalid-session"
+
 func (c *Console) session(w http.ResponseWriter, r *http.Request) (Identity, bool) {
 	tok := r.Header.Get("X-Tukey-Session")
 	id, ok := c.MW.identityFor(tok)
 	if !ok {
+		if !c.allow(w, invalidSessionKey) {
+			return Identity{}, false
+		}
 		writeJSON(w, http.StatusUnauthorized, map[string]string{"error": "invalid or missing session"})
 		return Identity{}, false
 	}
+	if !c.allow(w, id.Identifier) {
+		return Identity{}, false
+	}
 	return id, true
+}
+
+// allow charges one rate-limit token for key, answering 429 when the
+// caller's bucket is exhausted. With no Limiter configured everything
+// passes.
+func (c *Console) allow(w http.ResponseWriter, key string) bool {
+	if c.Limiter == nil || c.Limiter.Allow(key) {
+		return true
+	}
+	atomic.AddInt64(&c.RateLimited, 1)
+	writeJSON(w, http.StatusTooManyRequests, map[string]string{"error": "rate limit exceeded for " + key})
+	return false
 }
 
 func writeJSON(w http.ResponseWriter, code int, v interface{}) {
@@ -74,6 +109,11 @@ func (c *Console) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		}
 		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
 			writeJSON(w, http.StatusBadRequest, map[string]string{"error": err.Error()})
+			return
+		}
+		// Login attempts are charged per attempted username, bounding
+		// brute force before the IdP sees it.
+		if !c.allow(w, req.Username) {
 			return
 		}
 		tok, err := c.MW.Login(Provider(req.Provider), req.Username, req.Secret)

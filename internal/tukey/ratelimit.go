@@ -1,0 +1,111 @@
+package tukey
+
+import (
+	"sync"
+	"time"
+)
+
+// RateLimiter is a per-key token bucket: each key (a federated user) gets
+// burst tokens, refilled at rate tokens per second; a request spends one.
+// It is the console's admission control — the paper's operational lesson
+// that "even basic billing and accounting are effective limiting bad
+// behavior" applied to request traffic: one hot researcher can no longer
+// consume the whole request budget (ROADMAP: per-user rate limiting).
+type RateLimiter struct {
+	rate    float64 // tokens per second
+	burst   float64 // bucket capacity
+	maxKeys int     // eviction threshold for the bucket map
+
+	mu      sync.Mutex
+	now     func() time.Time // test hook; time.Now when nil
+	buckets map[string]*tokenBucket
+}
+
+type tokenBucket struct {
+	tokens float64
+	last   time.Time
+}
+
+// defaultMaxKeys bounds the bucket map. Keys include attempted /login
+// usernames — attacker-chosen, unauthenticated strings — so the map must
+// not grow with the number of distinct keys ever seen, only with the keys
+// active inside one refill window.
+const defaultMaxKeys = 1 << 16
+
+// NewRateLimiter builds a limiter allowing rate requests/second per key
+// with bursts up to burst. burst below 1 is raised to 1 (a bucket that can
+// never hold a whole token admits nothing).
+func NewRateLimiter(rate, burst float64) *RateLimiter {
+	if burst < 1 {
+		burst = 1
+	}
+	return &RateLimiter{rate: rate, burst: burst, maxKeys: defaultMaxKeys,
+		buckets: make(map[string]*tokenBucket)}
+}
+
+// evictStaleLocked drops buckets idle long enough to have refilled to
+// burst — for those, forgetting the bucket is observably identical to
+// keeping it (a fresh bucket starts full). Callers hold rl.mu.
+func (rl *RateLimiter) evictStaleLocked(now time.Time) {
+	if rl.rate <= 0 {
+		// Buckets never refill: nothing is ever safely forgettable, so
+		// fall back to dropping everything (test-only configuration).
+		rl.buckets = make(map[string]*tokenBucket)
+		return
+	}
+	idle := time.Duration(rl.burst / rl.rate * float64(time.Second))
+	for k, b := range rl.buckets {
+		if now.Sub(b.last) >= idle {
+			delete(rl.buckets, k)
+		}
+	}
+}
+
+func (rl *RateLimiter) wallNow() time.Time {
+	if rl.now != nil {
+		return rl.now()
+	}
+	return time.Now()
+}
+
+// Allow spends one token from key's bucket, reporting whether one was
+// available. New keys start with a full bucket.
+func (rl *RateLimiter) Allow(key string) bool {
+	now := rl.wallNow()
+	rl.mu.Lock()
+	defer rl.mu.Unlock()
+	b, ok := rl.buckets[key]
+	if !ok {
+		if len(rl.buckets) >= rl.maxKeys {
+			rl.evictStaleLocked(now)
+		}
+		b = &tokenBucket{tokens: rl.burst, last: now}
+		// Hard cap: if every existing bucket is genuinely active, admit
+		// this first-time key (a fresh bucket always has a token) without
+		// remembering it rather than growing without bound.
+		if len(rl.buckets) < rl.maxKeys {
+			rl.buckets[key] = b
+		}
+	} else {
+		if dt := now.Sub(b.last).Seconds(); dt > 0 {
+			b.tokens += dt * rl.rate
+			if b.tokens > rl.burst {
+				b.tokens = rl.burst
+			}
+		}
+		b.last = now
+	}
+	if b.tokens >= 1 {
+		b.tokens--
+		return true
+	}
+	return false
+}
+
+// Keys reports how many distinct keys hold buckets (a gauge for tests and
+// status pages).
+func (rl *RateLimiter) Keys() int {
+	rl.mu.Lock()
+	defer rl.mu.Unlock()
+	return len(rl.buckets)
+}

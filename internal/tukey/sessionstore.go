@@ -1,0 +1,97 @@
+package tukey
+
+import (
+	"sync"
+	"time"
+)
+
+// Session is one logged-in identity plus its wall-clock expiry (zero =
+// never expires).
+type Session struct {
+	Identity Identity
+	Expires  time.Time
+}
+
+// expired reports whether the session is past its expiry at now.
+func (s Session) expired(now time.Time) bool {
+	return !s.Expires.IsZero() && now.After(s.Expires)
+}
+
+// SessionStore is where the middleware keeps login sessions. Extracting it
+// from the middleware means multiple console replicas can later share one
+// store (the ROADMAP's session-persistence item): the middleware never
+// assumes the token it minted is still in memory, only that the store
+// answers.
+//
+// Implementations must be safe for concurrent use; every console request
+// resolves its token through the store.
+type SessionStore interface {
+	// Get returns the session for a token, if present (expired sessions may
+	// still be returned; the middleware checks expiry and Deletes).
+	Get(token string) (Session, bool)
+	// Put stores a session under a token, replacing any existing one.
+	Put(token string, s Session)
+	// Delete removes a token; absent tokens are a no-op.
+	Delete(token string)
+	// Count returns the number of stored sessions, expired or not.
+	Count() int
+	// ExpireBefore removes every session whose expiry is set and before t,
+	// returning how many were reaped.
+	ExpireBefore(t time.Time) int
+}
+
+// MemorySessionStore is the default store: an in-memory TTL map, scoped to
+// one process — a restart logs everyone out, which is exactly the
+// limitation the interface exists to lift.
+type MemorySessionStore struct {
+	mu sync.Mutex
+	m  map[string]Session
+}
+
+// NewMemorySessionStore creates an empty in-memory store.
+func NewMemorySessionStore() *MemorySessionStore {
+	return &MemorySessionStore{m: make(map[string]Session)}
+}
+
+// Get implements SessionStore.
+func (s *MemorySessionStore) Get(token string) (Session, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	sess, ok := s.m[token]
+	return sess, ok
+}
+
+// Put implements SessionStore.
+func (s *MemorySessionStore) Put(token string, sess Session) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.m[token] = sess
+}
+
+// Delete implements SessionStore.
+func (s *MemorySessionStore) Delete(token string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.m, token)
+}
+
+// Count implements SessionStore.
+func (s *MemorySessionStore) Count() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.m)
+}
+
+// ExpireBefore implements SessionStore.
+func (s *MemorySessionStore) ExpireBefore(t time.Time) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n := 0
+	for tok, sess := range s.m {
+		if !sess.Expires.IsZero() && t.After(sess.Expires) {
+			delete(s.m, tok)
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,114 @@
+package tukey
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestMemorySessionStoreCRUD(t *testing.T) {
+	s := NewMemorySessionStore()
+	id := Identity{Provider: Shibboleth, Identifier: "alice@uchicago.edu"}
+	s.Put("tok-1", Session{Identity: id})
+	got, ok := s.Get("tok-1")
+	if !ok || got.Identity != id {
+		t.Fatalf("Get = %+v, %v", got, ok)
+	}
+	if _, ok := s.Get("tok-2"); ok {
+		t.Fatal("absent token found")
+	}
+	if s.Count() != 1 {
+		t.Fatalf("count = %d", s.Count())
+	}
+	s.Delete("tok-1")
+	if _, ok := s.Get("tok-1"); ok {
+		t.Fatal("deleted token still resolves")
+	}
+	s.Delete("tok-1") // absent delete is a no-op
+}
+
+func TestMemorySessionStoreExpireBefore(t *testing.T) {
+	s := NewMemorySessionStore()
+	base := time.Unix(1_350_000_000, 0)
+	s.Put("eternal", Session{}) // zero expiry never reaped
+	s.Put("old", Session{Expires: base.Add(time.Minute)})
+	s.Put("fresh", Session{Expires: base.Add(time.Hour)})
+	if n := s.ExpireBefore(base.Add(30 * time.Minute)); n != 1 {
+		t.Fatalf("reaped %d, want 1", n)
+	}
+	if _, ok := s.Get("old"); ok {
+		t.Fatal("expired session survived")
+	}
+	for _, tok := range []string{"eternal", "fresh"} {
+		if _, ok := s.Get(tok); !ok {
+			t.Fatalf("%s reaped prematurely", tok)
+		}
+	}
+}
+
+// countingStore wraps the memory store to prove the middleware resolves
+// every session through the interface, not a private map.
+type countingStore struct {
+	*MemorySessionStore
+	mu   sync.Mutex
+	gets int
+}
+
+func (c *countingStore) Get(token string) (Session, bool) {
+	c.mu.Lock()
+	c.gets++
+	c.mu.Unlock()
+	return c.MemorySessionStore.Get(token)
+}
+
+// TestMiddlewareUsesInjectedStore swaps the store before traffic and
+// checks logins land in it and lookups come from it — the seam a shared
+// cross-replica store will plug into.
+func TestMiddlewareUsesInjectedStore(t *testing.T) {
+	r := newRig(t)
+	store := &countingStore{MemorySessionStore: NewMemorySessionStore()}
+	r.mw.SetSessionStore(store)
+
+	tok, err := r.mw.Login(Shibboleth, "alice", "pw1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if store.Count() != 1 {
+		t.Fatalf("injected store holds %d sessions, want 1", store.Count())
+	}
+	if _, ok := r.mw.identityFor(tok); !ok {
+		t.Fatal("session in injected store rejected")
+	}
+	if store.gets == 0 {
+		t.Fatal("identityFor bypassed the injected store")
+	}
+
+	// A second middleware sharing the same store sees the session — the
+	// multi-replica scenario.
+	mw2 := NewMiddleware()
+	mw2.SetSessionStore(store)
+	if _, ok := mw2.identityFor(tok); !ok {
+		t.Fatal("replica sharing the store rejected the session")
+	}
+}
+
+func TestSessionStoreConcurrent(t *testing.T) {
+	s := NewMemorySessionStore()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		g := g
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				tok := fmt.Sprintf("tok-%d-%d", g, i)
+				s.Put(tok, Session{Expires: time.Unix(int64(i), 0)})
+				s.Get(tok)
+				s.Count()
+				s.ExpireBefore(time.Unix(25, 0))
+			}
+		}()
+	}
+	wg.Wait()
+}

@@ -21,16 +21,13 @@
 package tukey
 
 import (
-	"encoding/json"
-	"encoding/xml"
 	"fmt"
-	"io"
 	"net/http"
-	"net/url"
 	"sort"
-	"strings"
 	"sync"
 	"time"
+
+	"osdc/internal/cloudapi"
 )
 
 // Provider identifies a federated login method.
@@ -115,56 +112,75 @@ type CloudCredential struct {
 	AuthToken string // opaque secret (unused by the simulated stacks)
 }
 
-// CloudConfig describes one attached cloud: its dialect and endpoint, the
-// "configuration file" of §5.2.
+// CloudConfig describes one attached cloud: its dialect and how to reach
+// it, the "configuration file" of §5.2.
+//
+// API is the transport to the cloud. Leave it nil and set Endpoint to have
+// AttachCloud build a cloudapi.Remote speaking the cloud's native dialect
+// over HTTP (the common case, and the historic behavior); or inject any
+// cloudapi.CloudAPI — a cloudapi.Local for an in-process cloud, a Remote
+// for a per-site server — to choose the topology explicitly.
 type CloudConfig struct {
 	Name     string
 	Stack    string // "openstack" or "eucalyptus"
-	Endpoint string // base URL of the native API
+	Endpoint string // base URL of the native API (used when API is nil)
+	API      cloudapi.CloudAPI
 	// FlavorMap translates canonical (OpenStack) flavor names to this
 	// cloud's native names; identity if nil or missing.
 	FlavorMap map[string]string
 }
 
-// session is one logged-in identity plus its wall-clock expiry (zero =
-// never expires).
-type session struct {
-	id      Identity
-	expires time.Time
-}
-
 // Middleware is the Tukey middleware: user DB + auth proxy + translation
 // proxies.
 //
-// Every field behind mu — the user DB, the attached clouds, the session
-// store and the counters — is read and written from concurrent HTTP
-// handlers, so all paths (including the counter increments) go through the
-// lock. The outbound cloud round trips themselves happen with the lock
-// released.
+// Every field behind mu — the user DB, the attached clouds and the
+// counters — is read and written from concurrent HTTP handlers, so all
+// paths (including the counter increments) go through the lock. Sessions
+// live in the SessionStore, which synchronizes itself; the outbound cloud
+// round trips happen with the lock released.
 type Middleware struct {
-	mu       sync.Mutex
-	idps     map[Provider]IdP
-	userDB   map[string][]CloudCredential // federated identifier -> creds
-	clouds   []CloudConfig
-	sessions map[string]session // token -> session
-	nextTok  int
-	ttl      time.Duration    // session lifetime; 0 = sessions never expire
-	now      func() time.Time // test hook; time.Now when nil
-	client   *http.Client
+	mu      sync.Mutex
+	idps    map[Provider]IdP
+	userDB  map[string][]CloudCredential // federated identifier -> creds
+	clouds  []CloudConfig
+	store   SessionStore
+	nextTok int
+	ttl     time.Duration    // session lifetime; 0 = sessions never expire
+	now     func() time.Time // test hook; time.Now when nil
+	client  *http.Client
 
 	Logins       int64
 	LoginFails   int64
 	Translations int64
 }
 
-// NewMiddleware creates an empty middleware.
+// NewMiddleware creates an empty middleware backed by an in-memory session
+// store.
 func NewMiddleware() *Middleware {
 	return &Middleware{
-		idps:     make(map[Provider]IdP),
-		userDB:   make(map[string][]CloudCredential),
-		sessions: make(map[string]session),
-		client:   &http.Client{},
+		idps:   make(map[Provider]IdP),
+		userDB: make(map[string][]CloudCredential),
+		store:  NewMemorySessionStore(),
+		// The timeout keeps a hung cloud from pinning console handler
+		// goroutines (and, via pollers, the clock driver) forever.
+		client: &http.Client{Timeout: cloudapi.DefaultTimeout},
 	}
+}
+
+// SetSessionStore replaces the session store (e.g. with one shared across
+// console replicas). Call before traffic starts; sessions in the old store
+// are not migrated.
+func (m *Middleware) SetSessionStore(s SessionStore) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.store = s
+}
+
+// sessionStore returns the current store under the lock.
+func (m *Middleware) sessionStore() SessionStore {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.store
 }
 
 // SetSessionTTL bounds session lifetime: tokens minted after the call
@@ -193,10 +209,26 @@ func (m *Middleware) RegisterIdP(p IdP) {
 	m.idps[p.Name()] = p
 }
 
-// AttachCloud registers a cloud stack.
+// AttachCloud registers a cloud stack. With cfg.API nil, an Endpoint is
+// required and the cloud is reached through a cloudapi.Remote speaking its
+// native dialect; with cfg.API set, Name and Stack default to what the API
+// reports.
 func (m *Middleware) AttachCloud(cfg CloudConfig) {
-	if cfg.Stack != "openstack" && cfg.Stack != "eucalyptus" {
-		panic("tukey: unsupported stack " + cfg.Stack)
+	if cfg.API == nil {
+		if cfg.Stack != "openstack" && cfg.Stack != "eucalyptus" {
+			panic("tukey: unsupported stack " + cfg.Stack)
+		}
+		if cfg.Endpoint == "" {
+			panic("tukey: AttachCloud needs an API or an Endpoint")
+		}
+		cfg.API = cloudapi.NewRemote(cfg.Name, cfg.Stack, cfg.Endpoint, m.client)
+	} else {
+		if cfg.Name == "" {
+			cfg.Name = cfg.API.Name()
+		}
+		if cfg.Stack == "" {
+			cfg.Stack = cfg.API.Stack()
+		}
 	}
 	m.mu.Lock()
 	defer m.mu.Unlock()
@@ -264,42 +296,35 @@ func (m *Middleware) Login(p Provider, username, secret string) (string, error) 
 	}
 	m.nextTok++
 	tok := fmt.Sprintf("tukey-sess-%06d", m.nextTok)
-	s := session{id: id}
+	s := Session{Identity: id}
 	if m.ttl > 0 {
-		s.expires = m.wallNow().Add(m.ttl)
+		s.Expires = m.wallNow().Add(m.ttl)
 	}
-	m.sessions[tok] = s
+	m.store.Put(tok, s)
 	m.Logins++
 	return tok, nil
 }
 
 // identityFor resolves a session token, reaping it if it has expired.
 func (m *Middleware) identityFor(token string) (Identity, bool) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	s, ok := m.sessions[token]
+	store := m.sessionStore()
+	s, ok := store.Get(token)
 	if !ok {
 		return Identity{}, false
 	}
-	if !s.expires.IsZero() && m.wallNow().After(s.expires) {
-		delete(m.sessions, token)
+	if s.expired(m.wallNow()) {
+		store.Delete(token)
 		return Identity{}, false
 	}
-	return s.id, true
+	return s.Identity, true
 }
 
 // SessionCount reports live (unexpired) sessions, reaping expired ones on
 // the way — the console's gauge of concurrent users.
 func (m *Middleware) SessionCount() int {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	now := m.wallNow()
-	for tok, s := range m.sessions {
-		if !s.expires.IsZero() && now.After(s.expires) {
-			delete(m.sessions, tok)
-		}
-	}
-	return len(m.sessions)
+	store := m.sessionStore()
+	store.ExpireBefore(m.wallNow())
+	return store.Count()
 }
 
 // credsFor returns the user's credential for a cloud, if any.
@@ -361,94 +386,21 @@ func (m *Middleware) countTranslation() {
 	m.mu.Unlock()
 }
 
+// listOne asks one cloud for the user's servers through its transport —
+// the dialect translation (OpenStack JSON passthrough, EC2 query/XML
+// re-shaping) lives in cloudapi.Remote now — and tags the results.
 func (m *Middleware) listOne(cfg CloudConfig, cred CloudCredential) ([]TaggedServer, error) {
 	m.countTranslation()
-	switch cfg.Stack {
-	case "openstack":
-		req, err := http.NewRequest("GET", cfg.Endpoint+"/v2/servers", nil)
-		if err != nil {
-			return nil, err
-		}
-		req.Header.Set("X-Auth-User", cred.AuthUser)
-		resp, err := m.client.Do(req)
-		if err != nil {
-			return nil, err
-		}
-		defer resp.Body.Close()
-		var body struct {
-			Servers []struct {
-				ID     string `json:"id"`
-				Name   string `json:"name"`
-				Status string `json:"status"`
-				Flavor string `json:"flavorRef"`
-			} `json:"servers"`
-		}
-		if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
-			return nil, err
-		}
-		var out []TaggedServer
-		for _, s := range body.Servers {
-			out = append(out, TaggedServer{Cloud: cfg.Name, ID: s.ID, Name: s.Name,
-				Status: s.Status, Flavor: s.Flavor})
-		}
-		return out, nil
-
-	case "eucalyptus":
-		// Translate to EC2 DescribeInstances and re-shape the XML
-		// reservation set into the OpenStack list form.
-		u := fmt.Sprintf("%s/?Action=DescribeInstances&AWSAccessKeyId=%s",
-			cfg.Endpoint, url.QueryEscape(cred.AuthUser))
-		resp, err := m.client.Get(u)
-		if err != nil {
-			return nil, err
-		}
-		defer resp.Body.Close()
-		raw, err := io.ReadAll(resp.Body)
-		if err != nil {
-			return nil, err
-		}
-		var body struct {
-			Reservations []struct {
-				Items []struct {
-					InstanceID   string `xml:"instanceId"`
-					InstanceType string `xml:"instanceType"`
-					StateName    string `xml:"instanceState>name"`
-					KeyName      string `xml:"keyName"`
-				} `xml:"instancesSet>item"`
-			} `xml:"reservationSet>item"`
-		}
-		if err := xml.Unmarshal(raw, &body); err != nil {
-			return nil, err
-		}
-		var out []TaggedServer
-		for _, r := range body.Reservations {
-			for _, it := range r.Items {
-				out = append(out, TaggedServer{
-					Cloud: cfg.Name, ID: it.InstanceID, Name: it.KeyName,
-					Status: ec2ToOpenStackState(it.StateName), Flavor: it.InstanceType,
-				})
-			}
-		}
-		return out, nil
+	instances, err := cfg.API.Instances(cred.AuthUser)
+	if err != nil {
+		return nil, err
 	}
-	return nil, fmt.Errorf("tukey: unknown stack %q", cfg.Stack)
-}
-
-// ec2ToOpenStackState maps EC2 state names to OpenStack statuses — one of
-// the §5.2 "rules of the configuration file".
-func ec2ToOpenStackState(s string) string {
-	switch s {
-	case "pending":
-		return "BUILD"
-	case "running":
-		return "ACTIVE"
-	case "stopped":
-		return "SHUTOFF"
-	case "terminated":
-		return "TERMINATED"
-	default:
-		return strings.ToUpper(s)
+	var out []TaggedServer
+	for _, i := range instances {
+		out = append(out, TaggedServer{Cloud: cfg.Name, ID: i.ID, Name: i.Name,
+			Status: i.Status, Flavor: i.Flavor})
 	}
+	return out, nil
 }
 
 // LaunchServer provisions a VM on a named cloud via the appropriate dialect
@@ -473,66 +425,12 @@ func (m *Middleware) LaunchServer(token, cloud, name, flavor string) (*TaggedSer
 		}
 	}
 	m.countTranslation()
-	switch cfg.Stack {
-	case "openstack":
-		payload := fmt.Sprintf(`{"server":{"name":%q,"flavorRef":%q}}`, name, native)
-		req, err := http.NewRequest("POST", cfg.Endpoint+"/v2/servers", strings.NewReader(payload))
-		if err != nil {
-			return nil, err
-		}
-		req.Header.Set("X-Auth-User", cred.AuthUser)
-		resp, err := m.client.Do(req)
-		if err != nil {
-			return nil, err
-		}
-		defer resp.Body.Close()
-		if resp.StatusCode != http.StatusAccepted {
-			msg, _ := io.ReadAll(resp.Body)
-			return nil, fmt.Errorf("tukey: %s rejected launch (%d): %s", cloud, resp.StatusCode, msg)
-		}
-		var body struct {
-			Server struct {
-				ID     string `json:"id"`
-				Status string `json:"status"`
-			} `json:"server"`
-		}
-		if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
-			return nil, err
-		}
-		return &TaggedServer{Cloud: cloud, ID: body.Server.ID, Name: name,
-			Status: body.Server.Status, Flavor: native}, nil
-
-	case "eucalyptus":
-		u := fmt.Sprintf("%s/?Action=RunInstances&AWSAccessKeyId=%s&InstanceType=%s&KeyName=%s",
-			cfg.Endpoint, url.QueryEscape(cred.AuthUser), url.QueryEscape(native), url.QueryEscape(name))
-		resp, err := m.client.Get(u)
-		if err != nil {
-			return nil, err
-		}
-		defer resp.Body.Close()
-		raw, err := io.ReadAll(resp.Body)
-		if err != nil {
-			return nil, err
-		}
-		if resp.StatusCode != http.StatusOK {
-			return nil, fmt.Errorf("tukey: %s rejected launch (%d): %s", cloud, resp.StatusCode, raw)
-		}
-		var body struct {
-			Items []struct {
-				InstanceID string `xml:"instanceId"`
-				StateName  string `xml:"instanceState>name"`
-			} `xml:"instancesSet>item"`
-		}
-		if err := xml.Unmarshal(raw, &body); err != nil {
-			return nil, err
-		}
-		if len(body.Items) == 0 {
-			return nil, fmt.Errorf("tukey: empty RunInstances response from %s", cloud)
-		}
-		return &TaggedServer{Cloud: cloud, ID: body.Items[0].InstanceID, Name: name,
-			Status: ec2ToOpenStackState(body.Items[0].StateName), Flavor: native}, nil
+	inst, err := cfg.API.Launch(cred.AuthUser, name, native, "")
+	if err != nil {
+		return nil, fmt.Errorf("tukey: %s: %w", cloud, err)
 	}
-	return nil, fmt.Errorf("tukey: unknown stack %q", cfg.Stack)
+	return &TaggedServer{Cloud: cloud, ID: inst.ID, Name: name,
+		Status: inst.Status, Flavor: native}, nil
 }
 
 // TerminateServer releases a VM on a named cloud.
@@ -550,34 +448,8 @@ func (m *Middleware) TerminateServer(token, cloud, id string) error {
 		return fmt.Errorf("tukey: no credentials on %s", cloud)
 	}
 	m.countTranslation()
-	switch cfg.Stack {
-	case "openstack":
-		req, err := http.NewRequest("DELETE", cfg.Endpoint+"/v2/servers/"+id, nil)
-		if err != nil {
-			return err
-		}
-		req.Header.Set("X-Auth-User", cred.AuthUser)
-		resp, err := m.client.Do(req)
-		if err != nil {
-			return err
-		}
-		resp.Body.Close()
-		if resp.StatusCode != http.StatusNoContent {
-			return fmt.Errorf("tukey: terminate on %s returned %d", cloud, resp.StatusCode)
-		}
-		return nil
-	case "eucalyptus":
-		u := fmt.Sprintf("%s/?Action=TerminateInstances&AWSAccessKeyId=%s&InstanceId.1=%s",
-			cfg.Endpoint, url.QueryEscape(cred.AuthUser), url.QueryEscape(id))
-		resp, err := m.client.Get(u)
-		if err != nil {
-			return err
-		}
-		resp.Body.Close()
-		if resp.StatusCode != http.StatusOK {
-			return fmt.Errorf("tukey: terminate on %s returned %d", cloud, resp.StatusCode)
-		}
-		return nil
+	if err := cfg.API.Terminate(cred.AuthUser, id); err != nil {
+		return fmt.Errorf("tukey: %s: %w", cloud, err)
 	}
-	return fmt.Errorf("tukey: unknown stack")
+	return nil
 }
