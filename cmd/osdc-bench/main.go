@@ -4,7 +4,7 @@
 // Usage:
 //
 //	osdc-bench [-exp all|<name>] [-seed N] [-seeds N] [-parallel N]
-//	           [-param k=v,k2=v2] [-json] [-list]
+//	           [-param k=v,k2=v2] [-json] [-list] [-mutexprofile out.pb.gz]
 //
 // With -seeds 1 (the default) each scenario runs once and prints its
 // paper-style table. With -seeds N > 1 the seeds fan out over a worker
@@ -13,6 +13,10 @@
 // workload shape (e.g. -exp console-load -param users=32,think-ms=5) and
 // requires naming one scenario with -exp. -json emits the same results as
 // JSON; -list enumerates the registered scenarios with their parameters.
+// -mutexprofile captures a full mutex-contention profile of the run —
+// `osdc-bench -exp console-knee -mutexprofile knee.pb.gz` answers which
+// service lock saturates first at the latency knee (inspect with `go tool
+// pprof knee.pb.gz`).
 //
 // Experiments live in internal/experiments and self-register into
 // internal/scenario; adding a scenario there makes it appear here with no
@@ -26,6 +30,8 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"sort"
 	"strconv"
 	"strings"
@@ -61,6 +67,7 @@ func run(args []string, stdout io.Writer) error {
 	asJSON := fs.Bool("json", false, "emit JSON instead of formatted tables")
 	list := fs.Bool("list", false, "list registered scenarios and exit")
 	params := fs.String("param", "", "comma-separated k=v overrides for a parametric scenario (requires -exp <name>)")
+	mutexProfile := fs.String("mutexprofile", "", "write a mutex-contention profile of the run to this file (e.g. during -exp console-knee)")
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
 			fs.SetOutput(stdout)
@@ -68,6 +75,25 @@ func run(args []string, stdout io.Writer) error {
 			return nil
 		}
 		return err
+	}
+
+	if *mutexProfile != "" {
+		// Sample every mutex contention event for the whole run — the
+		// ROADMAP's "which lock saturates first at the console knee"
+		// question wants the full picture, and scenario runs are short.
+		runtime.SetMutexProfileFraction(1)
+		defer func() {
+			runtime.SetMutexProfileFraction(0)
+			f, err := os.Create(*mutexProfile)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "osdc-bench: mutex profile: %v\n", err)
+				return
+			}
+			defer f.Close()
+			if err := pprof.Lookup("mutex").WriteTo(f, 0); err != nil {
+				fmt.Fprintf(os.Stderr, "osdc-bench: mutex profile: %v\n", err)
+			}
+		}()
 	}
 
 	if *list {

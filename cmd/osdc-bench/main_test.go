@@ -207,3 +207,65 @@ func TestListShowsParams(t *testing.T) {
 		t.Fatalf("-list does not show console-load params:\n%s", out.String())
 	}
 }
+
+// TestMutexProfileWritten: -mutexprofile captures a pprof mutex profile of
+// the run into the named file.
+func TestMutexProfileWritten(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "mutex.pb.gz")
+	var out bytes.Buffer
+	if err := run([]string{"-exp", "provision", "-seed", "3", "-mutexprofile", path}, &out); err != nil {
+		t.Fatal(err)
+	}
+	info, err := os.Stat(path)
+	if err != nil {
+		t.Fatalf("mutex profile not written: %v", err)
+	}
+	if info.Size() == 0 {
+		t.Fatal("mutex profile is empty")
+	}
+}
+
+// TestDeterministicAccountingPinnedAcrossTopologies is the federated clock
+// plane's acceptance invariant, checked at the golden layer: console-load,
+// console-load-remote and console-load-remote-sync must agree on every
+// deterministic metric (request accounting, launches, dataset hits, usage
+// visibility). Topology markers and live- measurements are the only
+// permitted differences.
+func TestDeterministicAccountingPinnedAcrossTopologies(t *testing.T) {
+	topologyKeys := map[string]bool{"remote-topology": true, "clock-follow": true}
+	load := func(name string) map[string]float64 {
+		t.Helper()
+		raw, err := os.ReadFile(filepath.Join("testdata", name+".json"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var entries []struct {
+			Metrics map[string]float64 `json:"metrics"`
+		}
+		if err := json.Unmarshal(raw, &entries); err != nil || len(entries) != 1 {
+			t.Fatalf("golden %s: %v", name, err)
+		}
+		det := map[string]float64{}
+		for k, v := range entries[0].Metrics {
+			if !strings.HasPrefix(k, "live-") && !topologyKeys[k] {
+				det[k] = v
+			}
+		}
+		return det
+	}
+	base := load("console-load")
+	if base["requests-total"] == 0 {
+		t.Fatal("baseline golden has no request accounting")
+	}
+	for _, name := range []string{"console-load-remote", "console-load-remote-sync"} {
+		got := load(name)
+		if len(got) != len(base) {
+			t.Errorf("%s deterministic keys %d != baseline %d", name, len(got), len(base))
+		}
+		for k, v := range base {
+			if gv, ok := got[k]; !ok || gv != v {
+				t.Errorf("%s: metric %s = %v, baseline %v", name, k, gv, v)
+			}
+		}
+	}
+}

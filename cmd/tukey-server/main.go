@@ -12,15 +12,26 @@
 // Topology: by default both clouds share the federation engine behind
 // per-cloud loopback servers (single process, one clock). With
 // -remote-clouds every cloud instead runs as its own site — a private
-// sim.Engine, its own wall-clock driver, its own HTTP listener — and the
+// sim.Engine, its own clock source, its own HTTP listener — and the
 // console, billing and monitoring reach it only through cloudapi.Remote
 // clients speaking the cloud's native dialect, the paper's actual
-// deployment shape (§5.2, §7).
+// deployment shape (§5.2, §7). With -site name=url a cloud is not built
+// in-process at all: the named cloud is expected to be an externally
+// running cloud-site process (cmd/cloud-site), attached by URL.
+//
+// Clock plane: -clock-sync <interval> puts every in-process remote site in
+// follow mode and starts a coordinator pushing the console engine's
+// virtual time to each followed site (in-process or external) every
+// interval, bounding cross-engine skew to about one sync interval. The
+// console's own clock is served at GET /clock for cloud-site processes
+// that poll rather than accept pushes.
 //
 // Usage:
 //
 //	tukey-server [-addr :8080] [-speedup 60] [-session-ttl 12h]
-//	             [-remote-clouds] [-rate-limit N] [-rate-burst M]
+//	             [-session-file sessions.json] [-remote-clouds]
+//	             [-site name=url ...] [-clock-sync 50ms]
+//	             [-site-timeout 10s] [-rate-limit N] [-rate-burst M]
 //
 // Then:
 //
@@ -30,11 +41,14 @@
 package main
 
 import (
+	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"net"
 	"net/http"
+	"strings"
 	"time"
 
 	"osdc/internal/cloudapi"
@@ -44,13 +58,49 @@ import (
 	"osdc/internal/tukey"
 )
 
+// sitePair is one -site flag value: an externally running cloud-site to
+// attach instead of building that cloud in-process.
+type sitePair struct {
+	name string
+	url  string
+}
+
+// siteList collects repeated -site flags.
+type siteList []sitePair
+
+func (s *siteList) String() string {
+	parts := make([]string, len(*s))
+	for i, p := range *s {
+		parts[i] = p.name + "=" + p.url
+	}
+	return strings.Join(parts, ",")
+}
+
+func (s *siteList) Set(v string) error {
+	name, url, ok := strings.Cut(v, "=")
+	if !ok || name == "" || url == "" {
+		return errors.New("want name=url")
+	}
+	for _, p := range *s {
+		if p.name == name {
+			return fmt.Errorf("cloud %s attached twice", name)
+		}
+	}
+	*s = append(*s, sitePair{name: name, url: url})
+	return nil
+}
+
 // options bundle the server knobs (one struct so tests can set exactly
 // what they exercise).
 type options struct {
 	seed         uint64
 	speedup      float64       // simulated seconds per wall second; <= 0 freezes every clock
 	sessionTTL   time.Duration // 0 = sessions never expire
+	sessionFile  string        // persistent session store; "" = in-memory
 	remoteClouds bool          // per-site topology: one engine + listener per cloud
+	sites        siteList      // externally running cloud-sites to attach by URL
+	siteTimeout  time.Duration // per-request deadline on site transports; 0 = cloudapi.DefaultTimeout
+	clockSync    time.Duration // push console time to followed sites this often; 0 = free-run
 	rateLimit    float64       // per-user console requests/second; 0 = off
 	rateBurst    float64       // per-user burst; 0 = 2× rateLimit
 }
@@ -61,13 +111,14 @@ type options struct {
 type server struct {
 	fed     *core.Federation
 	console *tukey.Console
+	handler http.Handler     // console plus the /clock coordinator endpoint
 	driver  *sim.Driver      // console-side clock; nil when frozen
 	sites   []*cloudapi.Site // per-cloud worlds in -remote-clouds mode
 	close   func()           // shuts the native-API listeners down
 }
 
 // newServer builds the federation in the requested topology, enrolls the
-// demo researcher, and starts the clock driver(s).
+// demo researcher, and starts the clock source(s) and coordinator.
 func newServer(opt options) (*server, error) {
 	f, err := core.New(core.Options{Seed: opt.seed, Scale: 4})
 	if err != nil {
@@ -76,45 +127,144 @@ func newServer(opt options) (*server, error) {
 	if opt.sessionTTL > 0 {
 		f.Tukey.SetSessionTTL(opt.sessionTTL)
 	}
+	if opt.sessionFile != "" {
+		store, err := tukey.NewFileSessionStore(opt.sessionFile)
+		if err != nil {
+			return nil, err
+		}
+		f.Tukey.SetSessionStore(store)
+		if n := store.Count(); n > 0 {
+			log.Printf("session store %s: %d sessions survive the restart", opt.sessionFile, n)
+		}
+	}
+	siteClient := &http.Client{Timeout: cloudapi.DefaultTimeout}
+	if opt.siteTimeout > 0 {
+		siteClient = &http.Client{Timeout: opt.siteTimeout}
+		f.Tukey.SetHTTPTimeout(opt.siteTimeout)
+	}
 
 	s := &server{fed: f, close: func() {}}
 	// apis reach each cloud's operator plane for quota administration.
 	apis := make(map[string]cloudapi.CloudAPI)
+	// pollAPIs is what billing/monitoring watch when any cloud is remote.
+	var pollAPIs []cloudapi.CloudAPI
+	// syncTargets are the followed clock planes the coordinator pushes to.
+	var syncTargets []cloudapi.ClockSyncTarget
+
+	external := map[string]string{}
+	for _, p := range opt.sites {
+		external[p.name] = p.url
+	}
+	inProcess := make([]string, 0, 2)
+	for _, name := range []string{core.ClusterAdler, core.ClusterSullivan} {
+		if _, ok := external[name]; !ok {
+			inProcess = append(inProcess, name)
+		}
+	}
+
+	clockMode := cloudapi.ClockFreeRun
+	if opt.clockSync > 0 {
+		clockMode = cloudapi.ClockFollow
+	}
 
 	if opt.remoteClouds {
-		// Every cloud becomes a site: own engine (offset seeds keep the
-		// worlds distinct), own driver, own listener. The console-side
-		// services are rewired onto Remote transports — after this, a
-		// cloud is an address.
-		sites, err := f.StartRemoteSites(opt.seed, 4, opt.speedup)
+		// Every in-process cloud becomes a site: own engine (offset seeds
+		// keep the worlds distinct), own clock source, own listener. The
+		// console-side services are rewired onto Remote transports — after
+		// this, a cloud is an address. In follow mode the site clock only
+		// moves when the coordinator pushes (speedup caps nothing: 0 =
+		// jump to each target).
+		speedup := opt.speedup
+		if clockMode == cloudapi.ClockFollow {
+			speedup = 0
+		}
+		sites, err := f.StartRemoteSitesWithOptions(core.RemoteSiteOptions{
+			Seed: opt.seed, Scale: 4, Speedup: speedup,
+			Clock: clockMode, Client: siteClient, Clouds: inProcess,
+		})
 		if err != nil {
 			s.Close()
 			return nil, err
 		}
 		s.sites = sites
 		for _, site := range sites {
-			apis[site.Cloud.Name] = site.Remote()
-			log.Printf("cloud site %s (%s) on %s, private engine", site.Cloud.Name, site.Cloud.Stack, site.URL)
+			remote := site.RemoteWithClient(siteClient)
+			apis[site.Cloud.Name] = remote
+			pollAPIs = append(pollAPIs, remote)
+			if clockMode == cloudapi.ClockFollow {
+				syncTargets = append(syncTargets, remote)
+			}
+			log.Printf("cloud site %s (%s) on %s, private engine (%s clock)",
+				site.Cloud.Name, site.Cloud.Stack, site.URL, site.Mode)
 		}
 	} else {
-		novaLn, novaURL, err := serve(cloudapi.NewServer(f.Adler))
+		for _, name := range inProcess {
+			c := f.Adler
+			if name == core.ClusterSullivan {
+				c = f.Sullivan
+			}
+			srv := cloudapi.NewServer(c)
+			// The shared federation engine is readable on each cloud's
+			// clock plane even in the single-process topology.
+			srv.Clock = cloudapi.EngineClock{E: f.Engine}
+			ln, url, err := serve(srv)
+			if err != nil {
+				s.Close()
+				return nil, err
+			}
+			prev := s.close
+			s.close = func() { prev(); ln.Close() }
+			f.Tukey.AttachCloud(tukey.CloudConfig{Name: c.Name, Stack: c.Stack, Endpoint: url})
+			api := f.AdlerAPI
+			if name == core.ClusterSullivan {
+				api = f.SullivanAPI
+			}
+			apis[name] = api
+			pollAPIs = append(pollAPIs, api)
+			log.Printf("cloud %s (%s) on %s, shared engine", c.Name, c.Stack, url)
+		}
+	}
+
+	// Externally running cloud-sites: probe each URL's discovery document,
+	// attach the Remote to the console, and fold it into polling and —
+	// when it follows — clock sync.
+	for _, p := range opt.sites {
+		remote, err := cloudapi.ProbeRemote(p.url, siteClient)
 		if err != nil {
+			s.Close()
 			return nil, err
 		}
-		eucaLn, eucaURL, err := serve(cloudapi.NewServer(f.Sullivan))
-		if err != nil {
-			novaLn.Close()
-			return nil, err
+		if remote.Name() != p.name {
+			s.Close()
+			return nil, fmt.Errorf("site %s reports cloud %q, not %q", p.url, remote.Name(), p.name)
 		}
-		s.close = func() {
-			novaLn.Close()
-			eucaLn.Close()
+		f.Tukey.AttachCloud(tukey.CloudConfig{API: remote})
+		apis[p.name] = remote
+		pollAPIs = append(pollAPIs, remote)
+		mode := "unknown"
+		st, clockErr := remote.Clock()
+		if clockErr == nil {
+			mode = st.Mode
+			if st.Mode == cloudapi.ClockFollow.String() && opt.clockSync > 0 {
+				syncTargets = append(syncTargets, remote)
+			}
+		} else if opt.clockSync > 0 {
+			// With clock sync requested, silently excluding a site from
+			// the coordinator would freeze its virtual clock forever (a
+			// follower with no pushes holds still). Fail loudly instead:
+			// the operator retries once the site answers its clock plane.
+			s.Close()
+			return nil, fmt.Errorf("site %s at %s: clock plane unreadable with -clock-sync on: %w", p.name, p.url, clockErr)
 		}
-		f.Tukey.AttachCloud(tukey.CloudConfig{Name: core.ClusterAdler, Stack: "openstack", Endpoint: novaURL})
-		f.Tukey.AttachCloud(tukey.CloudConfig{Name: core.ClusterSullivan, Stack: "eucalyptus", Endpoint: eucaURL})
-		apis[core.ClusterAdler] = f.AdlerAPI
-		apis[core.ClusterSullivan] = f.SullivanAPI
-		log.Printf("OSDC up: adler(openstack)=%s sullivan(eucalyptus)=%s", novaURL, eucaURL)
+		log.Printf("external cloud site %s (%s) attached at %s (%s clock)", p.name, remote.Stack(), p.url, mode)
+	}
+
+	// Rewire billing/monitoring when any cloud sits behind a transport the
+	// default federation wiring does not watch. In pure -remote-clouds
+	// mode StartRemoteSitesWithOptions already did this rewire; only
+	// external sites extend the poll set beyond it.
+	if len(opt.sites) > 0 {
+		f.UseCloudAPIs(pollAPIs...)
 	}
 
 	f.EnrollResearcher("demo", "demo-pw")
@@ -125,7 +275,7 @@ func newServer(opt options) (*server, error) {
 		}
 	}
 
-	s.console = &tukey.Console{MW: f.Tukey, Biller: f.Biller, Catalog: f.Catalog}
+	s.console = &tukey.Console{MW: f.Tukey, Biller: f.Biller, Catalog: f.Catalog, UsageMon: f.UsageMon}
 	if opt.rateLimit > 0 {
 		burst := opt.rateBurst
 		if burst <= 0 {
@@ -133,14 +283,30 @@ func newServer(opt options) (*server, error) {
 		}
 		s.console.Limiter = tukey.NewRateLimiter(opt.rateLimit, burst)
 	}
+	mux := http.NewServeMux()
+	mux.Handle("/", s.console)
+	// GET /clock is the coordinator's readable face: cloud-site processes
+	// started with -clock-follow <this server's URL> poll it. Same wire
+	// form as every site's /cloudapi/clock (cloudapi.ClockStatus).
+	consoleClock := cloudapi.EngineClock{E: f.Engine}
+	mux.HandleFunc("/clock", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(consoleClock.ClockStatus())
+	})
+	s.handler = mux
+
 	if opt.speedup > 0 {
 		s.driver = sim.StartDriver(f.Engine, opt.speedup, 5*time.Millisecond)
+	}
+	if opt.clockSync > 0 && len(syncTargets) > 0 {
+		f.StartClockSync(opt.clockSync, syncTargets...)
 	}
 	return s, nil
 }
 
-// Close stops every driver and listener.
+// Close stops the coordinator, every clock source and every listener.
 func (s *server) Close() {
+	s.fed.StopClockSync()
 	if s.driver != nil {
 		s.driver.Stop()
 	}
@@ -154,14 +320,20 @@ func main() {
 	addr := flag.String("addr", ":8080", "console listen address")
 	speedup := flag.Float64("speedup", 60, "simulated seconds advanced per wall second (0 freezes the clock)")
 	sessionTTL := flag.Duration("session-ttl", 12*time.Hour, "wall-clock session lifetime (0 = never expire)")
-	remote := flag.Bool("remote-clouds", false, "run each cloud behind its own HTTP listener with its own engine and clock driver")
+	sessionFile := flag.String("session-file", "", "persist sessions to this JSON file so restarts keep users logged in")
+	remote := flag.Bool("remote-clouds", false, "run each cloud behind its own HTTP listener with its own engine and clock")
+	siteTimeout := flag.Duration("site-timeout", cloudapi.DefaultTimeout, "per-request deadline for reaching cloud sites")
+	clockSync := flag.Duration("clock-sync", 0, "sync followed site clocks to the console engine this often (0 = free-run)")
 	rateLimit := flag.Float64("rate-limit", 0, "per-user console requests/second (0 = unlimited)")
 	rateBurst := flag.Float64("rate-burst", 0, "per-user burst size (0 = 2× -rate-limit)")
+	var sites siteList
+	flag.Var(&sites, "site", "attach an externally running cloud-site as name=url (repeatable)")
 	flag.Parse()
 
 	s, err := newServer(options{
-		seed: 1, speedup: *speedup, sessionTTL: *sessionTTL,
-		remoteClouds: *remote, rateLimit: *rateLimit, rateBurst: *rateBurst,
+		seed: 1, speedup: *speedup, sessionTTL: *sessionTTL, sessionFile: *sessionFile,
+		remoteClouds: *remote, sites: sites, siteTimeout: *siteTimeout, clockSync: *clockSync,
+		rateLimit: *rateLimit, rateBurst: *rateBurst,
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -171,9 +343,12 @@ func main() {
 	if *remote {
 		topology = "per-site remote"
 	}
+	if len(sites) > 0 {
+		topology += fmt.Sprintf(" + %d external site(s)", len(sites))
+	}
 	log.Printf("Tukey console on %s (%s topology) — login with demo/demo-pw (shibboleth); clock at %gx",
 		*addr, topology, *speedup)
-	log.Fatal(http.ListenAndServe(*addr, s.console))
+	log.Fatal(http.ListenAndServe(*addr, s.handler))
 }
 
 // serve mounts a handler on an ephemeral loopback port and returns the

@@ -108,6 +108,11 @@ type Biller struct {
 	// atomics — read them with atomic.LoadInt64 while pollers may fire.
 	Polls      int64
 	PollErrors int64
+
+	// errByCloud breaks PollErrors down per cloud, so an operator can see
+	// *which* site is unreachable, not just that one is. Keys are fixed at
+	// construction; values are atomics.
+	errByCloud map[string]*int64
 }
 
 // DaysPerCycle is the billing month (30 days).
@@ -120,6 +125,10 @@ func New(e *sim.Engine, rates Rates, clouds []cloudapi.CloudAPI, storage Storage
 	for i := range b.shards {
 		b.shards[i].usage = make(map[string]*Usage)
 	}
+	b.errByCloud = make(map[string]*int64, len(clouds))
+	for _, c := range clouds {
+		b.errByCloud[c.Name()] = new(int64)
+	}
 	b.pollMin = e.Every(sim.Minute, b.pollVMs)
 	b.pollDay = e.Every(sim.Day, b.pollStorage)
 	b.pollMon = e.Every(DaysPerCycle*sim.Day, b.closeCycle)
@@ -131,6 +140,16 @@ func (b *Biller) Stop() {
 	b.pollMin.Stop()
 	b.pollDay.Stop()
 	b.pollMon.Stop()
+}
+
+// PollErrorsByCloud returns each polled cloud's sample-failure count —
+// zero entries included, so a healthy federation reports every site.
+func (b *Biller) PollErrorsByCloud() map[string]int64 {
+	out := make(map[string]int64, len(b.errByCloud))
+	for name, n := range b.errByCloud {
+		out[name] = atomic.LoadInt64(n)
+	}
+	return out
 }
 
 // shardFor hashes a user onto its accumulator shard.
@@ -179,6 +198,7 @@ func (b *Biller) pollVMs() {
 		u, err := c.Usage()
 		if err != nil {
 			atomic.AddInt64(&b.PollErrors, 1)
+			atomic.AddInt64(b.errByCloud[c.Name()], 1)
 			continue
 		}
 		samples = append(samples, u)

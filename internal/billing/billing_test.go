@@ -1,6 +1,7 @@
 package billing
 
 import (
+	"fmt"
 	"math"
 	"testing"
 
@@ -139,6 +140,38 @@ func TestPollsCounted(t *testing.T) {
 	e.RunFor(sim.Hour)
 	if b.Polls < 59 || b.Polls > 61 {
 		t.Fatalf("polls in 1 h = %d, want ~60", b.Polls)
+	}
+}
+
+// failingCloud is a CloudAPI whose usage samples always fail — an
+// unreachable remote site as the pollers see it.
+type failingCloud struct {
+	cloudapi.CloudAPI
+	name string
+}
+
+func (f failingCloud) Name() string { return f.name }
+func (f failingCloud) Usage() (cloudapi.Usage, error) {
+	return cloudapi.Usage{}, fmt.Errorf("site %s unreachable", f.name)
+}
+
+func TestPollErrorsBrokenDownPerCloud(t *testing.T) {
+	e := sim.NewEngine(3)
+	good := iaas.NewCloud(e, "healthy", "openstack", "chicago")
+	good.AddRack("r", 2)
+	b := New(e, DefaultRates(), []cloudapi.CloudAPI{
+		cloudapi.NewLocal(good),
+		failingCloud{name: "down-site"},
+	}, nil)
+	e.RunFor(10 * sim.Minute)
+	b.Stop()
+
+	per := b.PollErrorsByCloud()
+	if per["healthy"] != 0 {
+		t.Fatalf("healthy cloud charged %d poll errors", per["healthy"])
+	}
+	if per["down-site"] < 9 || per["down-site"] != b.PollErrors {
+		t.Fatalf("down-site errors = %d (total %d), want ~10 and equal", per["down-site"], b.PollErrors)
 	}
 }
 

@@ -1,0 +1,96 @@
+package cloudapi
+
+import (
+	"errors"
+
+	"osdc/internal/sim"
+)
+
+// The clock plane is the transport layer's answer to the federation's
+// free-running-engines problem: once every site owns a private sim.Engine,
+// invoice cycles on the console engine and VM lifetimes on site engines
+// drift apart over long runs. /cloudapi/clock exposes a site's virtual
+// clock the same way /cloudapi/usage exposes its footprint: GET reads the
+// current virtual time and mode, POST (follow mode only) publishes a sync
+// target the site's sim.Follower advances toward. A ClockCoordinator on
+// the console side pushes the console engine's time to every followed site
+// each sync interval and records the skew it observes.
+
+// ClockMode says how a site's engine clock advances.
+type ClockMode int
+
+const (
+	// ClockFreeRun is the historic behavior: the site's engine tracks wall
+	// time at its own speedup, unsynchronized with every other engine.
+	ClockFreeRun ClockMode = iota
+	// ClockFollow makes the site's engine advance only toward targets
+	// published on the clock plane (a sim.Follower drives it).
+	ClockFollow
+)
+
+// String returns the wire name of the mode.
+func (m ClockMode) String() string {
+	if m == ClockFollow {
+		return "follow"
+	}
+	return "free-run"
+}
+
+// ErrFreeRunning reports a sync attempt against a free-running clock: the
+// site has its own wall-clock driver and accepts no targets.
+var ErrFreeRunning = errors.New("cloudapi: clock is free-running, not following")
+
+// ClockStatus is the /cloudapi/clock wire form: the site engine's current
+// virtual time in seconds, its mode, and — in follow mode — the newest
+// published target.
+type ClockStatus struct {
+	Now    float64 `json:"now"`
+	Mode   string  `json:"mode"`
+	Target float64 `json:"target,omitempty"`
+}
+
+// ClockPlane is what a Server exposes under /cloudapi/clock: a readable
+// virtual clock that may, in follow mode, accept sync targets.
+type ClockPlane interface {
+	// ClockStatus reports the clock's current state.
+	ClockStatus() ClockStatus
+	// SyncTo publishes a target virtual time for the clock to advance
+	// toward. Free-running clocks return ErrFreeRunning.
+	SyncTo(target sim.Time) error
+}
+
+// EngineClock is the free-running ClockPlane over a bare engine: readable,
+// not syncable. It serves the single-process topology, where every cloud
+// shares the federation engine and there is nothing to synchronize.
+type EngineClock struct {
+	E *sim.Engine
+}
+
+// ClockStatus implements ClockPlane.
+func (c EngineClock) ClockStatus() ClockStatus {
+	return ClockStatus{Now: float64(c.E.Now()), Mode: ClockFreeRun.String()}
+}
+
+// SyncTo implements ClockPlane: free-running clocks accept no targets.
+func (c EngineClock) SyncTo(sim.Time) error { return ErrFreeRunning }
+
+// FollowerClock adapts a sim.Follower into the ClockPlane: GETs read the
+// engine it drives, POSTs become SetTarget calls.
+type FollowerClock struct {
+	F *sim.Follower
+}
+
+// ClockStatus implements ClockPlane.
+func (c FollowerClock) ClockStatus() ClockStatus {
+	return ClockStatus{
+		Now:    float64(c.F.Engine().Now()),
+		Mode:   ClockFollow.String(),
+		Target: float64(c.F.Target()),
+	}
+}
+
+// SyncTo implements ClockPlane.
+func (c FollowerClock) SyncTo(target sim.Time) error {
+	c.F.SetTarget(target)
+	return nil
+}

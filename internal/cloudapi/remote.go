@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"osdc/internal/iaas"
+	"osdc/internal/sim"
 )
 
 // Remote is the over-the-wire CloudAPI backend: an HTTP client that reaches
@@ -49,6 +50,29 @@ func NewRemote(name, stack, endpoint string, client *http.Client) *Remote {
 		client = &http.Client{Timeout: DefaultTimeout}
 	}
 	return &Remote{name: name, stack: stack, endpoint: strings.TrimRight(endpoint, "/"), client: client}
+}
+
+// ProbeRemote builds a client for whatever cloud serves endpoint by asking
+// its /cloudapi/meta discovery document for the name and stack — how
+// tukey-server attaches an externally running cloud-site process it knows
+// only by URL. client may be nil for a private client with DefaultTimeout.
+func ProbeRemote(endpoint string, client *http.Client) (*Remote, error) {
+	if client == nil {
+		client = &http.Client{Timeout: DefaultTimeout}
+	}
+	resp, err := client.Get(strings.TrimRight(endpoint, "/") + "/cloudapi/meta")
+	if err != nil {
+		return nil, fmt.Errorf("cloudapi: probing %s: %w", endpoint, err)
+	}
+	defer resp.Body.Close()
+	var m meta
+	if err := json.NewDecoder(resp.Body).Decode(&m); err != nil || resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("cloudapi: %s is not a cloud site (status %d, err %v)", endpoint, resp.StatusCode, err)
+	}
+	if m.Name == "" || (m.Stack != "openstack" && m.Stack != "eucalyptus") {
+		return nil, fmt.Errorf("cloudapi: %s reported unusable meta %+v", endpoint, m)
+	}
+	return NewRemote(m.Name, m.Stack, endpoint, client), nil
 }
 
 // Name implements CloudAPI.
@@ -448,6 +472,39 @@ func (r *Remote) SetQuota(user string, q iaas.Quota) error {
 		return fmt.Errorf("cloudapi: %s quota update returned %d", r.name, resp.StatusCode)
 	}
 	return nil
+}
+
+// Clock reads the site's clock plane: the site engine's current virtual
+// time, mode, and (follow mode) newest target.
+func (r *Remote) Clock() (ClockStatus, error) {
+	var st ClockStatus
+	status, err := r.operatorGet("/cloudapi/clock", &st)
+	if err != nil {
+		return ClockStatus{}, err
+	}
+	if status != http.StatusOK {
+		return ClockStatus{}, fmt.Errorf("cloudapi: %s clock read returned %d", r.name, status)
+	}
+	return st, nil
+}
+
+// ClockSync publishes a target virtual time on the site's clock plane. A
+// free-running site answers 409, surfaced as ErrFreeRunning so a
+// coordinator can tell "does not follow" from "unreachable".
+func (r *Remote) ClockSync(target sim.Time) error {
+	payload := fmt.Sprintf(`{"target":%g}`, float64(target))
+	resp, err := r.client.Post(r.endpoint+"/cloudapi/clock", "application/json", strings.NewReader(payload))
+	if err != nil {
+		return err
+	}
+	resp.Body.Close()
+	switch resp.StatusCode {
+	case http.StatusNoContent:
+		return nil
+	case http.StatusConflict:
+		return fmt.Errorf("cloudapi: %s: %w", r.name, ErrFreeRunning)
+	}
+	return fmt.Errorf("cloudapi: %s clock sync returned %d", r.name, resp.StatusCode)
 }
 
 // Usage implements CloudAPI via the operator plane.

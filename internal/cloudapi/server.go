@@ -7,6 +7,7 @@ import (
 	"strings"
 
 	"osdc/internal/iaas"
+	"osdc/internal/sim"
 )
 
 // Server exposes one cloud over HTTP the way a real OSDC site does: the
@@ -22,6 +23,11 @@ import (
 type Server struct {
 	local  *Local
 	native http.Handler
+	// Clock, when set, serves the clock plane under /cloudapi/clock: GET
+	// reads the site engine's virtual time, POST publishes a sync target
+	// (follow mode only). Nil means the site exposes no clock (the routes
+	// 404), which is the pre-clock-plane contract.
+	Clock ClockPlane
 }
 
 // NewServer builds the per-cloud server, picking the native dialect handler
@@ -51,6 +57,12 @@ type quotaRequest struct {
 	User         string `json:"user"`
 	MaxInstances int    `json:"max_instances"`
 	MaxCores     int    `json:"max_cores"`
+}
+
+// clockSyncRequest is the POST /cloudapi/clock wire form: the target
+// virtual time in seconds.
+type clockSyncRequest struct {
+	Target float64 `json:"target"`
 }
 
 func serveJSON(w http.ResponseWriter, code int, v interface{}) {
@@ -90,6 +102,35 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		serveJSON(w, http.StatusOK, inst)
+
+	case r.URL.Path == "/cloudapi/clock" && r.Method == http.MethodGet:
+		if s.Clock == nil {
+			serveError(w, http.StatusNotFound, "site exposes no clock plane")
+			return
+		}
+		serveJSON(w, http.StatusOK, s.Clock.ClockStatus())
+
+	case r.URL.Path == "/cloudapi/clock" && r.Method == http.MethodPost:
+		if s.Clock == nil {
+			serveError(w, http.StatusNotFound, "site exposes no clock plane")
+			return
+		}
+		var req clockSyncRequest
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			serveError(w, http.StatusBadRequest, "bad JSON: "+err.Error())
+			return
+		}
+		if req.Target < 0 {
+			serveError(w, http.StatusBadRequest, "negative clock target")
+			return
+		}
+		if err := s.Clock.SyncTo(sim.Time(req.Target)); err != nil {
+			// A free-running site rejects targets; the coordinator treats
+			// the conflict as "this site does not follow".
+			serveError(w, http.StatusConflict, err.Error())
+			return
+		}
+		w.WriteHeader(http.StatusNoContent)
 
 	case r.URL.Path == "/cloudapi/quota" && r.Method == http.MethodPost:
 		var req quotaRequest

@@ -11,37 +11,83 @@ import (
 )
 
 // Site is one cloud running as its own miniature process: a private engine
-// (and optionally a wall-clock driver advancing it), the cloud it hosts,
-// and a loopback HTTP listener serving the cloud's Server. This is the
-// remote-topology building block — every service reaches a Site only
-// through a Remote pointed at its URL.
+// (and a clock source advancing it), the cloud it hosts, and a loopback
+// HTTP listener serving the cloud's Server. This is the remote-topology
+// building block — every service reaches a Site only through a Remote
+// pointed at its URL.
 //
-// Clock note: a Site's engine ticks independently of every other engine in
-// the process. The services tolerate that (billing samples whatever the
-// remote cloud reports now); cross-engine clock sync is the contained
-// follow-up this layer was cut for.
+// Clock: in ClockFreeRun mode the site's engine tracks wall time at its
+// own speedup, independent of every other engine (the historic behavior);
+// in ClockFollow mode a sim.Follower drives it toward targets published on
+// the site's /cloudapi/clock plane, which is how a ClockCoordinator keeps
+// the federation's engines within a bounded skew of the console.
 type Site struct {
 	Engine *sim.Engine
 	Cloud  *iaas.Cloud
 	URL    string
+	Mode   ClockMode
 
-	driver *sim.Driver
-	ln     net.Listener
+	clock    sim.ClockSource
+	follower *sim.Follower // non-nil in follow mode
+	ln       net.Listener
 }
 
-// StartSite serves c's per-cloud Server on an ephemeral loopback port and,
-// when speedup > 0, starts a wall-clock driver advancing e (speedup
-// simulated seconds per wall second).
+// SiteOptions tune how StartSiteWithOptions stands a site up.
+type SiteOptions struct {
+	// Clock picks the engine's clock source; see Site's doc comment.
+	Clock ClockMode
+	// Speedup is simulated seconds per wall second in free-run mode
+	// (<= 0 leaves the clock frozen). In follow mode it caps the catch-up
+	// rate instead (<= 0 means unbounded: jump to each target).
+	Speedup float64
+	// Tick is the clock source's wall interval; <= 0 means 2 ms.
+	Tick time.Duration
+	// Addr is the listen address; "" means an ephemeral loopback port
+	// (the in-process default — cmd/cloud-site passes its -addr flag).
+	Addr string
+}
+
+// StartSite serves c's per-cloud Server on an ephemeral loopback port with
+// a free-running clock: when speedup > 0, a wall-clock driver advances e
+// (speedup simulated seconds per wall second). It is the historic
+// constructor; StartSiteWithOptions adds the clock mode choice.
 func StartSite(e *sim.Engine, c *iaas.Cloud, speedup float64) (*Site, error) {
-	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	return StartSiteWithOptions(e, c, SiteOptions{Clock: ClockFreeRun, Speedup: speedup})
+}
+
+// StartSiteWithOptions serves c's per-cloud Server on an ephemeral loopback
+// port, with the engine driven per opt. The site's Server always exposes
+// the clock plane: readable in both modes, sync-able only in follow mode.
+func StartSiteWithOptions(e *sim.Engine, c *iaas.Cloud, opt SiteOptions) (*Site, error) {
+	addr := opt.Addr
+	if addr == "" {
+		addr = "127.0.0.1:0"
+	}
+	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("cloudapi: site %s: %w", c.Name, err)
 	}
-	s := &Site{Engine: e, Cloud: c, URL: "http://" + ln.Addr().String(), ln: ln}
-	go func() { _ = http.Serve(ln, NewServer(c)) }()
-	if speedup > 0 {
-		s.driver = sim.StartDriver(e, speedup, 2*time.Millisecond)
+	tick := opt.Tick
+	if tick <= 0 {
+		tick = 2 * time.Millisecond
 	}
+	s := &Site{
+		Engine: e, Cloud: c, Mode: opt.Clock,
+		URL: "http://" + ln.Addr().String(), ln: ln,
+	}
+	srv := NewServer(c)
+	switch opt.Clock {
+	case ClockFollow:
+		s.follower = sim.StartFollower(e, opt.Speedup, tick)
+		s.clock = s.follower
+		srv.Clock = FollowerClock{F: s.follower}
+	default:
+		if opt.Speedup > 0 {
+			s.clock = sim.StartDriver(e, opt.Speedup, tick)
+		}
+		srv.Clock = EngineClock{E: e}
+	}
+	go func() { _ = http.Serve(ln, srv) }()
 	return s, nil
 }
 
@@ -50,10 +96,20 @@ func (s *Site) Remote() *Remote {
 	return NewRemote(s.Cloud.Name, s.Cloud.Stack, s.URL, nil)
 }
 
-// Close stops the driver (if any) and the listener.
+// RemoteWithClient returns a client for this site using the given HTTP
+// client (nil for a private client with DefaultTimeout).
+func (s *Site) RemoteWithClient(client *http.Client) *Remote {
+	return NewRemote(s.Cloud.Name, s.Cloud.Stack, s.URL, client)
+}
+
+// Follower returns the follower driving this site's clock, or nil in
+// free-run mode.
+func (s *Site) Follower() *sim.Follower { return s.follower }
+
+// Close stops the clock source (if any) and the listener.
 func (s *Site) Close() {
-	if s.driver != nil {
-		s.driver.Stop()
+	if s.clock != nil {
+		s.clock.Stop()
 	}
 	_ = s.ln.Close()
 }

@@ -17,7 +17,9 @@ package core
 
 import (
 	"fmt"
+	"net/http"
 	"sort"
+	"time"
 
 	"osdc/internal/ark"
 	"osdc/internal/billing"
@@ -84,6 +86,11 @@ type Federation struct {
 	// accounts.
 	ShibIdP   *tukey.ShibbolethIdP
 	OpenIDIdP *tukey.OpenIDIdP
+
+	// ClockSync is the clock coordinator keeping followed per-site engines
+	// within a bounded skew of the console engine; nil until StartClockSync
+	// (free-running remote sites never need one).
+	ClockSync *cloudapi.ClockCoordinator
 }
 
 // Options tunes federation construction.
@@ -207,18 +214,57 @@ func BuildCloud(e *sim.Engine, name string, scale int) *iaas.Cloud {
 	return c
 }
 
-// StartRemoteSites converts the federation to the per-site topology: each
-// utility cloud is stood up as its own cloudapi.Site — a private engine at
-// an offset seed, its own wall-clock driver (when speedup > 0) and its own
-// HTTP listener — then attached to Tukey and wired into billing/monitoring
-// through cloudapi.Remote transports only. The returned sites are the
-// caller's to Close.
+// RemoteSiteOptions tune StartRemoteSitesWithOptions.
+type RemoteSiteOptions struct {
+	Seed  uint64
+	Scale int
+	// Speedup is simulated seconds per wall second for free-running site
+	// clocks; in follow mode it caps the catch-up rate instead (0 =
+	// unbounded).
+	Speedup float64
+	// Clock picks every site's clock mode. With ClockFollow and a positive
+	// SyncInterval, a ClockCoordinator is started pushing the console
+	// engine's time to each site (f.ClockSync; stopped by StopClockSync or
+	// left to the caller).
+	Clock        cloudapi.ClockMode
+	SyncInterval time.Duration
+	// Client, when set, is the HTTP client every site Remote uses (the
+	// -site-timeout knob); nil means a private client with
+	// cloudapi.DefaultTimeout.
+	Client *http.Client
+	// Clouds names the utility clouds to stand up as sites; nil means both.
+	// tukey-server narrows this when -site attaches a cloud running in
+	// another process instead.
+	Clouds []string
+}
+
+// StartRemoteSites converts the federation to the per-site topology with
+// free-running site clocks — the historic behavior; see
+// StartRemoteSitesWithOptions for the clock-mode choice.
 func (f *Federation) StartRemoteSites(seed uint64, scale int, speedup float64) ([]*cloudapi.Site, error) {
+	return f.StartRemoteSitesWithOptions(RemoteSiteOptions{Seed: seed, Scale: scale, Speedup: speedup})
+}
+
+// StartRemoteSitesWithOptions converts the federation to the per-site
+// topology: each utility cloud is stood up as its own cloudapi.Site — a
+// private engine at an offset seed, its own clock source and its own HTTP
+// listener — then attached to Tukey and wired into billing/monitoring
+// through cloudapi.Remote transports only. With opt.Clock ==
+// cloudapi.ClockFollow the sites' engines advance only toward targets
+// pushed from the console engine (the coordinator starts when
+// opt.SyncInterval > 0). The returned sites are the caller's to Close.
+func (f *Federation) StartRemoteSitesWithOptions(opt RemoteSiteOptions) ([]*cloudapi.Site, error) {
+	names := opt.Clouds
+	if names == nil {
+		names = []string{ClusterAdler, ClusterSullivan}
+	}
 	var sites []*cloudapi.Site
 	var remotes []cloudapi.CloudAPI
-	for i, name := range []string{ClusterAdler, ClusterSullivan} {
-		e := sim.NewEngine(seed + uint64(i+1)*1000)
-		site, err := cloudapi.StartSite(e, BuildCloud(e, name, scale), speedup)
+	var syncTargets []cloudapi.ClockSyncTarget
+	for i, name := range names {
+		e := sim.NewEngine(opt.Seed + uint64(i+1)*1000)
+		site, err := cloudapi.StartSiteWithOptions(e, BuildCloud(e, name, opt.Scale),
+			cloudapi.SiteOptions{Clock: opt.Clock, Speedup: opt.Speedup})
 		if err != nil {
 			for _, s := range sites {
 				s.Close()
@@ -226,11 +272,34 @@ func (f *Federation) StartRemoteSites(seed uint64, scale int, speedup float64) (
 			return nil, err
 		}
 		sites = append(sites, site)
-		remotes = append(remotes, site.Remote())
-		f.Tukey.AttachCloud(tukey.CloudConfig{API: site.Remote()})
+		remote := site.RemoteWithClient(opt.Client)
+		remotes = append(remotes, remote)
+		syncTargets = append(syncTargets, remote)
+		f.Tukey.AttachCloud(tukey.CloudConfig{API: remote})
 	}
 	f.UseCloudAPIs(remotes...)
+	if opt.Clock == cloudapi.ClockFollow && opt.SyncInterval > 0 {
+		f.StartClockSync(opt.SyncInterval, syncTargets...)
+	}
 	return sites, nil
+}
+
+// StartClockSync starts the coordinator goroutine pushing the console
+// engine's virtual time to every followed site each interval, replacing
+// any previous coordinator. The coordinator records observed skew per site
+// (f.ClockSync.Stats).
+func (f *Federation) StartClockSync(interval time.Duration, targets ...cloudapi.ClockSyncTarget) *cloudapi.ClockCoordinator {
+	f.StopClockSync()
+	f.ClockSync = cloudapi.StartClockCoordinator(f.Engine, interval, targets...)
+	return f.ClockSync
+}
+
+// StopClockSync halts the coordinator, if one is running. Followed sites
+// keep their clocks where the last push left them.
+func (f *Federation) StopClockSync() {
+	if f.ClockSync != nil {
+		f.ClockSync.Stop()
+	}
 }
 
 // UseCloudAPIs rewires the federation's metering and usage monitoring onto

@@ -46,15 +46,21 @@ import (
 )
 
 const (
-	consoleLoadDesc       = "Tukey console under N concurrent researchers with the sim clock live (requests/sec, p50/p95/p99)"
-	consoleLoadRemoteDesc = "console-load in the per-site topology: every cloud behind its own engine, driver and HTTP listener"
-	consoleKneeDesc       = "console p95 latency across the user axis (8/32/128 researchers), locating the knee"
+	consoleLoadDesc           = "Tukey console under N concurrent researchers with the sim clock live (requests/sec, p50/p95/p99)"
+	consoleLoadRemoteDesc     = "console-load in the per-site topology: every cloud behind its own engine, driver and HTTP listener"
+	consoleLoadRemoteSyncDesc = "console-load-remote with followed clocks: a coordinator pushes the console engine's time to every site"
+	consoleKneeDesc           = "console p95 latency across the user axis (8/32/128 researchers), locating the knee"
 )
 
 // consoleLoadSpeedup is simulated seconds per wall second: fast enough
 // that minute-granularity billing polls land many times within a
 // sub-second run.
 const consoleLoadSpeedup = 60_000
+
+// consoleLoadSyncInterval is the coordinator's wall push period in the
+// followed-clock topology: long enough that HTTP round trips stay a small
+// fraction of it, short enough for many sync rounds per run.
+const consoleLoadSyncInterval = 10 * time.Millisecond
 
 // ConsoleLoadOpts shape the console-load workload; the scenario registry
 // exposes them as parameters (users, iters, think-ms) plus the topology
@@ -66,18 +72,31 @@ type ConsoleLoadOpts struct {
 	// Remote selects the per-site topology: each cloud on its own engine
 	// behind its own cloudapi.Site, services federating over HTTP.
 	Remote bool
+	// ClockFollow (remote topology only) puts every site clock in follow
+	// mode behind a coordinator pushing the console engine's time — the
+	// federated clock plane under load. The deterministic request
+	// accounting must not change: only clocks move differently.
+	ClockFollow bool
+	// RateLimit, when > 0, puts the per-user token bucket in front of the
+	// console (requests/second; RateBurst 0 means 2× RateLimit). 429s are
+	// counted separately from errors, and the throttle makes
+	// status-dependent metrics wall-clock-dependent — the rate-limit-sweep
+	// scenario maps them to live- keys.
+	RateLimit float64
+	RateBurst float64
 }
 
 // DefaultConsoleLoadOpts is the historic 8×5 workload.
 func DefaultConsoleLoadOpts() ConsoleLoadOpts { return ConsoleLoadOpts{Users: 8, Iters: 5} }
 
 // consoleLoadOptsFrom maps scenario params onto opts.
-func consoleLoadOptsFrom(params map[string]float64, remote bool) ConsoleLoadOpts {
+func consoleLoadOptsFrom(params map[string]float64, remote, clockFollow bool) ConsoleLoadOpts {
 	return ConsoleLoadOpts{
-		Users:  int(params["users"]),
-		Iters:  int(params["iters"]),
-		Think:  time.Duration(params["think-ms"]) * time.Millisecond,
-		Remote: remote,
+		Users:       int(params["users"]),
+		Iters:       int(params["iters"]),
+		Think:       time.Duration(params["think-ms"]) * time.Millisecond,
+		Remote:      remote,
+		ClockFollow: clockFollow,
 	}
 }
 
@@ -97,19 +116,31 @@ type consoleRig struct {
 // startConsoleRig stands the federation up behind live HTTP. In the local
 // topology both clouds share the federation engine behind per-cloud
 // servers; in the remote topology each cloud gets a private engine +
-// driver + listener (cloudapi.Site) and the console-side services are
-// rewired onto Remote transports.
-func startConsoleRig(seed uint64, remote bool, speedup float64) (*consoleRig, error) {
+// clock source + listener (cloudapi.Site) and the console-side services
+// are rewired onto Remote transports — free-running by default, or
+// coordinator-followed with opts.ClockFollow.
+func startConsoleRig(seed uint64, opts ConsoleLoadOpts, speedup float64) (*consoleRig, error) {
 	f, err := core.New(core.Options{Seed: seed, Scale: 8})
 	if err != nil {
 		return nil, err
 	}
 	rig := &consoleRig{f: f, admin: map[string]cloudapi.CloudAPI{}}
 
-	if remote {
+	if opts.Remote {
 		// Per-site worlds: own engine, own cloud, own listener, own
 		// clock; billing and monitoring watch them over the wire.
-		sites, err := f.StartRemoteSites(seed, 8, speedup)
+		clock := cloudapi.ClockFreeRun
+		siteSpeedup, syncEvery := speedup, time.Duration(0)
+		if opts.ClockFollow {
+			// Followed sites take their time from the coordinator, which
+			// StartRemoteSitesWithOptions starts against the console
+			// engine (f.ClockSync); speedup 0 = jump to each target.
+			clock, siteSpeedup, syncEvery = cloudapi.ClockFollow, 0, consoleLoadSyncInterval
+		}
+		sites, err := f.StartRemoteSitesWithOptions(core.RemoteSiteOptions{
+			Seed: seed, Scale: 8, Speedup: siteSpeedup,
+			Clock: clock, SyncInterval: syncEvery,
+		})
 		if err != nil {
 			rig.close()
 			return nil, err
@@ -128,7 +159,15 @@ func startConsoleRig(seed uint64, remote bool, speedup float64) (*consoleRig, er
 		rig.admin[core.ClusterSullivan] = f.SullivanAPI
 	}
 
-	rig.console = httptest.NewServer(&tukey.Console{MW: f.Tukey, Biller: f.Biller, Catalog: f.Catalog})
+	console := &tukey.Console{MW: f.Tukey, Biller: f.Biller, Catalog: f.Catalog, UsageMon: f.UsageMon}
+	if opts.RateLimit > 0 {
+		burst := opts.RateBurst
+		if burst <= 0 {
+			burst = 2 * opts.RateLimit
+		}
+		console.Limiter = tukey.NewRateLimiter(opts.RateLimit, burst)
+	}
+	rig.console = httptest.NewServer(console)
 	rig.closers = append(rig.closers, rig.console.Close)
 
 	// The console-side engine goes live last: from here on handlers and
@@ -146,6 +185,8 @@ func (rig *consoleRig) stopDrivers() {
 
 func (rig *consoleRig) close() {
 	rig.stopDrivers()
+	// The coordinator (if any) stops before its target sites go away.
+	rig.f.StopClockSync()
 	for _, c := range rig.closers {
 		c()
 	}
@@ -172,6 +213,7 @@ func (rig *consoleRig) enroll(n int, quota iaas.Quota) ([]string, error) {
 type consoleLoadResult struct {
 	latencies []time.Duration
 	errors    int
+	limited   int // 429s from the admission-control bucket, not errors
 	launched  int
 	token     string
 }
@@ -199,7 +241,9 @@ func (c *consoleClient) do(method, path, body string, wantStatus int) (*http.Res
 		c.res.errors++
 		return nil, err
 	}
-	if resp.StatusCode != wantStatus {
+	if resp.StatusCode == http.StatusTooManyRequests && wantStatus != http.StatusTooManyRequests {
+		c.res.limited++
+	} else if resp.StatusCode != wantStatus {
 		c.res.errors++
 	}
 	return resp, nil
@@ -241,7 +285,7 @@ func ConsoleLoad(seed uint64, opts ConsoleLoadOpts) (scenario.Result, error) {
 	if opts.Iters <= 0 {
 		opts.Iters = 5
 	}
-	rig, err := startConsoleRig(seed, opts.Remote, consoleLoadSpeedup)
+	rig, err := startConsoleRig(seed, opts, consoleLoadSpeedup)
 	if err != nil {
 		return scenario.Result{}, err
 	}
@@ -375,11 +419,12 @@ func ConsoleLoad(seed uint64, opts ConsoleLoadOpts) (scenario.Result, error) {
 
 	// Aggregate.
 	var all []time.Duration
-	totalReqs, totalErrs, totalLaunched := 0, 0, 0
+	totalReqs, totalErrs, totalLimited, totalLaunched := 0, 0, 0, 0
 	for i := range results {
 		all = append(all, results[i].latencies...)
 		totalReqs += len(results[i].latencies)
 		totalErrs += results[i].errors
+		totalLimited += results[i].limited
 		totalLaunched += results[i].launched
 	}
 	sort.Slice(all, func(a, b int) bool { return all[a] < all[b] })
@@ -391,38 +436,53 @@ func ConsoleLoad(seed uint64, opts ConsoleLoadOpts) (scenario.Result, error) {
 	if opts.Remote {
 		topology, remoteFlag = "per-site remote", 1
 	}
+	clockFlag := 0.0
+	if opts.ClockFollow {
+		topology += " (followed clocks)"
+		clockFlag = 1
+	}
 
 	var b strings.Builder
 	fmt.Fprintf(&b, "console load: %d researchers × (login + persistent VM + %d op loops), %s topology\n",
 		opts.Users, opts.Iters, topology)
 	fmt.Fprintln(&b, strings.Repeat("-", 72))
-	fmt.Fprintf(&b, "requests         : %d total, %d errors, %d launches\n", totalReqs, totalErrs, totalLaunched)
+	fmt.Fprintf(&b, "requests         : %d total, %d errors, %d throttled, %d launches\n",
+		totalReqs, totalErrs, totalLimited, totalLaunched)
 	fmt.Fprintf(&b, "throughput       : %.0f req/s over %v wall\n", float64(totalReqs)/wallElapsed.Seconds(), wallElapsed.Round(time.Millisecond))
 	fmt.Fprintf(&b, "latency          : p50 %.2f ms, p95 %.2f ms, p99 %.2f ms\n",
 		quantileMs(all, 0.50), quantileMs(all, 0.95), quantileMs(all, 0.99))
 	fmt.Fprintf(&b, "sim clock        : advanced %v while serving (speedup %d×)\n", sim.Time(simElapsed), consoleLoadSpeedup)
 	fmt.Fprintf(&b, "metered usage    : every researcher nonzero (min %.2f core-hours)\n", minCoreHours)
 
-	return scenario.Result{
-		Metrics: map[string]float64{
-			"users":              float64(opts.Users),
-			"iterations":         float64(opts.Iters),
-			"think-ms":           float64(opts.Think) / float64(time.Millisecond),
-			"remote-topology":    remoteFlag,
-			"requests-total":     float64(totalReqs),
-			"request-errors":     float64(totalErrs),
-			"instances-launched": float64(totalLaunched),
-			"datasets-hits":      float64(datasetHits),
-			"usage-nonzero":      usageNonzero,
-			"live-rps":           float64(totalReqs) / wallElapsed.Seconds(),
-			"live-p50-ms":        quantileMs(all, 0.50),
-			"live-p95-ms":        quantileMs(all, 0.95),
-			"live-p99-ms":        quantileMs(all, 0.99),
-			"live-sim-minutes":   float64(simElapsed) / sim.Minute,
-			"live-core-hours":    minCoreHours,
-		},
-		Table: b.String(),
-	}, nil
+	metrics := map[string]float64{
+		"users":              float64(opts.Users),
+		"iterations":         float64(opts.Iters),
+		"think-ms":           float64(opts.Think) / float64(time.Millisecond),
+		"remote-topology":    remoteFlag,
+		"requests-total":     float64(totalReqs),
+		"request-errors":     float64(totalErrs),
+		"throttled-429":      float64(totalLimited),
+		"instances-launched": float64(totalLaunched),
+		"datasets-hits":      float64(datasetHits),
+		"usage-nonzero":      usageNonzero,
+		"live-rps":           float64(totalReqs) / wallElapsed.Seconds(),
+		"live-p50-ms":        quantileMs(all, 0.50),
+		"live-p95-ms":        quantileMs(all, 0.95),
+		"live-p99-ms":        quantileMs(all, 0.99),
+		"live-sim-minutes":   float64(simElapsed) / sim.Minute,
+		"live-core-hours":    minCoreHours,
+	}
+	if opts.ClockFollow {
+		metrics["clock-follow"] = clockFlag
+		if coord := f.ClockSync; coord != nil {
+			metrics["live-clock-syncs"] = float64(coord.Syncs())
+			metrics["live-max-skew-s"] = coord.MaxSkew()
+			metrics["live-max-skew-excess-s"] = coord.MaxExcess()
+			fmt.Fprintf(&b, "clock plane      : %d syncs, max skew %.0f sim s (excess over one interval %.0f s)\n",
+				coord.Syncs(), coord.MaxSkew(), coord.MaxExcess())
+		}
+	}
+	return scenario.Result{Metrics: metrics, Table: b.String()}, nil
 }
 
 // kneeUserPoints is the user axis ConsoleKnee sweeps.
@@ -445,7 +505,7 @@ func ConsoleKnee(seed uint64) (scenario.Result, error) {
 
 	baseP95, knee := 0.0, 0.0
 	for _, n := range kneeUserPoints {
-		rig, err := startConsoleRig(seed, false, consoleLoadSpeedup)
+		rig, err := startConsoleRig(seed, ConsoleLoadOpts{}, consoleLoadSpeedup)
 		if err != nil {
 			return scenario.Result{}, err
 		}

@@ -181,11 +181,20 @@ func init() {
 	consoleLoadDefaults := map[string]float64{"users": 8, "iters": 5, "think-ms": 0}
 	scenario.Register(scenario.NewParametric("console-load", consoleLoadDesc, consoleLoadDefaults,
 		func(seed uint64, params map[string]float64) (scenario.Result, error) {
-			return ConsoleLoad(seed, consoleLoadOptsFrom(params, false))
+			return ConsoleLoad(seed, consoleLoadOptsFrom(params, false, false))
 		}))
 	scenario.Register(scenario.NewParametric("console-load-remote", consoleLoadRemoteDesc, consoleLoadDefaults,
 		func(seed uint64, params map[string]float64) (scenario.Result, error) {
-			return ConsoleLoad(seed, consoleLoadOptsFrom(params, true))
+			return ConsoleLoad(seed, consoleLoadOptsFrom(params, true, false))
+		}))
+	// The followed-clock variant: same workload, same per-site topology,
+	// but every site engine takes its time from the console's coordinator.
+	// Its deterministic request accounting must match the free-running
+	// remote (and local) runs exactly — only the clocks move differently.
+	scenario.Register(scenario.NewParametric("console-load-remote-sync", consoleLoadRemoteSyncDesc, consoleLoadDefaults,
+		func(seed uint64, params map[string]float64) (scenario.Result, error) {
+			return ConsoleLoad(seed, consoleLoadOptsFrom(params, true, true))
 		}))
 	scenario.Register(scenario.New("console-knee", consoleKneeDesc, ConsoleKnee))
+	scenario.Register(scenario.New("rate-limit-sweep", rateLimitSweepDesc, RateLimitSweep))
 }

@@ -238,13 +238,30 @@ type UsageMonitor struct {
 	// SampleErrors counts failed cloud samples (an unreachable remote
 	// site); read it with atomic.LoadInt64 while sampling may fire.
 	SampleErrors int64
+	// errByCloud breaks SampleErrors down per cloud; keys fixed at
+	// construction, values atomic.
+	errByCloud map[string]*int64
 }
 
 // NewUsageMonitor starts sampling every interval.
 func NewUsageMonitor(e *sim.Engine, clouds []cloudapi.CloudAPI, interval sim.Duration) *UsageMonitor {
 	um := &UsageMonitor{engine: e, clouds: clouds, latest: make(map[string]UsageSnapshot)}
+	um.errByCloud = make(map[string]*int64, len(clouds))
+	for _, c := range clouds {
+		um.errByCloud[c.Name()] = new(int64)
+	}
 	um.ticker = e.Every(interval, um.sample)
 	return um
+}
+
+// SampleErrorsByCloud returns each cloud's sample-failure count, zero
+// entries included.
+func (um *UsageMonitor) SampleErrorsByCloud() map[string]int64 {
+	out := make(map[string]int64, len(um.errByCloud))
+	for name, n := range um.errByCloud {
+		out[name] = atomic.LoadInt64(n)
+	}
+	return out
 }
 
 func (um *UsageMonitor) sample() {
@@ -254,6 +271,7 @@ func (um *UsageMonitor) sample() {
 		u, err := c.Usage()
 		if err != nil {
 			atomic.AddInt64(&um.SampleErrors, 1)
+			atomic.AddInt64(um.errByCloud[c.Name()], 1)
 			continue
 		}
 		snap := UsageSnapshot{

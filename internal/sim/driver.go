@@ -5,15 +5,31 @@ import (
 	"time"
 )
 
-// Driver advances a shared Engine in wall-clock time: every Interval of
-// real time it runs the engine forward by the elapsed wall time multiplied
-// by Speedup. This is what turns the discrete-event federation into a live
-// service — billing pollers, monitoring sweeps and VM boot timers all fire
-// while HTTP handlers schedule against the same clock.
+// ClockSource is an engine's single clock-driving goroutine, abstracted:
+// something that owns the right to call Run*/Step on a shared Engine and
+// advances its virtual clock from the background. Two implementations
+// exist:
 //
-// The driver is the engine's single clock-driving goroutine (see the
-// shared-mode contract in the package docs); everything else may only
-// schedule, cancel and read.
+//   - Driver free-runs: virtual time tracks wall time at a fixed speedup,
+//     with no reference to any other engine's clock;
+//   - Follower advances only toward a target virtual time published from
+//     outside (a clock coordinator), never past it — the building block of
+//     cross-engine clock sync in the per-site federation topology.
+//
+// Everything else sharing the engine may only schedule, cancel and read.
+type ClockSource interface {
+	// Engine returns the engine this source drives.
+	Engine() *Engine
+	// Stop halts the driving goroutine and waits for it to exit. The
+	// engine is left at whatever virtual time it reached. Idempotent.
+	Stop()
+}
+
+// Driver is the free-running ClockSource: every interval of real time it
+// runs the engine forward by the elapsed wall time multiplied by speedup.
+// This is what turns the discrete-event federation into a live service —
+// billing pollers, monitoring sweeps and VM boot timers all fire while
+// HTTP handlers schedule against the same clock.
 type Driver struct {
 	engine   *Engine
 	speedup  float64
@@ -62,6 +78,9 @@ func (d *Driver) loop() {
 		}
 	}
 }
+
+// Engine implements ClockSource.
+func (d *Driver) Engine() *Engine { return d.engine }
 
 // Stop halts the driver and waits for its goroutine to exit. The engine is
 // left at whatever virtual time it reached; it remains in shared mode.

@@ -1,0 +1,119 @@
+package sim
+
+import (
+	"sync"
+	"time"
+)
+
+// Follower is the synchronized ClockSource: instead of free-running against
+// wall time it advances its engine toward a target virtual time published
+// from outside — the console engine's clock, pushed by a coordinator each
+// sync interval. The per-tick advance is clamped to the remaining lag, so a
+// follower never runs past the newest target: its skew against the
+// coordinator is bounded by however much the coordinator advanced since the
+// last publication (one sync interval of virtual time) plus at most one
+// follower tick of catch-up latency.
+//
+// Targets are monotonic: a published target earlier than the engine's
+// current time is ignored (virtual time cannot run backwards), so a stale
+// or duplicate sync is harmless. When no fresh target arrives — a site
+// missing its syncs — the follower simply holds the clock still; events
+// stop firing rather than drifting, and the engine resumes from where it
+// stopped on the next publication.
+type Follower struct {
+	engine   *Engine
+	interval time.Duration
+	// maxRate caps catch-up speed in virtual seconds per wall second;
+	// <= 0 means unbounded (jump to the target in one tick).
+	maxRate float64
+
+	mu     sync.Mutex
+	target Time
+
+	stopOnce sync.Once
+	stop     chan struct{}
+	done     chan struct{}
+}
+
+// StartFollower switches e into shared mode and starts the follower
+// goroutine: every interval of wall time (<= 0 means 2 ms) the engine is
+// advanced toward the newest published target, by at most maxRate virtual
+// seconds per wall second (<= 0 for unbounded catch-up). Until the first
+// SetTarget the clock holds still.
+func StartFollower(e *Engine, maxRate float64, interval time.Duration) *Follower {
+	if interval <= 0 {
+		interval = 2 * time.Millisecond
+	}
+	e.Share()
+	f := &Follower{
+		engine: e, maxRate: maxRate, interval: interval,
+		target: e.Now(),
+		stop:   make(chan struct{}), done: make(chan struct{}),
+	}
+	go f.loop()
+	return f
+}
+
+// SetTarget publishes a new target virtual time. Targets behind the current
+// one are ignored (the clock never runs backwards). Safe from any
+// goroutine.
+func (f *Follower) SetTarget(t Time) {
+	f.mu.Lock()
+	if t > f.target {
+		f.target = t
+	}
+	f.mu.Unlock()
+}
+
+// Target returns the newest published target.
+func (f *Follower) Target() Time {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.target
+}
+
+// Lag returns how far the engine's clock trails the newest target, in
+// virtual seconds (never negative).
+func (f *Follower) Lag() Duration {
+	lag := float64(f.Target() - f.engine.Now())
+	if lag < 0 {
+		return 0
+	}
+	return lag
+}
+
+// Engine implements ClockSource.
+func (f *Follower) Engine() *Engine { return f.engine }
+
+// Stop implements ClockSource.
+func (f *Follower) Stop() {
+	f.stopOnce.Do(func() { close(f.stop) })
+	<-f.done
+}
+
+func (f *Follower) loop() {
+	defer close(f.done)
+	tick := time.NewTicker(f.interval)
+	defer tick.Stop()
+	last := time.Now()
+	for {
+		select {
+		case <-f.stop:
+			return
+		case now := <-tick.C:
+			dt := now.Sub(last).Seconds()
+			last = now
+			target := f.Target()
+			lag := float64(target - f.engine.Now())
+			if lag <= 0 {
+				continue
+			}
+			if f.maxRate > 0 && dt > 0 {
+				if step := dt * f.maxRate; step < lag {
+					lag = step
+				}
+			}
+			f.engine.RunFor(lag)
+		}
+	}
+}

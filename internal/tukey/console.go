@@ -8,6 +8,7 @@ import (
 
 	"osdc/internal/billing"
 	"osdc/internal/datasets"
+	"osdc/internal/monitor"
 )
 
 // Console is the Tukey Console web application (§5.1): "The core
@@ -29,6 +30,9 @@ type Console struct {
 	MW      *Middleware
 	Biller  *billing.Biller
 	Catalog *datasets.Catalog
+	// UsageMon, when set, contributes per-site sample-error counts to the
+	// /console/status operator view alongside the biller's poll errors.
+	UsageMon *monitor.UsageMonitor
 	// Limiter, when set, is the per-user admission control: every console
 	// route charges one token against the caller's federated identifier
 	// (for /login, the attempted username) and answers 429 when the bucket
@@ -198,7 +202,16 @@ func (c *Console) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		if _, ok := c.session(w, r); !ok {
 			return
 		}
-		writeJSON(w, http.StatusOK, map[string]interface{}{"clouds": c.MW.Clouds()})
+		status := map[string]interface{}{"clouds": c.MW.Clouds()}
+		// Per-site poller health: which clouds the billing and monitoring
+		// sweeps failed to reach, not just that one did.
+		if c.Biller != nil {
+			status["poll_errors"] = c.Biller.PollErrorsByCloud()
+		}
+		if c.UsageMon != nil {
+			status["sample_errors"] = c.UsageMon.SampleErrorsByCloud()
+		}
+		writeJSON(w, http.StatusOK, status)
 
 	default:
 		writeJSON(w, http.StatusNotFound, map[string]string{"error": "no route " + r.Method + " " + r.URL.Path})

@@ -1,0 +1,189 @@
+package tukey
+
+import (
+	"encoding/json"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+)
+
+// FileSessionStore is the persistent SessionStore: an in-memory map backed
+// by a JSON file, rewritten atomically (write temp file, fsync, rename) on
+// every mutation and loaded on construction. A console restart pointed at
+// the same -session-file keeps every live session valid — the ROADMAP's
+// "a restart logs everyone out" limitation, lifted.
+//
+// The write amplification is one file per login/logout/expiry sweep, which
+// is fine for console-scale session churn; a wire-backed store can replace
+// this behind the same interface when it is not.
+type FileSessionStore struct {
+	mu   sync.Mutex
+	m    map[string]Session
+	path string
+	// gen stamps each mutation; a writer only lands its snapshot if no
+	// newer generation beat it to the file, so concurrent mutations can
+	// never roll the file back to a stale state.
+	gen     uint64
+	saveErr error
+
+	// writeMu serializes the marshal/write/rename dance, which happens
+	// with mu released: every console request resolves its token through
+	// Get on mu, and Gets must not stall behind an fsync.
+	writeMu sync.Mutex
+	written uint64 // newest generation persisted
+}
+
+// fileSessionWire is the on-disk form: versioned so a future store can
+// migrate old files.
+type fileSessionWire struct {
+	Version  int                `json:"version"`
+	Sessions map[string]Session `json:"sessions"`
+}
+
+// NewFileSessionStore opens (or creates) the store at path, loading any
+// sessions a previous process persisted.
+func NewFileSessionStore(path string) (*FileSessionStore, error) {
+	s := &FileSessionStore{m: make(map[string]Session), path: path}
+	raw, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return s, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("tukey: session file: %w", err)
+	}
+	var wire fileSessionWire
+	if err := json.Unmarshal(raw, &wire); err != nil {
+		return nil, fmt.Errorf("tukey: session file %s is corrupt: %w", path, err)
+	}
+	if wire.Sessions != nil {
+		s.m = wire.Sessions
+	}
+	return s, nil
+}
+
+// persist snapshots the sessions under s.mu (which the caller holds),
+// then rewrites the file atomically with s.mu *released*. Errors are
+// logged on transition and remembered (Err) rather than failing the
+// session operation: losing persistence degrades to the in-memory
+// behavior, it does not log the current user out — but it must not do so
+// silently, or the operator discovers it at the next restart.
+func (s *FileSessionStore) persist() {
+	snap := make(map[string]Session, len(s.m))
+	for tok, sess := range s.m {
+		snap[tok] = sess
+	}
+	s.gen++
+	gen := s.gen
+	s.mu.Unlock()
+	defer s.mu.Lock()
+
+	s.writeMu.Lock()
+	defer s.writeMu.Unlock()
+	if gen <= s.written {
+		// A mutation that happened after ours already landed its (newer)
+		// snapshot; writing ours would roll the file backwards.
+		return
+	}
+	err := writeAtomic(s.path, snap)
+	s.written = gen
+
+	s.mu.Lock()
+	if err != nil && s.saveErr == nil {
+		log.Printf("tukey: session store %s: persistence failing, sessions will not survive a restart: %v", s.path, err)
+	}
+	s.saveErr = err
+	s.mu.Unlock()
+}
+
+// writeAtomic lands one snapshot: temp file, fsync, rename.
+func writeAtomic(path string, snap map[string]Session) error {
+	raw, err := json.MarshalIndent(fileSessionWire{Version: 1, Sessions: snap}, "", "  ")
+	if err != nil {
+		return err
+	}
+	tmp, err := os.CreateTemp(filepath.Dir(path), ".sessions-*")
+	if err != nil {
+		return err
+	}
+	_, err = tmp.Write(raw)
+	if err == nil {
+		err = tmp.Sync()
+	}
+	if cerr := tmp.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	return nil
+}
+
+// Err reports the most recent persistence failure, nil when the last write
+// (if any) landed.
+func (s *FileSessionStore) Err() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.saveErr
+}
+
+// Path returns the backing file's path.
+func (s *FileSessionStore) Path() string { return s.path }
+
+// Get implements SessionStore.
+func (s *FileSessionStore) Get(token string) (Session, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	sess, ok := s.m[token]
+	return sess, ok
+}
+
+// Put implements SessionStore.
+func (s *FileSessionStore) Put(token string, sess Session) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.m[token] = sess
+	s.persist()
+}
+
+// Delete implements SessionStore.
+func (s *FileSessionStore) Delete(token string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.m[token]; !ok {
+		return
+	}
+	delete(s.m, token)
+	s.persist()
+}
+
+// Count implements SessionStore.
+func (s *FileSessionStore) Count() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.m)
+}
+
+// ExpireBefore implements SessionStore.
+func (s *FileSessionStore) ExpireBefore(t time.Time) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n := 0
+	for tok, sess := range s.m {
+		if !sess.Expires.IsZero() && t.After(sess.Expires) {
+			delete(s.m, tok)
+			n++
+		}
+	}
+	if n > 0 {
+		s.persist()
+	}
+	return n
+}

@@ -183,6 +183,20 @@ func (m *Middleware) sessionStore() SessionStore {
 	return m.store
 }
 
+// SetHTTPTimeout replaces the per-request deadline on the middleware's
+// outbound HTTP client — the one AttachCloud hands to endpoint-built
+// Remotes (the -site-timeout knob; cloudapi.DefaultTimeout when never
+// called). Call before attaching clouds: already-built Remotes keep the
+// client they were constructed with.
+func (m *Middleware) SetHTTPTimeout(d time.Duration) {
+	if d <= 0 {
+		d = cloudapi.DefaultTimeout
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.client = &http.Client{Timeout: d}
+}
+
 // SetSessionTTL bounds session lifetime: tokens minted after the call
 // expire ttl of wall-clock time after login and are reaped lazily on their
 // next use. ttl <= 0 restores the default (sessions live forever).
@@ -221,7 +235,10 @@ func (m *Middleware) AttachCloud(cfg CloudConfig) {
 		if cfg.Endpoint == "" {
 			panic("tukey: AttachCloud needs an API or an Endpoint")
 		}
-		cfg.API = cloudapi.NewRemote(cfg.Name, cfg.Stack, cfg.Endpoint, m.client)
+		m.mu.Lock()
+		client := m.client
+		m.mu.Unlock()
+		cfg.API = cloudapi.NewRemote(cfg.Name, cfg.Stack, cfg.Endpoint, client)
 	} else {
 		if cfg.Name == "" {
 			cfg.Name = cfg.API.Name()
