@@ -21,10 +21,20 @@
 //     (tukey-server's endpoint); any URL with a path is polled verbatim,
 //     so a peer site's /cloudapi/clock works too.
 //
+// Data plane: every cloud-site serves its dataset store on
+// /cloudapi/datasets — a per-site inventory backed by a volume sized per
+// Table 2 — so a console-side replication coordinator can place dataset
+// replicas next to this site's compute over the wire.
+//
+// Auth: -operator-secret gates every mutating operator-plane request
+// (clock targets, quotas, dataset replicas) behind a shared-secret header;
+// the attaching tukey-server passes the same value.
+//
 // Usage:
 //
 //	cloud-site -cloud OSDC-Adler [-addr 127.0.0.1:0] [-seed 1] [-scale 4]
 //	           [-speedup 60] [-clock-follow push|<url>] [-clock-interval 50ms]
+//	           [-operator-secret S]
 //
 // The line "cloud-site <name> (<stack>) listening on <url>" is printed to
 // stdout once the listener is up, so a spawning process can scrape the
@@ -42,18 +52,20 @@ import (
 
 	"osdc/internal/cloudapi"
 	"osdc/internal/core"
+	"osdc/internal/datastore"
 	"osdc/internal/sim"
 )
 
 // options bundle the site knobs so tests can drive newCloudSite directly.
 type options struct {
-	cloud       string
-	addr        string
-	seed        uint64
-	scale       int
-	speedup     float64
-	clockFollow string        // "" = free-run, "push" = follow, else coordinator URL
-	clockTick   time.Duration // follower tick / coordinator poll period
+	cloud          string
+	addr           string
+	seed           uint64
+	scale          int
+	speedup        float64
+	clockFollow    string        // "" = free-run, "push" = follow, else coordinator URL
+	clockTick      time.Duration // follower tick / coordinator poll period
+	operatorSecret string        // gates operator-plane writes when set
 }
 
 // cloudSite is the assembled process: one cloudapi.Site (engine, clock
@@ -81,8 +93,19 @@ func newCloudSite(opt options) (*cloudSite, error) {
 	}
 	e := sim.NewEngine(opt.seed)
 	c := core.BuildCloud(e, opt.cloud, opt.scale)
+	// The site's dataset store: its own volume on the private engine,
+	// served on /cloudapi/datasets so a console-side replication
+	// coordinator can place replicas here over the wire.
+	vol, err := core.BuildDatasetVolume(e, opt.cloud)
+	if err != nil {
+		return nil, fmt.Errorf("cloud-site: %w", err)
+	}
+	store := datastore.NewStore(opt.cloud, core.SiteOf(opt.cloud), vol)
 
-	siteOpts := cloudapi.SiteOptions{Clock: cloudapi.ClockFreeRun, Speedup: opt.speedup, Addr: opt.addr}
+	siteOpts := cloudapi.SiteOptions{
+		Clock: cloudapi.ClockFreeRun, Speedup: opt.speedup, Addr: opt.addr,
+		Datasets: store, OperatorSecret: opt.operatorSecret,
+	}
 	if opt.clockFollow != "" {
 		// Follow mode: speedup 0 = jump to each published target; the
 		// 2 ms default tick stays well under any sane sync interval.
@@ -174,11 +197,13 @@ func main() {
 	clockFollow := flag.String("clock-follow", "",
 		"clock mode: empty free-runs; 'push' follows POSTed targets; a coordinator URL also polls it for time")
 	clockTick := flag.Duration("clock-interval", 50*time.Millisecond, "coordinator poll period when -clock-follow is a URL")
+	operatorSecret := flag.String("operator-secret", "", "shared secret gating operator-plane writes (clock, quota, dataset replicas)")
 	flag.Parse()
 
 	s, err := newCloudSite(options{
 		cloud: *cloud, addr: *addr, seed: *seed, scale: *scale,
 		speedup: *speedup, clockFollow: *clockFollow, clockTick: *clockTick,
+		operatorSecret: *operatorSecret,
 	})
 	if err != nil {
 		log.Fatal(err)

@@ -26,12 +26,25 @@
 // console's own clock is served at GET /clock for cloud-site processes
 // that poll rather than accept pushes.
 //
+// Data plane: -replication-factor N starts the replication coordinator —
+// every catalog dataset is kept at N replicas across the sites' dataset
+// stores (OSDC-Root holds the master copies; each cloud site serves its
+// store on /cloudapi/datasets), transfers priced as simulated UDT flows
+// over the WAN topology. The console gains /console/datasets/replicas
+// (placement view) and /console/datasets/stage (pre-launch placement).
+//
+// Auth: -operator-secret gates every mutating operator-plane request on
+// the cloud servers (clock targets, quotas, dataset replicas) behind a
+// shared-secret header; pass the same value to external cloud-sites.
+//
 // Usage:
 //
 //	tukey-server [-addr :8080] [-speedup 60] [-session-ttl 12h]
 //	             [-session-file sessions.json] [-remote-clouds]
 //	             [-site name=url ...] [-clock-sync 50ms]
 //	             [-site-timeout 10s] [-rate-limit N] [-rate-burst M]
+//	             [-replication-factor N] [-replication-interval 200ms]
+//	             [-operator-secret S]
 //
 // Then:
 //
@@ -53,6 +66,7 @@ import (
 
 	"osdc/internal/cloudapi"
 	"osdc/internal/core"
+	"osdc/internal/datastore"
 	"osdc/internal/iaas"
 	"osdc/internal/sim"
 	"osdc/internal/tukey"
@@ -103,6 +117,12 @@ type options struct {
 	clockSync    time.Duration // push console time to followed sites this often; 0 = free-run
 	rateLimit    float64       // per-user console requests/second; 0 = off
 	rateBurst    float64       // per-user burst; 0 = 2× rateLimit
+	// replicationFactor keeps every catalog dataset at N replicas across
+	// the site stores; 0 leaves the data plane passive (stores served,
+	// no coordinator).
+	replicationFactor   int
+	replicationInterval time.Duration // coordinator round period; 0 = 200ms
+	operatorSecret      string        // gates operator-plane writes when set
 }
 
 // server is the assembled service: the federation, its console handler,
@@ -150,6 +170,9 @@ func newServer(opt options) (*server, error) {
 	var pollAPIs []cloudapi.CloudAPI
 	// syncTargets are the followed clock planes the coordinator pushes to.
 	var syncTargets []cloudapi.ClockSyncTarget
+	// dataSites are the dataset planes the replication coordinator
+	// places replicas across; OSDC-Root always anchors the master copies.
+	dataSites := []datastore.API{f.Stores[core.ClusterRoot]}
 
 	external := map[string]string{}
 	for _, p := range opt.sites {
@@ -181,6 +204,7 @@ func newServer(opt options) (*server, error) {
 		sites, err := f.StartRemoteSitesWithOptions(core.RemoteSiteOptions{
 			Seed: opt.seed, Scale: 4, Speedup: speedup,
 			Clock: clockMode, Client: siteClient, Clouds: inProcess,
+			Datasets: true, OperatorSecret: opt.operatorSecret,
 		})
 		if err != nil {
 			s.Close()
@@ -194,6 +218,7 @@ func newServer(opt options) (*server, error) {
 			if clockMode == cloudapi.ClockFollow {
 				syncTargets = append(syncTargets, remote)
 			}
+			dataSites = append(dataSites, site.DatasetsRemote(siteClient))
 			log.Printf("cloud site %s (%s) on %s, private engine (%s clock)",
 				site.Cloud.Name, site.Cloud.Stack, site.URL, site.Mode)
 		}
@@ -205,8 +230,12 @@ func newServer(opt options) (*server, error) {
 			}
 			srv := cloudapi.NewServer(c)
 			// The shared federation engine is readable on each cloud's
-			// clock plane even in the single-process topology.
+			// clock plane even in the single-process topology, and the
+			// cloud's dataset store is served on its datasets plane.
 			srv.Clock = cloudapi.EngineClock{E: f.Engine}
+			srv.Datasets = f.Stores[name]
+			srv.OperatorSecret = opt.operatorSecret
+			dataSites = append(dataSites, f.Stores[name])
 			ln, url, err := serve(srv)
 			if err != nil {
 				s.Close()
@@ -238,7 +267,17 @@ func newServer(opt options) (*server, error) {
 			s.Close()
 			return nil, fmt.Errorf("site %s reports cloud %q, not %q", p.url, remote.Name(), p.name)
 		}
+		remote.SetOperatorSecret(opt.operatorSecret)
 		f.Tukey.AttachCloud(tukey.CloudConfig{API: remote})
+		if ds, err := datastore.ProbeRemote(p.url, siteClient); err == nil {
+			ds.SetOperatorSecret(opt.operatorSecret)
+			dataSites = append(dataSites, ds)
+		} else if opt.replicationFactor > 0 {
+			// With replication requested, silently skipping a site's data
+			// plane would under-place every dataset; fail loudly instead.
+			s.Close()
+			return nil, fmt.Errorf("site %s at %s: datasets plane unreadable with -replication-factor on: %w", p.name, p.url, err)
+		}
 		apis[p.name] = remote
 		pollAPIs = append(pollAPIs, remote)
 		mode := "unknown"
@@ -275,7 +314,24 @@ func newServer(opt options) (*server, error) {
 		}
 	}
 
-	s.console = &tukey.Console{MW: f.Tukey, Biller: f.Biller, Catalog: f.Catalog, UsageMon: f.UsageMon}
+	// The data plane: keep every catalog dataset at the target factor
+	// across the attached site stores, and expose placement + staging on
+	// the console.
+	if opt.replicationFactor > 0 {
+		interval := opt.replicationInterval
+		if interval <= 0 {
+			interval = 200 * time.Millisecond
+		}
+		f.StartReplication(core.ReplicationOptions{
+			Factor: opt.replicationFactor, Interval: interval,
+			Seed: opt.seed, Sites: dataSites,
+		})
+		log.Printf("replication coordinator: factor %d over %d site stores, round every %v",
+			opt.replicationFactor, len(dataSites), interval)
+	}
+
+	s.console = &tukey.Console{MW: f.Tukey, Biller: f.Biller, Catalog: f.Catalog, UsageMon: f.UsageMon,
+		Replication: f.Replication}
 	if opt.rateLimit > 0 {
 		burst := opt.rateBurst
 		if burst <= 0 {
@@ -304,8 +360,9 @@ func newServer(opt options) (*server, error) {
 	return s, nil
 }
 
-// Close stops the coordinator, every clock source and every listener.
+// Close stops the coordinators, every clock source and every listener.
 func (s *server) Close() {
+	s.fed.StopReplication()
 	s.fed.StopClockSync()
 	if s.driver != nil {
 		s.driver.Stop()
@@ -326,6 +383,9 @@ func main() {
 	clockSync := flag.Duration("clock-sync", 0, "sync followed site clocks to the console engine this often (0 = free-run)")
 	rateLimit := flag.Float64("rate-limit", 0, "per-user console requests/second (0 = unlimited)")
 	rateBurst := flag.Float64("rate-burst", 0, "per-user burst size (0 = 2× -rate-limit)")
+	replicationFactor := flag.Int("replication-factor", 0, "keep every catalog dataset at N site replicas (0 = no coordinator)")
+	replicationInterval := flag.Duration("replication-interval", 200*time.Millisecond, "replication coordinator round period")
+	operatorSecret := flag.String("operator-secret", "", "shared secret gating operator-plane writes on cloud servers")
 	var sites siteList
 	flag.Var(&sites, "site", "attach an externally running cloud-site as name=url (repeatable)")
 	flag.Parse()
@@ -334,6 +394,8 @@ func main() {
 		seed: 1, speedup: *speedup, sessionTTL: *sessionTTL, sessionFile: *sessionFile,
 		remoteClouds: *remote, sites: sites, siteTimeout: *siteTimeout, clockSync: *clockSync,
 		rateLimit: *rateLimit, rateBurst: *rateBurst,
+		replicationFactor: *replicationFactor, replicationInterval: *replicationInterval,
+		operatorSecret: *operatorSecret,
 	})
 	if err != nil {
 		log.Fatal(err)

@@ -5,6 +5,7 @@ import (
 	"sync"
 	"time"
 
+	"osdc/internal/fanout"
 	"osdc/internal/sim"
 )
 
@@ -61,10 +62,17 @@ type SkewStats struct {
 // counts Errors, and the site resumes from where it stopped on the next
 // successful push. Virtual time never runs backwards and never jumps ahead
 // of the console.
+//
+// Pushes fan out concurrently over a bounded worker pool (ROADMAP:
+// coordinator fan-out): at dozens of sites a sequential round-robin would
+// eat the interval, so each round gives every site half the sync interval
+// and abandons (and counts as an error) any site still unanswered — the
+// push may still land late, which the follower tolerates by design.
 type ClockCoordinator struct {
 	engine   *sim.Engine
 	interval time.Duration
 	targets  []ClockSyncTarget
+	workers  int
 
 	mu       sync.Mutex
 	stats    map[string]*SkewStats
@@ -84,6 +92,7 @@ func StartClockCoordinator(e *sim.Engine, interval time.Duration, targets ...Clo
 	}
 	c := &ClockCoordinator{
 		engine: e, interval: interval, targets: targets,
+		workers:  syncWorkers,
 		stats:    make(map[string]*SkewStats),
 		lastPush: make(map[string]sim.Time),
 		stop:     make(chan struct{}), done: make(chan struct{}),
@@ -98,17 +107,39 @@ func StartClockCoordinator(e *sim.Engine, interval time.Duration, targets ...Clo
 // Interval returns the coordinator's wall sync period.
 func (c *ClockCoordinator) Interval() time.Duration { return c.interval }
 
+// syncWorkers bounds the per-round push pool.
+const syncWorkers = 8
+
 func (c *ClockCoordinator) loop() {
 	defer close(c.done)
 	tick := time.NewTicker(c.interval)
 	defer tick.Stop()
+	tasks := make([]func(), len(c.targets))
+	for i, t := range c.targets {
+		t := t
+		tasks[i] = func() { c.syncOne(t) }
+	}
+	// Per-site deadline: half the sync interval, floored at 100 ms. The
+	// deadline exists to keep a *hung* site from eating the round, not to
+	// penalize ordinary HTTP jitter — at the millisecond-scale intervals
+	// tests use, half an interval is inside normal round-trip variance
+	// and would count healthy pushes as errors.
+	deadline := c.interval / 2
+	if deadline < 100*time.Millisecond {
+		deadline = 100 * time.Millisecond
+	}
 	for {
 		select {
 		case <-c.stop:
 			return
 		case <-tick.C:
-			for _, t := range c.targets {
-				c.syncOne(t)
+			completed := fanout.Each(c.workers, deadline, tasks)
+			for i, ok := range completed {
+				if !ok {
+					// The abandoned push may still land; the error marks
+					// that this round couldn't confirm it in time.
+					c.countError(c.targets[i].Name())
+				}
 			}
 		}
 	}

@@ -30,6 +30,7 @@ type Remote struct {
 	stack    string
 	endpoint string // base URL, no trailing slash
 	client   *http.Client
+	secret   string // X-OSDC-Operator header on operator-plane writes
 }
 
 // DefaultTimeout bounds every round trip of a Remote built with a nil
@@ -73,6 +74,24 @@ func ProbeRemote(endpoint string, client *http.Client) (*Remote, error) {
 		return nil, fmt.Errorf("cloudapi: %s reported unusable meta %+v", endpoint, m)
 	}
 	return NewRemote(m.Name, m.Stack, endpoint, client), nil
+}
+
+// SetOperatorSecret makes every operator-plane write (quota updates, clock
+// targets) carry the shared secret in the X-OSDC-Operator header — the
+// client half of Server.OperatorSecret.
+func (r *Remote) SetOperatorSecret(secret string) { r.secret = secret }
+
+// operatorPost issues one operator-plane write with the secret header.
+func (r *Remote) operatorPost(path, payload string) (*http.Response, error) {
+	req, err := http.NewRequest(http.MethodPost, r.endpoint+path, strings.NewReader(payload))
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	if r.secret != "" {
+		req.Header.Set("X-OSDC-Operator", r.secret)
+	}
+	return r.client.Do(req)
 }
 
 // Name implements CloudAPI.
@@ -463,7 +482,7 @@ func (r *Remote) Instance(id string) (Instance, error) {
 // SetQuota implements CloudAPI via the operator plane.
 func (r *Remote) SetQuota(user string, q iaas.Quota) error {
 	payload := fmt.Sprintf(`{"user":%q,"max_instances":%d,"max_cores":%d}`, user, q.MaxInstances, q.MaxCores)
-	resp, err := r.client.Post(r.endpoint+"/cloudapi/quota", "application/json", strings.NewReader(payload))
+	resp, err := r.operatorPost("/cloudapi/quota", payload)
 	if err != nil {
 		return err
 	}
@@ -493,7 +512,7 @@ func (r *Remote) Clock() (ClockStatus, error) {
 // coordinator can tell "does not follow" from "unreachable".
 func (r *Remote) ClockSync(target sim.Time) error {
 	payload := fmt.Sprintf(`{"target":%g}`, float64(target))
-	resp, err := r.client.Post(r.endpoint+"/cloudapi/clock", "application/json", strings.NewReader(payload))
+	resp, err := r.operatorPost("/cloudapi/clock", payload)
 	if err != nil {
 		return err
 	}

@@ -6,6 +6,7 @@ import (
 	"net/http"
 	"strings"
 
+	"osdc/internal/datastore"
 	"osdc/internal/iaas"
 	"osdc/internal/sim"
 )
@@ -28,6 +29,15 @@ type Server struct {
 	// (follow mode only). Nil means the site exposes no clock (the routes
 	// 404), which is the pre-clock-plane contract.
 	Clock ClockPlane
+	// Datasets, when set, serves this site's dataset store under
+	// /cloudapi/datasets (list/get/put-replica/delete-replica). Nil means
+	// the site exposes no data plane (the routes 404).
+	Datasets datastore.API
+	// OperatorSecret, when non-empty, gates every mutating operator-plane
+	// request (POST/DELETE under /cloudapi/): callers must present it in
+	// the X-OSDC-Operator header or get 403. Reads stay open — the planes
+	// carry no tenant data — and the native tenant dialects are untouched.
+	OperatorSecret string
 }
 
 // NewServer builds the per-cloud server, picking the native dialect handler
@@ -80,6 +90,22 @@ func serveError(w http.ResponseWriter, code int, msg string) {
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	if !strings.HasPrefix(r.URL.Path, "/cloudapi/") {
 		s.native.ServeHTTP(w, r)
+		return
+	}
+	// Operator-plane auth: mutating the planes (clock targets, quotas,
+	// dataset replicas) is an operator action; with a shared secret
+	// configured, unauthenticated writes get 403 before any route runs.
+	if s.OperatorSecret != "" && r.Method != http.MethodGet &&
+		r.Header.Get("X-OSDC-Operator") != s.OperatorSecret {
+		serveError(w, http.StatusForbidden, "operator plane requires X-OSDC-Operator")
+		return
+	}
+	if strings.HasPrefix(r.URL.Path, "/cloudapi/datasets") {
+		if s.Datasets == nil {
+			serveError(w, http.StatusNotFound, "site exposes no datasets plane")
+			return
+		}
+		datastore.ServePlane(s.Datasets, w, r)
 		return
 	}
 	switch {

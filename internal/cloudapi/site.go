@@ -6,6 +6,7 @@ import (
 	"net/http"
 	"time"
 
+	"osdc/internal/datastore"
 	"osdc/internal/iaas"
 	"osdc/internal/sim"
 )
@@ -26,9 +27,13 @@ type Site struct {
 	Cloud  *iaas.Cloud
 	URL    string
 	Mode   ClockMode
+	// Datasets is the site's dataset store, when the site serves the data
+	// plane (SiteOptions.Datasets); nil otherwise.
+	Datasets datastore.API
 
 	clock    sim.ClockSource
 	follower *sim.Follower // non-nil in follow mode
+	secret   string
 	ln       net.Listener
 }
 
@@ -45,6 +50,12 @@ type SiteOptions struct {
 	// Addr is the listen address; "" means an ephemeral loopback port
 	// (the in-process default — cmd/cloud-site passes its -addr flag).
 	Addr string
+	// Datasets, when set, is served as the site's /cloudapi/datasets
+	// plane (typically the site's local *datastore.Store).
+	Datasets datastore.API
+	// OperatorSecret, when non-empty, gates operator-plane writes on the
+	// site's server; Remote()s built from the site carry it.
+	OperatorSecret string
 }
 
 // StartSite serves c's per-cloud Server on an ephemeral loopback port with
@@ -72,10 +83,12 @@ func StartSiteWithOptions(e *sim.Engine, c *iaas.Cloud, opt SiteOptions) (*Site,
 		tick = 2 * time.Millisecond
 	}
 	s := &Site{
-		Engine: e, Cloud: c, Mode: opt.Clock,
-		URL: "http://" + ln.Addr().String(), ln: ln,
+		Engine: e, Cloud: c, Mode: opt.Clock, Datasets: opt.Datasets,
+		URL: "http://" + ln.Addr().String(), ln: ln, secret: opt.OperatorSecret,
 	}
 	srv := NewServer(c)
+	srv.Datasets = opt.Datasets
+	srv.OperatorSecret = opt.OperatorSecret
 	switch opt.Clock {
 	case ClockFollow:
 		s.follower = sim.StartFollower(e, opt.Speedup, tick)
@@ -91,15 +104,30 @@ func StartSiteWithOptions(e *sim.Engine, c *iaas.Cloud, opt SiteOptions) (*Site,
 	return s, nil
 }
 
-// Remote returns a client for this site.
+// Remote returns a client for this site, carrying the site's operator
+// secret when one is set.
 func (s *Site) Remote() *Remote {
-	return NewRemote(s.Cloud.Name, s.Cloud.Stack, s.URL, nil)
+	return s.RemoteWithClient(nil)
 }
 
 // RemoteWithClient returns a client for this site using the given HTTP
 // client (nil for a private client with DefaultTimeout).
 func (s *Site) RemoteWithClient(client *http.Client) *Remote {
-	return NewRemote(s.Cloud.Name, s.Cloud.Stack, s.URL, client)
+	r := NewRemote(s.Cloud.Name, s.Cloud.Stack, s.URL, client)
+	r.SetOperatorSecret(s.secret)
+	return r
+}
+
+// DatasetsRemote returns a data-plane client for this site, carrying the
+// site's operator secret when one is set. Nil when the site serves no
+// datasets plane.
+func (s *Site) DatasetsRemote(client *http.Client) *datastore.Remote {
+	if s.Datasets == nil {
+		return nil
+	}
+	r := datastore.NewRemote(s.Datasets.Name(), s.Datasets.Loc(), s.URL, client)
+	r.SetOperatorSecret(s.secret)
+	return r
 }
 
 // Follower returns the follower driving this site's clock, or nil in

@@ -19,12 +19,14 @@ import (
 	"fmt"
 	"net/http"
 	"sort"
+	"strings"
 	"time"
 
 	"osdc/internal/ark"
 	"osdc/internal/billing"
 	"osdc/internal/cloudapi"
 	"osdc/internal/datasets"
+	"osdc/internal/datastore"
 	"osdc/internal/dfs"
 	"osdc/internal/gateway"
 	"osdc/internal/iaas"
@@ -91,6 +93,15 @@ type Federation struct {
 	// within a bounded skew of the console engine; nil until StartClockSync
 	// (free-running remote sites never need one).
 	ClockSync *cloudapi.ClockCoordinator
+
+	// Stores are the per-site dataset stores, keyed by cluster name:
+	// OSDC-Root adopts the catalog's master copies (the bytes the catalog
+	// published onto RootGFS), the utility clouds start empty and receive
+	// replicas from the replication coordinator.
+	Stores map[string]*datastore.Store
+	// Replication is the data-plane coordinator; nil until
+	// StartReplication.
+	Replication *datastore.Coordinator
 }
 
 // Options tunes federation construction.
@@ -154,6 +165,20 @@ func New(opt Options) (*Federation, error) {
 			return nil, fmt.Errorf("core: publishing %s: %w", d.Name, err)
 		}
 	}
+	// --- per-site dataset stores (the data plane's Local backends) ---
+	f.Stores = map[string]*datastore.Store{
+		ClusterAdler:    datastore.NewStore(ClusterAdler, simnet.SiteChicagoKenwood, f.AdlerGFS),
+		ClusterSullivan: datastore.NewStore(ClusterSullivan, simnet.SiteChicagoNU, f.SullivanGFS),
+		ClusterRoot:     datastore.NewStore(ClusterRoot, simnet.SiteChicagoKenwood, f.RootGFS),
+	}
+	for _, d := range f.Catalog.All() {
+		// The master copies already live on RootGFS (Publish wrote them);
+		// Adopt registers the replicas without accounting the bytes twice.
+		if err := f.Stores[ClusterRoot].Adopt(datastore.Replica{Dataset: d.Name, SizeBytes: d.SizeBytes, Version: 1}); err != nil {
+			return nil, fmt.Errorf("core: adopting %s on %s: %w", d.Name, ClusterRoot, err)
+		}
+	}
+
 	f.Sharing = sharing.NewStore(e)
 	f.DropDir = sharing.NewDropDir(e, f.Sharing, 10)
 	f.Biller = billing.New(e, billing.DefaultRates(), []cloudapi.CloudAPI{f.AdlerAPI, f.SullivanAPI}, nil)
@@ -236,6 +261,13 @@ type RemoteSiteOptions struct {
 	// tukey-server narrows this when -site attaches a cloud running in
 	// another process instead.
 	Clouds []string
+	// Datasets stands a per-site dataset store up on each site's engine
+	// (its own volume, sized per Table 2) and serves it on the site's
+	// /cloudapi/datasets plane.
+	Datasets bool
+	// OperatorSecret gates operator-plane writes on every site server;
+	// the Remotes built here carry it.
+	OperatorSecret string
 }
 
 // StartRemoteSites converts the federation to the per-site topology with
@@ -263,8 +295,18 @@ func (f *Federation) StartRemoteSitesWithOptions(opt RemoteSiteOptions) ([]*clou
 	var syncTargets []cloudapi.ClockSyncTarget
 	for i, name := range names {
 		e := sim.NewEngine(opt.Seed + uint64(i+1)*1000)
-		site, err := cloudapi.StartSiteWithOptions(e, BuildCloud(e, name, opt.Scale),
-			cloudapi.SiteOptions{Clock: opt.Clock, Speedup: opt.Speedup})
+		siteOpts := cloudapi.SiteOptions{Clock: opt.Clock, Speedup: opt.Speedup, OperatorSecret: opt.OperatorSecret}
+		if opt.Datasets {
+			vol, err := BuildDatasetVolume(e, name)
+			if err != nil {
+				for _, s := range sites {
+					s.Close()
+				}
+				return nil, err
+			}
+			siteOpts.Datasets = datastore.NewStore(name, SiteOf(name), vol)
+		}
+		site, err := cloudapi.StartSiteWithOptions(e, BuildCloud(e, name, opt.Scale), siteOpts)
 		if err != nil {
 			for _, s := range sites {
 				s.Close()
@@ -282,6 +324,78 @@ func (f *Federation) StartRemoteSitesWithOptions(opt RemoteSiteOptions) ([]*clou
 		f.StartClockSync(opt.SyncInterval, syncTargets...)
 	}
 	return sites, nil
+}
+
+// SiteOf maps a cluster name to the simnet site hosting it (Figure 3).
+func SiteOf(cluster string) string {
+	switch cluster {
+	case ClusterAdler, ClusterRoot:
+		return simnet.SiteChicagoKenwood
+	case ClusterSullivan, ClusterOCCY:
+		return simnet.SiteChicagoNU
+	case ClusterMatsu:
+		return simnet.SiteAMPATH
+	}
+	return simnet.SiteChicagoKenwood
+}
+
+// BuildDatasetVolume builds the storage volume backing a per-site dataset
+// store on the site's own engine — the remote-topology counterpart of the
+// GlusterFS shares core.New builds (§7.1 sizes).
+func BuildDatasetVolume(e *sim.Engine, cluster string) (*dfs.Volume, error) {
+	switch cluster {
+	case ClusterAdler:
+		return buildVolume(e, "adler-gfs", simnet.SiteChicagoKenwood, 156*TB, 4)
+	case ClusterSullivan:
+		return buildVolume(e, "sullivan-gfs", simnet.SiteChicagoNU, 38*TB, 2)
+	case ClusterRoot:
+		return buildVolume(e, "root-gfs", simnet.SiteChicagoKenwood, 1024*TB, 2)
+	}
+	return buildVolume(e, strings.ToLower(cluster)+"-gfs", SiteOf(cluster), 100*TB, 2)
+}
+
+// ReplicationOptions tune StartReplication.
+type ReplicationOptions struct {
+	// Factor is the target replication factor per dataset (< 1 means 1).
+	Factor int
+	// Factors overrides the target per dataset name.
+	Factors map[string]int
+	// Interval starts the coordinator's background loop when > 0; with 0
+	// the caller drives Rounds directly (the deterministic scenario
+	// shape).
+	Interval time.Duration
+	// Seed feeds the coordinator's flow RNG.
+	Seed uint64
+	// Sites are the dataset planes to coordinate; nil means the three
+	// in-process stores (Root, Adler, Sullivan).
+	Sites []datastore.API
+}
+
+// StartReplication builds (and with opt.Interval > 0, starts) the data
+// plane's replication coordinator over the federation engine, topology and
+// catalog, replacing any previous one.
+func (f *Federation) StartReplication(opt ReplicationOptions) *datastore.Coordinator {
+	f.StopReplication()
+	sites := opt.Sites
+	if sites == nil {
+		sites = []datastore.API{
+			f.Stores[ClusterRoot], f.Stores[ClusterAdler], f.Stores[ClusterSullivan],
+		}
+	}
+	f.Replication = datastore.NewCoordinator(f.Engine, f.Network, f.Catalog,
+		datastore.Options{Factor: opt.Factor, Factors: opt.Factors, Seed: opt.Seed}, sites...)
+	if opt.Interval > 0 {
+		f.Replication.Start(opt.Interval)
+	}
+	return f.Replication
+}
+
+// StopReplication halts the replication coordinator, if one is running.
+// In-flight transfers are abandoned.
+func (f *Federation) StopReplication() {
+	if f.Replication != nil {
+		f.Replication.Stop()
+	}
 }
 
 // StartClockSync starts the coordinator goroutine pushing the console

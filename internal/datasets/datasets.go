@@ -9,6 +9,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"osdc/internal/ark"
 	"osdc/internal/dfs"
@@ -30,9 +31,13 @@ type Dataset struct {
 // Catalog is the curated dataset registry.
 //
 // The console searches the catalog from concurrent HTTP handlers while
-// curators publish; mu covers the curator set, the entry table and the
-// download counter. A *Dataset is immutable once published, so handing
-// pointers out of Search/Get/All without copying is safe.
+// curators publish; mu covers the curator set and the entry table. The
+// download counter is atomic so Download stays a read-lock path — the
+// datastore coordinator embeds the catalog and reads it from every
+// planning round, and a write-locked counter on the hot resolve path
+// would serialize those reads against every console search. A *Dataset
+// is immutable once published, so handing pointers out of Search/Get/All
+// without copying is safe.
 type Catalog struct {
 	ids *ark.Service
 	vol *dfs.Volume
@@ -41,7 +46,7 @@ type Catalog struct {
 	curators map[string]bool
 	entries  map[string]*Dataset
 
-	Downloads int64
+	downloads int64 // atomic
 }
 
 // NewCatalog builds a catalog that publishes onto vol and mints IDs from
@@ -146,16 +151,18 @@ func (c *Catalog) ByDiscipline() map[string]int64 {
 // Download records an access (freely downloadable by anyone, §1) and
 // resolves the dataset's location.
 func (c *Catalog) Download(name string) (string, error) {
-	c.mu.Lock()
+	c.mu.RLock()
 	d, ok := c.entries[name]
+	c.mu.RUnlock()
 	if !ok {
-		c.mu.Unlock()
 		return "", fmt.Errorf("datasets: no dataset %q", name)
 	}
-	c.Downloads++
-	c.mu.Unlock()
+	atomic.AddInt64(&c.downloads, 1)
 	return c.ids.Resolve(d.ARK)
 }
+
+// DownloadCount reports how many downloads the catalog has recorded.
+func (c *Catalog) DownloadCount() int64 { return atomic.LoadInt64(&c.downloads) }
 
 const (
 	tb = int64(1) << 40

@@ -2,6 +2,7 @@ package datasets
 
 import (
 	"strings"
+	"sync"
 	"testing"
 
 	"osdc/internal/ark"
@@ -45,8 +46,46 @@ func TestPublishMintsARKAndStores(t *testing.T) {
 	if loc != d.Path {
 		t.Fatalf("download resolves to %q, want %q", loc, d.Path)
 	}
-	if c.Downloads != 1 {
+	if c.DownloadCount() != 1 {
 		t.Fatal("download not counted")
+	}
+}
+
+// TestCatalogConcurrentDownloadAndSearch is the -race stress for the
+// catalog's locking: Download used to mutate the counter under the same
+// lock handlers read with, and the datastore coordinator now embeds the
+// catalog, reading it from planning rounds while the console searches and
+// downloads. Exact counting is asserted so lost atomic updates surface
+// even without -race.
+func TestCatalogConcurrentDownloadAndSearch(t *testing.T) {
+	c := newCatalog(t)
+	if _, err := c.Publish("walt", Dataset{Name: "Stress Set", SizeBytes: 1 << 30, Discipline: "biology"}); err != nil {
+		t.Fatal(err)
+	}
+	const workers, iters = 8, 200
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				if _, err := c.Download("Stress Set"); err != nil {
+					t.Error(err)
+					return
+				}
+				if got := c.Search("biology"); len(got) == 0 {
+					t.Error("search lost the published dataset")
+					return
+				}
+				c.All()
+				c.TotalBytes()
+				c.DownloadCount()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := c.DownloadCount(); got != workers*iters {
+		t.Fatalf("DownloadCount = %d, want %d", got, workers*iters)
 	}
 }
 

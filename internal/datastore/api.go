@@ -1,0 +1,35 @@
+package datastore
+
+// API is one site's datasets plane as the console and the replication
+// coordinator see it. Two backends exist, mirroring the cloudapi pattern:
+//
+//   - *Store is the Local backend: the in-process inventory itself, used
+//     by the single-process topology and by each cloudapi.Server to serve
+//     the wire plane;
+//   - *Remote is the HTTP client speaking the /cloudapi/datasets routes of
+//     a per-site server.
+//
+// The parity test in internal/cloudapi holds both to identical observable
+// behavior, including error messages.
+//
+// Implementations must be safe for concurrent use: console handlers and
+// coordinator rounds call in at once.
+type API interface {
+	// Name is the federation site name (e.g. "OSDC-Adler").
+	Name() string
+	// Loc is the simnet site hosting the store (e.g. "chicago-kenwood") —
+	// what transfer paths are derived from.
+	Loc() string
+	// List returns every replica sorted by dataset name.
+	List() ([]Replica, error)
+	// Get looks one replica up; errors.Is(err, ErrNoReplica) when absent.
+	Get(dataset string) (Replica, error)
+	// Put installs or replaces a replica, accounting bytes on the site
+	// volume. Invalid replicas and full volumes error.
+	Put(r Replica) error
+	// Delete drops a replica; errors.Is(err, ErrNoReplica) when absent.
+	Delete(dataset string) error
+}
+
+// *Store implements API directly.
+var _ API = (*Store)(nil)

@@ -73,11 +73,20 @@ func (b *Brick) SetOnline(v bool) { b.online = v }
 func (b *Brick) FileCount() int { return len(b.files) }
 
 func (b *Brick) store(f *File) error {
+	// Account the size *delta*, never release-then-realloc: a failed
+	// replace must leave both the stored file and the disk accounting
+	// exactly as they were (release-first corrupted the books and made a
+	// later remove double-release).
+	var oldSize int64
 	if old, ok := b.files[f.Path]; ok {
-		b.Disk.Release(old.Size)
+		oldSize = old.Size
 	}
-	if err := b.Disk.Alloc(f.Size); err != nil {
-		return err
+	if delta := f.Size - oldSize; delta > 0 {
+		if err := b.Disk.Alloc(delta); err != nil {
+			return err
+		}
+	} else {
+		b.Disk.Release(oldSize - f.Size)
 	}
 	cp := *f
 	b.files[f.Path] = &cp
@@ -172,6 +181,22 @@ func (v *Volume) writeFile(f *File) error {
 		return fmt.Errorf("dfs: empty path")
 	}
 	set := v.hashSet(f.Path)
+	// Pre-check every online replica's capacity so a mid-set failure
+	// cannot leave some bricks holding the new size and others the old:
+	// either the whole replica set takes the write or none does.
+	for _, b := range set {
+		if !b.online {
+			continue
+		}
+		var oldSize int64
+		if old, ok := b.files[f.Path]; ok {
+			oldSize = old.Size
+		}
+		if delta := f.Size - oldSize; delta > b.Disk.Free() {
+			return fmt.Errorf("dfs: write %s to %s: %w", f.Path, b.Name,
+				simdisk.ErrFull{Disk: b.Disk.Name, Requested: delta, Free: b.Disk.Free()})
+		}
+	}
 	wrote := 0
 	for _, b := range set {
 		if !b.online {

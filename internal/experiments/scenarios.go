@@ -197,4 +197,10 @@ func init() {
 		}))
 	scenario.Register(scenario.New("console-knee", consoleKneeDesc, ConsoleKnee))
 	scenario.Register(scenario.New("rate-limit-sweep", rateLimitSweepDesc, RateLimitSweep))
+
+	// The data plane: replication-factor × bandwidth convergence sweep,
+	// and the GRANDMA-style stage-then-compute campaign. Both run purely
+	// on virtual clocks, so every metric is seed-deterministic.
+	scenario.Register(scenario.New("replication-sweep", replicationSweepDesc, ReplicationSweep))
+	scenario.Register(scenario.New("stage-and-compute", stageAndComputeDesc, StageAndCompute))
 }

@@ -1,0 +1,80 @@
+// Package fanout provides the bounded worker pool the federation's
+// coordinators push through: N tasks (one per site) run over at most
+// `workers` goroutines, and each task gets a per-task wall deadline so one
+// hung site cannot eat the whole coordination interval (ROADMAP:
+// coordinator fan-out).
+//
+// The pool does not cancel an overrunning task — the targets' HTTP clients
+// carry their own timeouts — it merely stops waiting for it, reports it
+// incomplete, and moves on. An abandoned task finishes (or times out) in
+// the background; its effects on locked state are still safe, callers just
+// must tolerate "counted as missed, later completed anyway".
+package fanout
+
+import (
+	"sync"
+	"time"
+)
+
+// Each runs every task over at most workers goroutines, waiting up to
+// perTask of wall time for each. The returned slice reports, per task,
+// whether it completed within its deadline. perTask <= 0 means wait
+// forever; workers < 1 means one.
+func Each(workers int, perTask time.Duration, tasks []func()) []bool {
+	done := make([]bool, len(tasks))
+	if len(tasks) == 0 {
+		return done
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	if workers > len(tasks) {
+		workers = len(tasks)
+	}
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	var mu sync.Mutex // covers done: abandoned tasks may report late
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				runOne(i, perTask, tasks[i], done, &mu)
+			}
+		}()
+	}
+	for i := range tasks {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+	// Snapshot under the lock: a task abandoned at its deadline may still
+	// be writing its completion bit.
+	mu.Lock()
+	out := append([]bool(nil), done...)
+	mu.Unlock()
+	return out
+}
+
+// runOne executes one task, abandoning the wait (not the task) when the
+// deadline passes.
+func runOne(i int, perTask time.Duration, task func(), done []bool, mu *sync.Mutex) {
+	finished := make(chan struct{})
+	go func() {
+		defer close(finished)
+		task()
+		mu.Lock()
+		done[i] = true
+		mu.Unlock()
+	}()
+	if perTask <= 0 {
+		<-finished
+		return
+	}
+	timer := time.NewTimer(perTask)
+	defer timer.Stop()
+	select {
+	case <-finished:
+	case <-timer.C:
+	}
+}

@@ -1,0 +1,90 @@
+package fanout
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestEachRunsEveryTask(t *testing.T) {
+	var ran int64
+	tasks := make([]func(), 50)
+	for i := range tasks {
+		tasks[i] = func() { atomic.AddInt64(&ran, 1) }
+	}
+	done := Each(8, 0, tasks)
+	if ran != 50 {
+		t.Fatalf("ran %d tasks, want 50", ran)
+	}
+	for i, ok := range done {
+		if !ok {
+			t.Fatalf("task %d reported incomplete", i)
+		}
+	}
+}
+
+func TestEachBoundsConcurrency(t *testing.T) {
+	const workers = 3
+	var cur, peak int64
+	var mu sync.Mutex
+	tasks := make([]func(), 20)
+	for i := range tasks {
+		tasks[i] = func() {
+			n := atomic.AddInt64(&cur, 1)
+			mu.Lock()
+			if n > peak {
+				peak = n
+			}
+			mu.Unlock()
+			time.Sleep(2 * time.Millisecond)
+			atomic.AddInt64(&cur, -1)
+		}
+	}
+	Each(workers, 0, tasks)
+	mu.Lock()
+	defer mu.Unlock()
+	if peak > workers {
+		t.Fatalf("observed %d concurrent tasks, want <= %d", peak, workers)
+	}
+}
+
+func TestEachAbandonsOverrunningTask(t *testing.T) {
+	release := make(chan struct{})
+	var slowFinished int64
+	tasks := []func(){
+		func() { <-release; atomic.AddInt64(&slowFinished, 1) },
+		func() {},
+	}
+	start := time.Now()
+	done := Each(2, 20*time.Millisecond, tasks)
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("Each blocked %v on a hung task", elapsed)
+	}
+	if done[0] {
+		t.Fatal("hung task reported complete")
+	}
+	if !done[1] {
+		t.Fatal("fast task reported incomplete")
+	}
+	// The abandoned task still runs to completion in the background.
+	close(release)
+	deadline := time.Now().Add(2 * time.Second)
+	for atomic.LoadInt64(&slowFinished) == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("abandoned task never finished")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func TestEachEmptyAndSmall(t *testing.T) {
+	if got := Each(4, 0, nil); len(got) != 0 {
+		t.Fatalf("Each(nil) = %v", got)
+	}
+	// More workers than tasks, and a non-positive worker count.
+	ran := false
+	if got := Each(0, 0, []func(){func() { ran = true }}); !got[0] || !ran {
+		t.Fatalf("single task not run: %v", got)
+	}
+}

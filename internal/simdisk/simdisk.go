@@ -10,6 +10,7 @@ package simdisk
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"osdc/internal/sim"
 )
@@ -64,13 +65,13 @@ func PaperTarget(e *sim.Engine, name string, capacity int64) *Disk {
 }
 
 // Used returns the bytes currently allocated.
-func (d *Disk) Used() int64 { return d.used }
+func (d *Disk) Used() int64 { return atomic.LoadInt64(&d.used) }
 
 // Free returns the bytes available.
-func (d *Disk) Free() int64 { return d.Capacity - d.used }
+func (d *Disk) Free() int64 { return d.Capacity - d.Used() }
 
 // Utilization returns used/capacity in [0,1].
-func (d *Disk) Utilization() float64 { return float64(d.used) / float64(d.Capacity) }
+func (d *Disk) Utilization() float64 { return float64(d.Used()) / float64(d.Capacity) }
 
 // ReadTime returns the streaming time to read n bytes, ignoring queueing.
 func (d *Disk) ReadTime(n int64) sim.Duration { return float64(n*8) / d.ReadBps }
@@ -89,24 +90,32 @@ func (e ErrFull) Error() string {
 	return fmt.Sprintf("simdisk: %s full: requested %d bytes, %d free", e.Disk, e.Requested, e.Free)
 }
 
-// Alloc reserves n bytes of capacity immediately (no I/O time).
+// Alloc reserves n bytes of capacity immediately (no I/O time). Capacity
+// accounting is atomic: the dataset stores allocate from service
+// goroutines while monitoring checks read Utilization on the engine.
 func (d *Disk) Alloc(n int64) error {
 	if n < 0 {
 		panic("simdisk: negative allocation")
 	}
-	if d.used+n > d.Capacity {
-		return ErrFull{Disk: d.Name, Requested: n, Free: d.Free()}
+	for {
+		used := atomic.LoadInt64(&d.used)
+		if used+n > d.Capacity {
+			return ErrFull{Disk: d.Name, Requested: n, Free: d.Capacity - used}
+		}
+		if atomic.CompareAndSwapInt64(&d.used, used, used+n) {
+			return nil
+		}
 	}
-	d.used += n
-	return nil
 }
 
 // Release frees n bytes of capacity.
 func (d *Disk) Release(n int64) {
-	if n < 0 || n > d.used {
-		panic(fmt.Sprintf("simdisk: bad release of %d (used %d)", n, d.used))
+	if n < 0 {
+		panic(fmt.Sprintf("simdisk: bad release of %d", n))
 	}
-	d.used -= n
+	if used := atomic.AddInt64(&d.used, -n); used < 0 {
+		panic(fmt.Sprintf("simdisk: release of %d under-ran the allocation", n))
+	}
 }
 
 // Read schedules a streaming read of n bytes; done fires when it completes.

@@ -8,6 +8,7 @@ import (
 
 	"osdc/internal/billing"
 	"osdc/internal/datasets"
+	"osdc/internal/datastore"
 	"osdc/internal/monitor"
 )
 
@@ -19,17 +20,22 @@ import (
 // Routes (all JSON; session token in the X-Tukey-Session header except for
 // /login):
 //
-//	POST /login               {provider, username, secret} → {token}
-//	GET  /console/instances   aggregated multi-cloud server list
-//	POST /console/launch      {cloud, name, flavor} → server
-//	POST /console/terminate   {cloud, id}
-//	GET  /console/usage       current-cycle usage (core-hours, GB-days)
-//	GET  /console/datasets    public dataset catalog (?q= to search)
-//	GET  /console/status      attached clouds
+//	POST /login                      {provider, username, secret} → {token}
+//	GET  /console/instances          aggregated multi-cloud server list
+//	POST /console/launch             {cloud, name, flavor} → server
+//	POST /console/terminate          {cloud, id}
+//	GET  /console/usage              current-cycle usage (core-hours, GB-days)
+//	GET  /console/datasets           public dataset catalog (?q= to search)
+//	GET  /console/datasets/replicas  per-site dataset placement (?dataset= to filter)
+//	POST /console/datasets/stage     {dataset, cloud}: place a replica on a cloud's site
+//	GET  /console/status             attached clouds
 type Console struct {
 	MW      *Middleware
 	Biller  *billing.Biller
 	Catalog *datasets.Catalog
+	// Replication, when set, powers the data-plane routes: replica
+	// placement reads and pre-launch dataset staging.
+	Replication *datastore.Coordinator
 	// UsageMon, when set, contributes per-site sample-error counts to the
 	// /console/status operator view alongside the biller's poll errors.
 	UsageMon *monitor.UsageMonitor
@@ -68,27 +74,47 @@ func (c *Console) localUser(id Identity) string {
 // from any federated identifier.
 const invalidSessionKey = "\x00invalid-session"
 
+// routeCosts weights each route's rate-limit charge by what it costs the
+// federation: a launch provisions a VM across the transport layer, a
+// dataset stage schedules a WAN transfer, a status read is a map copy.
+// Unlisted routes cost 1. TestRouteCostTable pins this table.
+var routeCosts = map[string]float64{
+	"POST /console/launch":         10,
+	"POST /console/terminate":      5,
+	"POST /console/datasets/stage": 4,
+	"GET /console/instances":       2,
+}
+
+// routeCost is the token charge for one request.
+func routeCost(method, path string) float64 {
+	if cost, ok := routeCosts[method+" "+path]; ok {
+		return cost
+	}
+	return 1
+}
+
 func (c *Console) session(w http.ResponseWriter, r *http.Request) (Identity, bool) {
+	cost := routeCost(r.Method, r.URL.Path)
 	tok := r.Header.Get("X-Tukey-Session")
 	id, ok := c.MW.identityFor(tok)
 	if !ok {
-		if !c.allow(w, invalidSessionKey) {
+		if !c.allow(w, invalidSessionKey, cost) {
 			return Identity{}, false
 		}
 		writeJSON(w, http.StatusUnauthorized, map[string]string{"error": "invalid or missing session"})
 		return Identity{}, false
 	}
-	if !c.allow(w, id.Identifier) {
+	if !c.allow(w, id.Identifier, cost) {
 		return Identity{}, false
 	}
 	return id, true
 }
 
-// allow charges one rate-limit token for key, answering 429 when the
+// allow charges cost rate-limit tokens for key, answering 429 when the
 // caller's bucket is exhausted. With no Limiter configured everything
 // passes.
-func (c *Console) allow(w http.ResponseWriter, key string) bool {
-	if c.Limiter == nil || c.Limiter.Allow(key) {
+func (c *Console) allow(w http.ResponseWriter, key string, cost float64) bool {
+	if c.Limiter == nil || c.Limiter.AllowN(key, cost) {
 		return true
 	}
 	atomic.AddInt64(&c.RateLimited, 1)
@@ -117,7 +143,7 @@ func (c *Console) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		}
 		// Login attempts are charged per attempted username, bounding
 		// brute force before the IdP sees it.
-		if !c.allow(w, req.Username) {
+		if !c.allow(w, req.Username, routeCost(r.Method, r.URL.Path)) {
 			return
 		}
 		tok, err := c.MW.Login(Provider(req.Provider), req.Username, req.Secret)
@@ -194,6 +220,57 @@ func (c *Console) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		}
 		q := r.URL.Query().Get("q")
 		writeJSON(w, http.StatusOK, map[string]interface{}{"datasets": c.Catalog.Search(q)})
+
+	case r.URL.Path == "/console/datasets/replicas" && r.Method == http.MethodGet:
+		if _, ok := c.session(w, r); !ok {
+			return
+		}
+		if c.Replication == nil {
+			writeJSON(w, http.StatusServiceUnavailable, map[string]string{"error": "replication not configured"})
+			return
+		}
+		rows := c.Replication.Placement()
+		if want := r.URL.Query().Get("dataset"); want != "" {
+			filtered := rows[:0]
+			for _, row := range rows {
+				if row.Dataset == want {
+					filtered = append(filtered, row)
+				}
+			}
+			rows = filtered
+		}
+		writeJSON(w, http.StatusOK, map[string]interface{}{"placement": rows})
+
+	case r.URL.Path == "/console/datasets/stage" && r.Method == http.MethodPost:
+		// Staging places a dataset replica on the site that will host the
+		// user's instances before the launch (§4: compute next to the
+		// data), so the VM reads it over the LAN instead of the WAN.
+		if _, ok := c.session(w, r); !ok {
+			return
+		}
+		if c.Replication == nil {
+			writeJSON(w, http.StatusServiceUnavailable, map[string]string{"error": "replication not configured"})
+			return
+		}
+		var req struct{ Dataset, Cloud string }
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			writeJSON(w, http.StatusBadRequest, map[string]string{"error": err.Error()})
+			return
+		}
+		if req.Dataset == "" || req.Cloud == "" {
+			writeJSON(w, http.StatusBadRequest, map[string]string{"error": "stage needs a dataset and a cloud"})
+			return
+		}
+		st, err := c.Replication.Stage(req.Dataset, req.Cloud)
+		if err != nil {
+			writeJSON(w, http.StatusConflict, map[string]string{"error": err.Error()})
+			return
+		}
+		code := http.StatusOK
+		if st.State == "staging" {
+			code = http.StatusAccepted
+		}
+		writeJSON(w, code, st)
 
 	case r.URL.Path == "/console/status" && r.Method == http.MethodGet:
 		// Cloud topology is operator data: like every other /console/*

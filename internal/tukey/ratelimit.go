@@ -70,7 +70,21 @@ func (rl *RateLimiter) wallNow() time.Time {
 
 // Allow spends one token from key's bucket, reporting whether one was
 // available. New keys start with a full bucket.
-func (rl *RateLimiter) Allow(key string) bool {
+func (rl *RateLimiter) Allow(key string) bool { return rl.AllowN(key, 1) }
+
+// AllowN spends cost tokens from key's bucket — the route-weighted form: a
+// launch charges several tokens where a status read charges one, so the
+// same bucket throttles expensive operations harder (ROADMAP: per-route
+// rate-limit costs). Costs below 1 are raised to 1; a cost above the
+// bucket capacity is clamped to it, so a full bucket always admits the
+// request (otherwise the route could never be called at all).
+func (rl *RateLimiter) AllowN(key string, cost float64) bool {
+	if cost < 1 {
+		cost = 1
+	}
+	if cost > rl.burst {
+		cost = rl.burst
+	}
 	now := rl.wallNow()
 	rl.mu.Lock()
 	defer rl.mu.Unlock()
@@ -95,8 +109,8 @@ func (rl *RateLimiter) Allow(key string) bool {
 		}
 		b.last = now
 	}
-	if b.tokens >= 1 {
-		b.tokens--
+	if b.tokens >= cost {
+		b.tokens -= cost
 		return true
 	}
 	return false
