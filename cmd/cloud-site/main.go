@@ -66,6 +66,7 @@ type options struct {
 	clockFollow    string        // "" = free-run, "push" = follow, else coordinator URL
 	clockTick      time.Duration // follower tick / coordinator poll period
 	operatorSecret string        // gates operator-plane writes when set
+	shards         int           // kernel shard count (<= 1 = single engine)
 }
 
 // cloudSite is the assembled process: one cloudapi.Site (engine, clock
@@ -91,7 +92,8 @@ func newCloudSite(opt options) (*cloudSite, error) {
 	if opt.clockTick <= 0 {
 		opt.clockTick = 50 * time.Millisecond
 	}
-	e := sim.NewEngine(opt.seed)
+	set := sim.NewShardSet(opt.seed, opt.shards)
+	e := set.Anchor()
 	c := core.BuildCloud(e, opt.cloud, opt.scale)
 	// The site's dataset store: its own volume on the private engine,
 	// served on /cloudapi/datasets so a console-side replication
@@ -105,6 +107,9 @@ func newCloudSite(opt options) (*cloudSite, error) {
 	siteOpts := cloudapi.SiteOptions{
 		Clock: cloudapi.ClockFreeRun, Speedup: opt.speedup, Addr: opt.addr,
 		Datasets: store, OperatorSecret: opt.operatorSecret,
+	}
+	if set.K() > 1 {
+		siteOpts.Set = set
 	}
 	if opt.clockFollow != "" {
 		// Follow mode: speedup 0 = jump to each published target; the
@@ -198,12 +203,13 @@ func main() {
 		"clock mode: empty free-runs; 'push' follows POSTed targets; a coordinator URL also polls it for time")
 	clockTick := flag.Duration("clock-interval", 50*time.Millisecond, "coordinator poll period when -clock-follow is a URL")
 	operatorSecret := flag.String("operator-secret", "", "shared secret gating operator-plane writes (clock, quota, dataset replicas)")
+	shards := flag.Int("shards", 1, "kernel shard count: K engines advanced in lockstep, per-instance timers spread by entity hash")
 	flag.Parse()
 
 	s, err := newCloudSite(options{
 		cloud: *cloud, addr: *addr, seed: *seed, scale: *scale,
 		speedup: *speedup, clockFollow: *clockFollow, clockTick: *clockTick,
-		operatorSecret: *operatorSecret,
+		operatorSecret: *operatorSecret, shards: *shards,
 	})
 	if err != nil {
 		log.Fatal(err)

@@ -18,6 +18,13 @@
 // service lock saturates first at the latency knee (inspect with `go tool
 // pprof knee.pb.gz`).
 //
+// -bench-json FILE runs the tracked perf suite (internal/perf: engine
+// churn, pooled churn, sharded churn, same-tick batch dispatch, biller
+// parallel accrual, console-load p95) through testing.Benchmark and
+// writes the snapshot as JSON — the BENCH_<pr>.json files CI uploads so
+// the perf trajectory is pinned per PR. "-" writes to stdout; -bench-pr
+// labels the snapshot.
+//
 // Experiments live in internal/experiments and self-register into
 // internal/scenario; adding a scenario there makes it appear here with no
 // changes to this file.
@@ -37,6 +44,7 @@ import (
 	"strings"
 
 	_ "osdc/internal/experiments" // populate the scenario registry
+	"osdc/internal/perf"
 	"osdc/internal/scenario"
 )
 
@@ -68,6 +76,8 @@ func run(args []string, stdout io.Writer) error {
 	list := fs.Bool("list", false, "list registered scenarios and exit")
 	params := fs.String("param", "", "comma-separated k=v overrides for a parametric scenario (requires -exp <name>)")
 	mutexProfile := fs.String("mutexprofile", "", "write a mutex-contention profile of the run to this file (e.g. during -exp console-knee)")
+	benchJSON := fs.String("bench-json", "", "run the tracked perf suite and write the JSON snapshot to this file ('-' = stdout)")
+	benchPR := fs.String("bench-pr", "", "PR label embedded in the -bench-json snapshot")
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
 			fs.SetOutput(stdout)
@@ -94,6 +104,10 @@ func run(args []string, stdout io.Writer) error {
 				fmt.Fprintf(os.Stderr, "osdc-bench: mutex profile: %v\n", err)
 			}
 		}()
+	}
+
+	if *benchJSON != "" {
+		return writeBenchJSON(*benchJSON, *benchPR, stdout)
 	}
 
 	if *list {
@@ -174,6 +188,26 @@ func run(args []string, stdout io.Writer) error {
 		return enc.Encode(jsonOut)
 	}
 	return nil
+}
+
+// writeBenchJSON runs the tracked perf suite and writes the snapshot.
+func writeBenchJSON(path, pr string, stdout io.Writer) error {
+	snap, err := perf.Collect(pr)
+	if err != nil {
+		return err
+	}
+	out := stdout
+	if path != "-" {
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		out = f
+	}
+	enc := json.NewEncoder(out)
+	enc.SetIndent("", "  ")
+	return enc.Encode(snap)
 }
 
 // parseParams turns "users=32,think-ms=5" into a parameter map.

@@ -249,3 +249,65 @@ func TestOperatorPlaneAuth(t *testing.T) {
 		t.Fatal("wrong secret passed the quota plane")
 	}
 }
+
+// TestDatasetsListSinceParity pins the delta route across backends: after
+// an identical put/delete history, Local and Remote return bit-identical
+// Deltas for a fresh client, an incremental client, a caught-up client and
+// a client from the future.
+func TestDatasetsListSinceParity(t *testing.T) {
+	rig := newDatasetsRig(t, 1<<40)
+	l, r := datastore.API(rig.local), datastore.API(rig.remote)
+
+	since := func(api datastore.API, rev int64) func() (datastore.Delta, error) {
+		return func() (datastore.Delta, error) { return api.ListSince(rev) }
+	}
+	bothData(t, "ListSince(0, empty)", since(l, 0), since(r, 0))
+
+	for _, api := range []datastore.API{l, r} {
+		for _, rep := range []datastore.Replica{
+			{Dataset: "B Set", SizeBytes: 2 << 30, Version: 1},
+			{Dataset: "A Set", SizeBytes: 1 << 30, Version: 1},
+			{Dataset: "C Set", SizeBytes: 3 << 30, Version: 1},
+		} {
+			if err := api.Put(rep); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := api.Put(datastore.Replica{Dataset: "A Set", SizeBytes: 1 << 30, Version: 2}); err != nil {
+			t.Fatal(err)
+		}
+		if err := api.Delete("B Set"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	bothData(t, "ListSince(0)", since(l, 0), since(r, 0))
+	bothData(t, "ListSince(3)", since(l, 3), since(r, 3))
+	caught, _ := l.ListSince(0)
+	bothData(t, "ListSince(caught-up)", since(l, caught.Rev), since(r, caught.Rev))
+	bothData(t, "ListSince(future)", since(l, 9999), since(r, 9999))
+
+	// The delta must actually be a delta: from rev 3, only the replaced
+	// A Set and the dead B Set.
+	d, err := r.ListSince(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Reset || len(d.Changed) != 1 || d.Changed[0].Dataset != "A Set" ||
+		len(d.Removed) != 1 || d.Removed[0] != "B Set" {
+		t.Fatalf("remote delta from rev 3 = %+v", d)
+	}
+}
+
+// TestDatasetsListSinceBadQuery pins the wire-only error: a non-numeric
+// ?since is a 400 with a parseable body, not a silent full listing.
+func TestDatasetsListSinceBadQuery(t *testing.T) {
+	rig := newDatasetsRig(t, 1<<40)
+	resp, err := http.Get(rig.remote.Endpoint() + "/cloudapi/datasets?since=bogus")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("GET ?since=bogus = %d, want 400", resp.StatusCode)
+	}
+}

@@ -30,6 +30,10 @@ type Site struct {
 	// Datasets is the site's dataset store, when the site serves the data
 	// plane (SiteOptions.Datasets); nil otherwise.
 	Datasets datastore.API
+	// Set is the site's sharded kernel when one was passed in
+	// (SiteOptions.Set); Engine is then its anchor shard. Nil for a
+	// single-engine site.
+	Set *sim.ShardSet
 
 	clock    sim.ClockSource
 	follower *sim.Follower // non-nil in follow mode
@@ -56,6 +60,13 @@ type SiteOptions struct {
 	// OperatorSecret, when non-empty, gates operator-plane writes on the
 	// site's server; Remote()s built from the site carry it.
 	OperatorSecret string
+	// Set, when non-nil, is the site's sharded kernel: its anchor must be
+	// the engine passed to StartSiteWithOptions. The clock source then
+	// advances all shards to a common target each tick and the cloud's
+	// per-instance timers land on their owning shards. The clock plane is
+	// unchanged — it publishes and follows the anchor's time, which bounds
+	// every shard through the common-target invariant.
+	Set *sim.ShardSet
 }
 
 // StartSite serves c's per-cloud Server on an ephemeral loopback port with
@@ -82,21 +93,41 @@ func StartSiteWithOptions(e *sim.Engine, c *iaas.Cloud, opt SiteOptions) (*Site,
 	if tick <= 0 {
 		tick = 2 * time.Millisecond
 	}
+	if opt.Set != nil && opt.Set.Anchor() != e {
+		_ = ln.Close()
+		return nil, fmt.Errorf("cloudapi: site %s: shard set's anchor is not the site engine", c.Name)
+	}
 	s := &Site{
 		Engine: e, Cloud: c, Mode: opt.Clock, Datasets: opt.Datasets,
+		Set: opt.Set,
 		URL: "http://" + ln.Addr().String(), ln: ln, secret: opt.OperatorSecret,
+	}
+	if opt.Set != nil {
+		c.SetShards(opt.Set)
 	}
 	srv := NewServer(c)
 	srv.Datasets = opt.Datasets
 	srv.OperatorSecret = opt.OperatorSecret
 	switch opt.Clock {
 	case ClockFollow:
-		s.follower = sim.StartFollower(e, opt.Speedup, tick)
+		if opt.Set != nil {
+			s.follower = sim.StartShardFollower(opt.Set, opt.Speedup, tick)
+		} else {
+			s.follower = sim.StartFollower(e, opt.Speedup, tick)
+		}
 		s.clock = s.follower
 		srv.Clock = FollowerClock{F: s.follower}
 	default:
 		if opt.Speedup > 0 {
-			s.clock = sim.StartDriver(e, opt.Speedup, tick)
+			if opt.Set != nil {
+				s.clock = sim.StartShardDriver(opt.Set, opt.Speedup, tick)
+			} else {
+				s.clock = sim.StartDriver(e, opt.Speedup, tick)
+			}
+		} else if opt.Set != nil {
+			// No clock source, but handlers may still schedule against any
+			// shard (instance boot timers), so the whole set goes shared.
+			opt.Set.Share()
 		}
 		srv.Clock = EngineClock{E: e}
 	}

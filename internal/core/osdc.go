@@ -53,7 +53,15 @@ const (
 
 // Federation is the assembled OSDC.
 type Federation struct {
-	Engine  *sim.Engine
+	// Engine is the console engine — the anchor shard of Set. All
+	// service-plane timers (billing pollers, monitoring sweeps, the WAN)
+	// live here; per-entity timers spread across Set's shards when
+	// Options.Shards > 1.
+	Engine *sim.Engine
+	// Set is the sharded simulation kernel. With the default Shards=1 it
+	// holds only the anchor and the federation behaves exactly as the
+	// single-engine assembly (goldens are bit-identical).
+	Set     *sim.ShardSet
 	Network *simnet.Network
 
 	Adler    *iaas.Cloud
@@ -110,6 +118,12 @@ type Options struct {
 	// Scale shrinks server counts by this divisor for fast tests (1 =
 	// paper-scale). Capacities in the inventory report are unaffected.
 	Scale int
+	// Shards is the simulation kernel's shard count (<= 1 means a single
+	// engine). With K > 1, per-entity timers (instance boots, workload
+	// flows keyed by entity ID) spread over K engines advanced in
+	// lockstep by Federation.RunFor; everything scheduled on f.Engine
+	// stays on the anchor shard.
+	Shards int
 }
 
 // New builds the full federation. With Scale=1 this is the paper-scale
@@ -118,8 +132,9 @@ func New(opt Options) (*Federation, error) {
 	if opt.Scale < 1 {
 		opt.Scale = 1
 	}
-	e := sim.NewEngine(opt.Seed)
-	f := &Federation{Engine: e}
+	set := sim.NewShardSet(opt.Seed, opt.Shards)
+	e := set.Anchor()
+	f := &Federation{Engine: e, Set: set}
 
 	// --- network: Figure 3's four data centers ---
 	f.Network = simnet.BuildOSDCTopology(e, simnet.DefaultWAN())
@@ -129,6 +144,10 @@ func New(opt Options) (*Federation, error) {
 	// servers. Split 2 racks Adler / 2 racks Sullivan.
 	f.Adler = BuildCloud(e, ClusterAdler, opt.Scale)
 	f.Sullivan = BuildCloud(e, ClusterSullivan, opt.Scale)
+	if set.K() > 1 {
+		f.Adler.SetShards(set)
+		f.Sullivan.SetShards(set)
+	}
 	f.AdlerAPI = cloudapi.NewLocal(f.Adler)
 	f.SullivanAPI = cloudapi.NewLocal(f.Sullivan)
 
@@ -210,6 +229,17 @@ func New(opt Options) (*Federation, error) {
 	return f, nil
 }
 
+// EngineFor returns the shard engine owning key (an instance ID, flow ID,
+// or any stable entity key). With the default single-shard kernel this is
+// always the console engine.
+func (f *Federation) EngineFor(key string) *sim.Engine { return f.Set.Shard(key) }
+
+// RunFor advances the whole kernel — every shard — by d virtual seconds
+// in lockstep. Scenarios running a sharded federation must use this (or
+// f.Set.RunUntil) instead of f.Engine.RunFor, which would advance only
+// the anchor shard. With Shards=1 the two are identical.
+func (f *Federation) RunFor(d sim.Duration) sim.Time { return f.Set.RunFor(d) }
+
 // BuildCloud constructs one of the federation's utility clouds — racks,
 // images, stack dialect per Table 2 — standalone on the given engine. It is
 // the per-site building block: core.New uses it for the single-process
@@ -268,6 +298,11 @@ type RemoteSiteOptions struct {
 	// OperatorSecret gates operator-plane writes on every site server;
 	// the Remotes built here carry it.
 	OperatorSecret string
+	// Shards is each site's kernel shard count (<= 1 means a single
+	// engine per site, the historic behavior). With K > 1 every site gets
+	// a ShardSet whose anchor carries the site's offset seed, so K=1
+	// remains bit-identical.
+	Shards int
 }
 
 // StartRemoteSites converts the federation to the per-site topology with
@@ -294,8 +329,12 @@ func (f *Federation) StartRemoteSitesWithOptions(opt RemoteSiteOptions) ([]*clou
 	var remotes []cloudapi.CloudAPI
 	var syncTargets []cloudapi.ClockSyncTarget
 	for i, name := range names {
-		e := sim.NewEngine(opt.Seed + uint64(i+1)*1000)
+		set := sim.NewShardSet(opt.Seed+uint64(i+1)*1000, opt.Shards)
+		e := set.Anchor()
 		siteOpts := cloudapi.SiteOptions{Clock: opt.Clock, Speedup: opt.Speedup, OperatorSecret: opt.OperatorSecret}
+		if set.K() > 1 {
+			siteOpts.Set = set
+		}
 		if opt.Datasets {
 			vol, err := BuildDatasetVolume(e, name)
 			if err != nil {

@@ -164,3 +164,61 @@ func TestUsageMonitorPublishes(t *testing.T) {
 		}
 	}
 }
+
+func TestDefaultKernelIsSingleShard(t *testing.T) {
+	f := newFed(t)
+	if f.Set.K() != 1 {
+		t.Fatalf("default shard count = %d, want 1", f.Set.K())
+	}
+	if f.Set.Anchor() != f.Engine {
+		t.Fatal("console engine is not the kernel anchor")
+	}
+	if f.EngineFor("anything") != f.Engine {
+		t.Fatal("K=1 EngineFor routed off the anchor")
+	}
+}
+
+// TestShardedFederationBootsInstances builds a K=4 federation, launches
+// across several users, and advances the whole kernel: every boot timer
+// lands on the shard owning its instance ID, so the instances only reach
+// ACTIVE if RunFor advanced all shards in lockstep.
+func TestShardedFederationBootsInstances(t *testing.T) {
+	f, err := New(Options{Seed: 7, Scale: 8, Shards: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Set.K() != 4 {
+		t.Fatalf("shard count = %d, want 4", f.Set.K())
+	}
+	users := []string{"ann", "ben", "cam", "deb", "eve", "fox"}
+	var ids []string
+	for _, u := range users {
+		inst, err := f.Adler.Launch(u, "vm", "m1.small", "")
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, inst.ID)
+	}
+	// The IDs must spread over more than one shard for this to exercise
+	// cross-shard advance.
+	shardsUsed := map[int]bool{}
+	for _, id := range ids {
+		shardsUsed[f.Set.ShardIndex(id)] = true
+	}
+	if len(shardsUsed) < 2 {
+		t.Fatalf("all %d instances hashed to one shard — keying broken?", len(ids))
+	}
+	f.RunFor(2 * sim.Minute)
+	for _, id := range ids {
+		inst, ok := f.Adler.Instance(id)
+		if !ok {
+			t.Fatalf("instance %s vanished", id)
+		}
+		if inst.State != "ACTIVE" {
+			t.Fatalf("instance %s state %s after boot window, want ACTIVE", id, inst.State)
+		}
+	}
+	if f.Set.Skew() != 0 {
+		t.Fatalf("cross-shard skew %v after lockstep advance, want 0", f.Set.Skew())
+	}
+}

@@ -29,6 +29,30 @@ type API interface {
 	Put(r Replica) error
 	// Delete drops a replica; errors.Is(err, ErrNoReplica) when absent.
 	Delete(dataset string) error
+	// ListSince returns everything that changed after revision since — the
+	// pagination form of List: a fresh client passes 0 for a Reset
+	// snapshot, then feeds each response's Rev back and receives only the
+	// churn in between. See Delta.
+	ListSince(since int64) (Delta, error)
+}
+
+// Delta is ListSince's result: the store's state relative to a revision
+// the caller already holds.
+type Delta struct {
+	// Rev is the store's current revision — what the caller passes to its
+	// next ListSince.
+	Rev int64 `json:"rev,omitempty"`
+	// Changed holds every replica put after the caller's revision, sorted
+	// by dataset name.
+	Changed []Replica `json:"changed,omitempty"`
+	// Removed holds every dataset deleted after the caller's revision,
+	// sorted by name.
+	Removed []string `json:"removed,omitempty"`
+	// Reset reports that Changed is a full snapshot and anything the
+	// caller carried forward must be discarded: returned for since <= 0 (a
+	// fresh client) and for since ahead of the store's revision (the store
+	// restarted under the client).
+	Reset bool `json:"reset,omitempty"`
 }
 
 // *Store implements API directly.

@@ -129,6 +129,10 @@ type Coordinator struct {
 	// (carried forward through the observeGrace window), keyed site →
 	// dataset; Stage reads it before falling back to Gets.
 	lastSeen map[string]map[string]Replica
+	// knownRev is the store revision each site's lastSeen entry reflects:
+	// what the next round's ListSince passes, so observation reads only
+	// the churn since the last answer instead of the full inventory.
+	knownRev map[string]int64
 	// missed counts a site's consecutive failed observations.
 	missed map[string]int
 	// pinned marks deliberate placements (dataset + "→" + site, the
@@ -169,6 +173,7 @@ func NewCoordinator(e *sim.Engine, nw *simnet.Network, cat *datasets.Catalog, op
 		siteStats:    make(map[string]*SiteStats),
 		linkStats:    make(map[string]*LinkStats),
 		lastSeen:     make(map[string]map[string]Replica),
+		knownRev:     make(map[string]int64),
 		missed:       make(map[string]int),
 		pinned:       make(map[string]bool),
 		stop:         make(chan struct{}),
@@ -248,23 +253,35 @@ func (c *Coordinator) controller(path transport.Path) transport.Controller {
 // verification) this round; planned == 0 with InFlight() == 0 means the
 // placement has converged.
 func (c *Coordinator) Round() (planned, arrived int) {
+	now := c.engine.Now()
+	arrived = c.completeArrived(now)
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.stats.Rounds++
-	now := c.engine.Now()
-	arrived = c.completeArrivedLocked(now)
 
-	// Read every site's inventory through the bounded pool. Index i maps
-	// results to sites, so the fan-out stays deterministic.
+	// Observe every site through the bounded pool, as deltas: each task
+	// passes the revision the coordinator's view already reflects and
+	// reads only the churn since. A plane that cannot serve the delta
+	// route falls back to a full List (treated as a Reset snapshot).
+	// Index i maps results to sites, so the fan-out stays deterministic.
 	type listing struct {
-		reps []Replica
-		err  error
+		delta Delta
+		err   error
 	}
 	listings := make([]listing, len(c.sites))
 	tasks := make([]func(), len(c.sites))
 	for i, s := range c.sites {
 		i, s := i, s
-		tasks[i] = func() { listings[i].reps, listings[i].err = s.List() }
+		since := c.knownRev[s.Name()]
+		tasks[i] = func() {
+			listings[i].delta, listings[i].err = s.ListSince(since)
+			if listings[i].err == nil {
+				return
+			}
+			if reps, err := s.List(); err == nil {
+				listings[i].delta, listings[i].err = Delta{Changed: reps, Reset: true}, nil
+			}
+		}
 	}
 	completed := fanout.Each(c.workers, c.siteDeadline, tasks)
 
@@ -294,15 +311,33 @@ func (c *Coordinator) Round() (planned, arrived int) {
 		}
 		c.missed[name] = 0
 		reachable = append(reachable, s)
-		seen := make(map[string]Replica, len(listings[i].reps))
-		for _, r := range listings[i].reps {
-			confirmedBy[r.Dataset] = append(confirmedBy[r.Dataset], name)
-			countedBy[r.Dataset]++
-			bytesBy[name] += r.SizeBytes
+		// Materialize the site's inventory: from scratch on a Reset
+		// snapshot, else the carried view patched with the delta.
+		d := listings[i].delta
+		var seen map[string]Replica
+		if d.Reset {
+			seen = make(map[string]Replica, len(d.Changed))
+		} else {
+			prev := c.lastSeen[name]
+			seen = make(map[string]Replica, len(prev)+len(d.Changed))
+			for ds, r := range prev {
+				seen[ds] = r
+			}
+		}
+		for _, r := range d.Changed {
 			seen[r.Dataset] = r
 		}
+		for _, ds := range d.Removed {
+			delete(seen, ds)
+		}
+		c.knownRev[name] = d.Rev
+		for ds, r := range seen {
+			confirmedBy[ds] = append(confirmedBy[ds], name)
+			countedBy[ds]++
+			bytesBy[name] += r.SizeBytes
+		}
 		newSeen[name] = seen
-		c.siteStats[name].Replicas = len(listings[i].reps)
+		c.siteStats[name].Replicas = len(seen)
 		c.siteStats[name].Bytes = bytesBy[name]
 	}
 	c.lastSeen = newSeen
@@ -478,9 +513,20 @@ func (c *Coordinator) priceLocked(now sim.Time, plans []*Transfer) {
 	}
 }
 
-// completeArrivedLocked installs every transfer whose flow has arrived by
+// completeArrived installs every transfer whose flow has arrived by
 // virtual time now, verifying checksums first. Returns how many arrived.
-func (c *Coordinator) completeArrivedLocked(now sim.Time) int {
+//
+// The remote side effects — Puts at destinations, a corrupt source's
+// Delete — run through the bounded fan-out pool with c.mu RELEASED: a slow
+// destination plane must not pin the coordinator lock (and with it every
+// console data-plane route: Stage, Poll, Placement) for the length of an
+// HTTP round trip. Due transfers leave inflight before the lock drops, so
+// a concurrent Round cannot install them twice; a Put abandoned at its
+// deadline is counted as a site error and may still land later, which the
+// next round's delta observation reconciles (and the drain trims if it
+// over-replicates).
+func (c *Coordinator) completeArrived(now sim.Time) int {
+	c.mu.Lock()
 	var due []*Transfer
 	for _, t := range c.inflight {
 		if t.ArriveAt <= now {
@@ -496,42 +542,80 @@ func (c *Coordinator) completeArrivedLocked(now sim.Time) int {
 		}
 		return due[i].To < due[j].To
 	})
-	for _, t := range due {
+	// jobs[i].err is written by the pool and read back only when
+	// completed[i] — the fanout package's happens-before discipline.
+	type job struct {
+		t       *Transfer
+		corrupt bool
+		src     API // corrupt: holder of the bad copy to drop
+		dst     API // healthy: destination to install at
+		err     error
+	}
+	jobs := make([]job, len(due))
+	for i, t := range due {
 		delete(c.inflight, t.Dataset+"→"+t.To)
+		j := job{t: t, corrupt: t.Checksum != Fingerprint(t.Dataset, t.Version)}
+		if j.corrupt {
+			// The flow delivered what the source held — a corrupt copy.
+			// Do not install it; drop the source's bad replica so the
+			// next round repairs from a healthy holder.
+			j.src, _ = c.siteByName(t.From)
+		} else {
+			j.dst, _ = c.siteByName(t.To)
+		}
+		jobs[i] = j
+	}
+	workers, deadline := c.workers, c.siteDeadline
+	c.mu.Unlock()
+
+	tasks := make([]func(), len(jobs))
+	for i := range jobs {
+		i := i
+		switch {
+		case jobs[i].corrupt && jobs[i].src != nil:
+			tasks[i] = func() { _ = jobs[i].src.Delete(jobs[i].t.Dataset) }
+		case !jobs[i].corrupt && jobs[i].dst != nil:
+			tasks[i] = func() {
+				t := jobs[i].t
+				jobs[i].err = jobs[i].dst.Put(Replica{
+					Dataset: t.Dataset, SizeBytes: t.Bytes,
+					Checksum: t.Checksum, Version: t.Version,
+				})
+			}
+		default:
+			tasks[i] = func() {}
+		}
+	}
+	completed := fanout.Each(workers, deadline, tasks)
+
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for i := range jobs {
+		t := jobs[i].t
 		link := c.linkStat(t.Link)
 		link.Flows++
 		link.Bytes += t.Bytes
 		link.Retransmits += t.Retransmit
 		c.stats.BytesMoved += t.Bytes
 		c.stats.Retransmits += t.Retransmit
-		if t.Checksum != Fingerprint(t.Dataset, t.Version) {
-			// The flow delivered what the source held — a corrupt copy.
-			// Do not install it; drop the source's bad replica so the
-			// next round repairs from a healthy holder.
+		switch {
+		case jobs[i].corrupt:
 			c.stats.FailedVerifies++
 			if st, ok := c.siteStats[t.To]; ok {
 				st.FailedVerifies++
 			}
-			if src, ok := c.siteByName(t.From); ok {
-				_ = src.Delete(t.Dataset)
-			}
-			continue
-		}
-		dst, ok := c.siteByName(t.To)
-		if !ok {
+		case jobs[i].dst == nil:
 			c.stats.Aborted++
-			continue
-		}
-		if err := dst.Put(Replica{Dataset: t.Dataset, SizeBytes: t.Bytes, Checksum: t.Checksum, Version: t.Version}); err != nil {
+		case !completed[i] || jobs[i].err != nil:
 			if st, ok := c.siteStats[t.To]; ok {
 				st.Errors++
 			}
-			continue
+		default:
+			if st, ok := c.siteStats[t.To]; ok {
+				st.PutBytes += t.Bytes
+			}
+			c.stats.Transfers++
 		}
-		if st, ok := c.siteStats[t.To]; ok {
-			st.PutBytes += t.Bytes
-		}
-		c.stats.Transfers++
 	}
 	return len(due)
 }
@@ -566,6 +650,7 @@ func (c *Coordinator) Detach(name string) {
 		}
 	}
 	delete(c.lastSeen, name)
+	delete(c.knownRev, name)
 	delete(c.missed, name)
 	for key := range c.pinned {
 		if strings.HasSuffix(key, "→"+name) {
@@ -611,10 +696,10 @@ type StageStatus struct {
 // returned ETA is in virtual seconds; the replica installs when the
 // engine's clock passes it (a Round or Poll observes the arrival).
 func (c *Coordinator) Stage(dataset, site string) (StageStatus, error) {
+	now := c.engine.Now()
+	c.completeArrived(now)
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	now := c.engine.Now()
-	c.completeArrivedLocked(now)
 
 	dst, ok := c.siteByName(site)
 	if !ok {
@@ -697,9 +782,7 @@ func (c *Coordinator) Stage(dataset, site string) (StageStatus, error) {
 // running a full planning round — what console reads call before
 // reporting placement. Returns how many arrived.
 func (c *Coordinator) Poll() int {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.completeArrivedLocked(c.engine.Now())
+	return c.completeArrived(c.engine.Now())
 }
 
 // PlacementRow is one dataset's placement as the console reports it.
@@ -713,9 +796,9 @@ type PlacementRow struct {
 // Placement reports, per catalog dataset, which sites held a replica at
 // the newest round plus the in-flight transfer count, sorted by dataset.
 func (c *Coordinator) Placement() []PlacementRow {
+	c.completeArrived(c.engine.Now())
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	c.completeArrivedLocked(c.engine.Now())
 	rows := make([]PlacementRow, 0)
 	for _, d := range c.catalog.All() {
 		row := PlacementRow{Dataset: d.Name, Target: c.targetFor(d.Name)}

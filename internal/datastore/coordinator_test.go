@@ -3,7 +3,9 @@ package datastore
 import (
 	"errors"
 	"reflect"
+	"sync"
 	"testing"
+	"time"
 
 	"osdc/internal/ark"
 	"osdc/internal/datasets"
@@ -257,8 +259,17 @@ type flakyAPI struct {
 	failCalls map[int]bool // 1-based List call numbers that error
 }
 
-func (f *flakyAPI) List() ([]Replica, error) {
+func (f *flakyAPI) ListSince(since int64) (Delta, error) {
 	f.calls++
+	if f.failCalls[f.calls] {
+		return Delta{}, errors.New("transient observe failure")
+	}
+	return f.Store.ListSince(since)
+}
+
+// List fails alongside the same programmed observation, so the
+// coordinator's full-listing fallback sees the site down too.
+func (f *flakyAPI) List() ([]Replica, error) {
 	if f.failCalls[f.calls] {
 		return nil, errors.New("transient observe failure")
 	}
@@ -369,6 +380,9 @@ func (u unreachableAPI) List() ([]Replica, error)    { return nil, errors.New("u
 func (u unreachableAPI) Get(string) (Replica, error) { return Replica{}, errors.New("unreachable") }
 func (u unreachableAPI) Put(Replica) error           { return errors.New("unreachable") }
 func (u unreachableAPI) Delete(string) error         { return errors.New("unreachable") }
+func (u unreachableAPI) ListSince(int64) (Delta, error) {
+	return Delta{}, errors.New("unreachable")
+}
 
 func TestCoordinatorCountsUnreachableSites(t *testing.T) {
 	rig := newCoordRig(t, 15)
@@ -421,5 +435,119 @@ func TestCoordinatorDeterministic(t *testing.T) {
 		if len(row.Sites) != 3 {
 			t.Errorf("%s placed on %v, want all three sites", row.Dataset, row.Sites)
 		}
+	}
+}
+
+// deltaSpy wraps a store and records every since value the coordinator's
+// observation passes, plus any full-List fallbacks.
+type deltaSpy struct {
+	*Store
+	mu        sync.Mutex
+	sinces    []int64
+	fullLists int
+}
+
+func (d *deltaSpy) ListSince(since int64) (Delta, error) {
+	d.mu.Lock()
+	d.sinces = append(d.sinces, since)
+	d.mu.Unlock()
+	return d.Store.ListSince(since)
+}
+
+func (d *deltaSpy) List() ([]Replica, error) {
+	d.mu.Lock()
+	d.fullLists++
+	d.mu.Unlock()
+	return d.Store.List()
+}
+
+// TestCoordinatorObservesViaDeltas: after the first round's snapshot, the
+// coordinator's observation passes each site's last revision back — rounds
+// read churn, not inventories — and converges to the same placement.
+func TestCoordinatorObservesViaDeltas(t *testing.T) {
+	rig := newCoordRig(t, 23)
+	// Spy on the master site: it holds replicas from the first round, so
+	// every observation after the snapshot must carry a nonzero revision.
+	spy := &deltaSpy{Store: rig.a}
+	c := NewCoordinator(rig.e, rig.nw, rig.cat, Options{Factor: 2, Seed: 23}, spy, rig.b, rig.c)
+	converge(t, rig.e, c)
+
+	for _, d := range rig.cat.All() {
+		if got := rig.replicaCount(d.Name); got != 2 {
+			t.Errorf("%s at %d replicas after delta-driven convergence, want 2", d.Name, got)
+		}
+	}
+	spy.mu.Lock()
+	defer spy.mu.Unlock()
+	if len(spy.sinces) < 2 {
+		t.Fatalf("observation called ListSince %d times", len(spy.sinces))
+	}
+	if spy.sinces[0] != 0 {
+		t.Fatalf("first observation passed since=%d, want 0", spy.sinces[0])
+	}
+	for i, since := range spy.sinces[1:] {
+		if since <= 0 {
+			t.Fatalf("round %d re-read the full inventory (since=%d) despite an answered prior round", i+2, since)
+		}
+	}
+	if spy.fullLists != 0 {
+		t.Fatalf("observation fell back to full List %d times with a healthy delta route", spy.fullLists)
+	}
+}
+
+// blockingAPI wraps a store with a Put that parks until released — a
+// destination plane mid-HTTP-round-trip.
+type blockingAPI struct {
+	*Store
+	entered chan struct{} // closed when the first Put starts
+	release chan struct{} // Put returns when this closes
+	once    sync.Once
+}
+
+func (b *blockingAPI) Put(r Replica) error {
+	b.once.Do(func() { close(b.entered) })
+	<-b.release
+	return b.Store.Put(r)
+}
+
+// TestArrivalInstallDoesNotHoldCoordinatorLock is the lock-hazard
+// regression test: while a destination's Put is in flight, every other
+// coordinator surface (InFlight, NextArrival, Placement, Stats) must stay
+// responsive — the remote install runs outside c.mu.
+func TestArrivalInstallDoesNotHoldCoordinatorLock(t *testing.T) {
+	rig := newCoordRig(t, 29)
+	slow := &blockingAPI{Store: rig.b, entered: make(chan struct{}), release: make(chan struct{})}
+	c := NewCoordinator(rig.e, rig.nw, rig.cat, Options{Factor: 2, Seed: 29}, rig.a, slow, rig.c)
+
+	// Plan the first transfers, then advance past every arrival so the
+	// next Poll has installs to do.
+	c.Round()
+	at, ok := c.NextArrival()
+	if !ok {
+		t.Fatal("round planned no transfers")
+	}
+	rig.e.RunUntil(at + sim.Time(sim.Hour))
+
+	polled := make(chan int)
+	go func() { polled <- c.Poll() }()
+	<-slow.entered // an install is now parked inside the slow Put
+
+	// The coordinator lock must be free while the Put blocks.
+	responsive := make(chan struct{})
+	go func() {
+		c.InFlight()
+		c.NextArrival()
+		c.Stats()
+		close(responsive)
+	}()
+	select {
+	case <-responsive:
+	case <-time.After(5 * time.Second):
+		t.Fatal("coordinator surfaces blocked behind an in-flight destination Put")
+	}
+
+	close(slow.release)
+	if n := <-polled; n == 0 {
+		t.Fatal("Poll completed no arrivals")
 	}
 }

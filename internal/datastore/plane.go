@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"errors"
 	"net/http"
+	"strconv"
 )
 
 // The /cloudapi/datasets wire protocol. The server side lives here (and is
@@ -11,6 +12,7 @@ import (
 // wire forms and the Remote client stay in one package:
 //
 //	GET    /cloudapi/datasets                  → 200 listResponse
+//	GET    /cloudapi/datasets?since=R          → 200 deltaResponse | 400 bad since
 //	GET    /cloudapi/datasets/replica?dataset= → 200 Replica | 404
 //	POST   /cloudapi/datasets/replica (Replica)→ 204 | 400 invalid | 507 volume full
 //	DELETE /cloudapi/datasets/replica?dataset= → 204 | 404
@@ -25,6 +27,14 @@ type listResponse struct {
 	Site     string    `json:"site"`
 	Loc      string    `json:"loc"`
 	Replicas []Replica `json:"replicas"`
+}
+
+// deltaResponse is the GET /cloudapi/datasets?since=R wire form: the
+// store's Delta plus the plane's self-description.
+type deltaResponse struct {
+	Site string `json:"site"`
+	Loc  string `json:"loc"`
+	Delta
 }
 
 func planeJSON(w http.ResponseWriter, code int, v interface{}) {
@@ -42,6 +52,20 @@ func planeError(w http.ResponseWriter, code int, msg string) {
 func ServePlane(api API, w http.ResponseWriter, r *http.Request) {
 	switch {
 	case r.URL.Path == "/cloudapi/datasets" && r.Method == http.MethodGet:
+		if raw := r.URL.Query().Get("since"); raw != "" {
+			since, err := strconv.ParseInt(raw, 10, 64)
+			if err != nil {
+				planeError(w, http.StatusBadRequest, "datastore: bad since "+strconv.Quote(raw))
+				return
+			}
+			d, err := api.ListSince(since)
+			if err != nil {
+				planeError(w, http.StatusBadGateway, err.Error())
+				return
+			}
+			planeJSON(w, http.StatusOK, deltaResponse{Site: api.Name(), Loc: api.Loc(), Delta: d})
+			return
+		}
 		reps, err := api.List()
 		if err != nil {
 			planeError(w, http.StatusBadGateway, err.Error())

@@ -128,6 +128,25 @@ func (r *Remote) List() ([]Replica, error) {
 	return list.Replicas, nil
 }
 
+// ListSince implements API: the ?since= form of the datasets route. The
+// server evaluates the delta against the Local semantics, so both backends
+// return identical Deltas for identical stores.
+func (r *Remote) ListSince(since int64) (Delta, error) {
+	resp, err := r.do(http.MethodGet, fmt.Sprintf("/cloudapi/datasets?since=%d", since), nil)
+	if err != nil {
+		return Delta{}, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return Delta{}, decodeError(resp, nil)
+	}
+	var d deltaResponse
+	if err := json.NewDecoder(resp.Body).Decode(&d); err != nil {
+		return Delta{}, err
+	}
+	return d.Delta, nil
+}
+
 // Get implements API.
 func (r *Remote) Get(dataset string) (Replica, error) {
 	resp, err := r.do(http.MethodGet, "/cloudapi/datasets/replica?dataset="+url.QueryEscape(dataset), nil)

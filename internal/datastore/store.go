@@ -67,6 +67,12 @@ type Store struct {
 
 	mu       sync.RWMutex
 	replicas map[string]Replica
+	// rev bumps on every Put/Adopt/Delete; revs and graves remember the
+	// revision each dataset last changed or died at, which is what
+	// ListSince serves deltas from.
+	rev    int64
+	revs   map[string]int64
+	graves map[string]int64
 
 	puts, deletes int64
 }
@@ -74,7 +80,11 @@ type Store struct {
 // NewStore builds a store for the named federation site, located at the
 // simnet site loc, accounting bytes on vol.
 func NewStore(name, loc string, vol *dfs.Volume) *Store {
-	return &Store{name: name, loc: loc, vol: vol, replicas: make(map[string]Replica)}
+	return &Store{name: name, loc: loc, vol: vol,
+		replicas: make(map[string]Replica),
+		revs:     make(map[string]int64),
+		graves:   make(map[string]int64),
+	}
 }
 
 // Name returns the federation site name.
@@ -116,8 +126,16 @@ func (s *Store) Put(r Replica) error {
 		return fmt.Errorf("datastore: %s storing %s: %w", s.name, r.Dataset, err)
 	}
 	s.replicas[r.Dataset] = r
+	s.bumpLocked(r.Dataset)
 	s.puts++
 	return nil
+}
+
+// bumpLocked records a live change to dataset under s.mu.
+func (s *Store) bumpLocked(dataset string) {
+	s.rev++
+	s.revs[dataset] = s.rev
+	delete(s.graves, dataset)
 }
 
 // Adopt registers a replica whose bytes already live on this site's volume
@@ -133,6 +151,7 @@ func (s *Store) Adopt(r Replica) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.replicas[r.Dataset] = r
+	s.bumpLocked(r.Dataset)
 	return nil
 }
 
@@ -170,8 +189,53 @@ func (s *Store) Delete(dataset string) error {
 	// path; volume misses are fine, the inventory entry still goes.
 	_ = s.vol.Delete(replicaPath(dataset))
 	delete(s.replicas, dataset)
+	s.rev++
+	s.graves[dataset] = s.rev
+	delete(s.revs, dataset)
 	s.deletes++
 	return nil
+}
+
+// Rev returns the store's current revision — what ListSince hands back so
+// the next call sees only newer changes.
+func (s *Store) Rev() int64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.rev
+}
+
+// ListSince returns everything that changed after revision since. A fresh
+// client passes 0 and gets a Reset snapshot; afterwards it passes the Rev
+// from each response and receives only the replicas put and the datasets
+// deleted in between — the coordinator's per-round observation shrinks
+// from O(inventory) to O(churn). A since ahead of the store's revision
+// (the store restarted, or the client followed a different store) also
+// resets.
+func (s *Store) ListSince(since int64) (Delta, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	d := Delta{Rev: s.rev}
+	if since <= 0 || since > s.rev {
+		d.Reset = true
+		for _, r := range s.replicas {
+			d.Changed = append(d.Changed, r)
+		}
+		sort.Slice(d.Changed, func(i, j int) bool { return d.Changed[i].Dataset < d.Changed[j].Dataset })
+		return d, nil
+	}
+	for ds, rev := range s.revs {
+		if rev > since {
+			d.Changed = append(d.Changed, s.replicas[ds])
+		}
+	}
+	sort.Slice(d.Changed, func(i, j int) bool { return d.Changed[i].Dataset < d.Changed[j].Dataset })
+	for ds, rev := range s.graves {
+		if rev > since {
+			d.Removed = append(d.Removed, ds)
+		}
+	}
+	sort.Strings(d.Removed)
+	return d, nil
 }
 
 // TotalBytes sums the stored replica sizes.

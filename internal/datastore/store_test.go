@@ -187,3 +187,106 @@ func TestFingerprintDistinguishesVersions(t *testing.T) {
 		t.Fatalf("fingerprints not distinct: %q %q", a, b)
 	}
 }
+
+// TestListSinceDeltas walks the delta protocol through a put/delete
+// history: a fresh client resets, incremental calls see exactly the churn,
+// and a client ahead of the store resets again.
+func TestListSinceDeltas(t *testing.T) {
+	e := sim.NewEngine(4)
+	s := testStore(t, e, "delta", 1<<40)
+
+	// Empty store, fresh client: an empty Reset snapshot at revision 0.
+	d, err := s.ListSince(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !d.Reset || d.Rev != 0 || len(d.Changed) != 0 || len(d.Removed) != 0 {
+		t.Fatalf("ListSince(0) on empty store = %+v", d)
+	}
+
+	for _, name := range []string{"B Set", "A Set", "C Set"} {
+		if err := s.Put(Replica{Dataset: name, SizeBytes: 1 << 30, Version: 1}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	d, err = s.ListSince(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !d.Reset || d.Rev != 3 || len(d.Changed) != 3 {
+		t.Fatalf("snapshot after 3 puts = %+v", d)
+	}
+	if d.Changed[0].Dataset != "A Set" || d.Changed[2].Dataset != "C Set" {
+		t.Fatalf("snapshot not sorted by dataset: %+v", d.Changed)
+	}
+
+	// Churn: one replace, one delete. The delta from rev 3 holds exactly
+	// those two, nothing else.
+	if err := s.Put(Replica{Dataset: "B Set", SizeBytes: 2 << 30, Version: 2}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Delete("C Set"); err != nil {
+		t.Fatal(err)
+	}
+	d, err = s.ListSince(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Reset || d.Rev != 5 {
+		t.Fatalf("delta after churn = %+v", d)
+	}
+	if len(d.Changed) != 1 || d.Changed[0].Dataset != "B Set" || d.Changed[0].Version != 2 {
+		t.Fatalf("Changed = %+v, want the replaced B Set v2", d.Changed)
+	}
+	if len(d.Removed) != 1 || d.Removed[0] != "C Set" {
+		t.Fatalf("Removed = %+v, want [C Set]", d.Removed)
+	}
+
+	// Caught up: an empty delta.
+	d, err = s.ListSince(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Reset || d.Rev != 5 || len(d.Changed) != 0 || len(d.Removed) != 0 {
+		t.Fatalf("caught-up delta = %+v", d)
+	}
+
+	// A re-put of a deleted dataset clears its grave: the delta reports it
+	// changed, not removed.
+	if err := s.Put(Replica{Dataset: "C Set", SizeBytes: 1 << 30, Version: 3}); err != nil {
+		t.Fatal(err)
+	}
+	d, err = s.ListSince(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Changed) != 1 || d.Changed[0].Dataset != "C Set" || len(d.Removed) != 0 {
+		t.Fatalf("delta after re-put = %+v", d)
+	}
+
+	// A client from the future (store restarted under it) resets.
+	d, err = s.ListSince(999)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !d.Reset || d.Rev != s.Rev() || len(d.Changed) != 3 {
+		t.Fatalf("ahead-of-store delta = %+v", d)
+	}
+}
+
+// TestListSinceTracksAdopt: adopted replicas (master copies) appear in
+// deltas like put ones — the coordinator observes them the same way.
+func TestListSinceTracksAdopt(t *testing.T) {
+	e := sim.NewEngine(5)
+	s := testStore(t, e, "adopt", 1<<40)
+	if err := s.Adopt(Replica{Dataset: "Master Set", SizeBytes: 4 << 30, Version: 1}); err != nil {
+		t.Fatal(err)
+	}
+	d, err := s.ListSince(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Rev != 1 || len(d.Changed) != 1 || d.Changed[0].Dataset != "Master Set" {
+		t.Fatalf("delta after Adopt = %+v", d)
+	}
+}

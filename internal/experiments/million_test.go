@@ -1,0 +1,112 @@
+package experiments
+
+import (
+	"reflect"
+	"sync"
+	"testing"
+
+	"osdc/internal/scenario"
+)
+
+// millionSmall is a reduced shape for tests that run the scenario several
+// times; the full default shape is pinned by the osdc-bench golden.
+var millionSmall = map[string]float64{"entities": 20000, "shards": 4, "hours": 0.25}
+
+func TestMillionEntityDeterministic(t *testing.T) {
+	a, err := MillionEntity(21, millionSmall)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := MillionEntity(21, millionSmall)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("same seed diverged:\n%+v\nvs\n%+v", a.Metrics, b.Metrics)
+	}
+	// Structural invariants: every entity holds exactly one pending timer
+	// at all times, and every kernel event is a heartbeat or a transfer.
+	if a.Metrics["entities"] != 20000 || a.Metrics["shards"] != 4 {
+		t.Fatalf("population wrong: %v", a.Metrics)
+	}
+	if a.Metrics["pending-final"] != a.Metrics["entities"] {
+		t.Fatalf("pending-final = %v, want %v (one live timer per entity)",
+			a.Metrics["pending-final"], a.Metrics["entities"])
+	}
+	if got := a.Metrics["heartbeats"] + a.Metrics["transfers"]; got != a.Metrics["events-fired"] {
+		t.Fatalf("heartbeats+transfers = %v, events-fired = %v", got, a.Metrics["events-fired"])
+	}
+	if a.Metrics["heartbeats"] == 0 || a.Metrics["transfers"] == 0 || a.Metrics["science-TB"] <= 0 {
+		t.Fatalf("workload did not run: %v", a.Metrics)
+	}
+	if a.Metrics["skew-final-sec"] != 0 {
+		t.Fatalf("final skew %v, want 0", a.Metrics["skew-final-sec"])
+	}
+}
+
+// TestMillionEntityConcurrentRunsBitIdentical runs the same seed from
+// several goroutines at once — the -parallel sweep shape — and requires
+// every result bit-identical: parallel shard advance in one run must not
+// leak into another.
+func TestMillionEntityConcurrentRunsBitIdentical(t *testing.T) {
+	const n = 3
+	results := make([]scenario.Result, n)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results[i], errs[i] = MillionEntity(7, millionSmall)
+		}(i)
+	}
+	wg.Wait()
+	for i := 0; i < n; i++ {
+		if errs[i] != nil {
+			t.Fatal(errs[i])
+		}
+		if !reflect.DeepEqual(results[i], results[0]) {
+			t.Fatalf("concurrent run %d diverged:\n%+v\nvs\n%+v",
+				i, results[i].Metrics, results[0].Metrics)
+		}
+	}
+}
+
+// TestMillionEntityParallelSweepBitIdentical drives the registered
+// scenario through scenario.Sweep with a worker pool twice: the aggregate
+// metrics must not move between sweeps.
+func TestMillionEntityParallelSweepBitIdentical(t *testing.T) {
+	p, ok := scenario.Get("million-entity")
+	if !ok {
+		t.Fatal("million-entity not registered")
+	}
+	param, ok := p.(scenario.Parametric)
+	if !ok {
+		t.Fatal("million-entity is not parametric")
+	}
+	small, err := param.With(millionSmall)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seeds := scenario.Seeds(11, 3)
+	a, err := scenario.Sweep(small, seeds, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := scenario.Sweep(small, seeds, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("parallel sweeps diverged:\n%+v\nvs\n%+v", a.Metrics, b.Metrics)
+	}
+}
+
+func TestMillionEntityBadParams(t *testing.T) {
+	if _, err := MillionEntity(1, map[string]float64{"entities": 0, "shards": 8, "hours": 1}); err == nil {
+		t.Fatal("entities=0 accepted")
+	}
+	if _, err := MillionEntity(1, map[string]float64{"entities": 10, "shards": 8, "hours": 0}); err == nil {
+		t.Fatal("hours=0 accepted")
+	}
+}

@@ -198,6 +198,12 @@ func init() {
 	scenario.Register(scenario.New("console-knee", consoleKneeDesc, ConsoleKnee))
 	scenario.Register(scenario.New("rate-limit-sweep", rateLimitSweepDesc, RateLimitSweep))
 
+	// The sharded kernel's scale workload: defaults hit 10⁵ entities in a
+	// few wall seconds; -param entities=1000000 stays within minutes.
+	scenario.Register(scenario.NewParametric("million-entity", millionEntityDesc,
+		map[string]float64{"entities": 100000, "shards": 8, "hours": 1},
+		MillionEntity))
+
 	// The data plane: replication-factor × bandwidth convergence sweep,
 	// and the GRANDMA-style stage-then-compute campaign. Both run purely
 	// on virtual clocks, so every metric is seed-deterministic.

@@ -12,7 +12,7 @@ import (
 func TestAllExperimentsRegistered(t *testing.T) {
 	want := []string{"table1", "table2", "table3", "fig1", "fig2", "fig3",
 		"cost", "provision", "ciphers", "mixed-workload", "wan-contention",
-		"console-load", "console-load-remote", "console-knee"}
+		"console-load", "console-load-remote", "console-knee", "million-entity"}
 	have := map[string]bool{}
 	for _, n := range scenario.Names() {
 		have[n] = true

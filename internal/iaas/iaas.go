@@ -149,6 +149,7 @@ type Cloud struct {
 	Site    string
 	mu      sync.Mutex
 	engine  *sim.Engine
+	shards  *sim.ShardSet // nil: all timers on engine
 	hosts   []*Host
 	flavors map[string]Flavor
 	images  map[string]*Image
@@ -173,6 +174,25 @@ func NewCloud(e *sim.Engine, name, stack, site string) *Cloud {
 		c.flavors[f.Name] = f
 	}
 	return c
+}
+
+// SetShards routes per-instance timers (boot completion) onto the shard
+// owning each instance ID instead of the cloud's base engine — the
+// sharded-kernel wiring. The set's anchor must be the cloud's engine, so
+// a K=1 set reproduces the unsharded behavior exactly. Call during setup,
+// before traffic starts.
+func (c *Cloud) SetShards(set *sim.ShardSet) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.shards = set
+}
+
+// timerEngine returns the engine that owns key's timers. Callers hold c.mu.
+func (c *Cloud) timerEngine(key string) *sim.Engine {
+	if c.shards != nil {
+		return c.shards.Shard(key)
+	}
+	return c.engine
 }
 
 // AddHost attaches a hypervisor.
@@ -338,7 +358,9 @@ func (c *Cloud) Launch(user, name, flavorName, imageID string) (*Instance, error
 	// goroutine, so it must re-take the cloud lock; scheduling while we
 	// hold c.mu is fine because the engine never fires events under its
 	// own lock (Cloud→Engine is the only lock order between the two).
-	c.engine.After(90, func() {
+	// With a sharded kernel the timer lands on the shard owning this
+	// instance ID.
+	c.timerEngine(inst.ID).After(90, func() {
 		c.mu.Lock()
 		if inst.State == StateBuild {
 			inst.State = StateActive

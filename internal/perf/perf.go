@@ -1,0 +1,265 @@
+// Package perf runs the repo's tracked micro-benchmarks from ordinary
+// code — testing.Benchmark instead of `go test -bench` — so cmd/osdc-bench
+// can emit machine-readable perf snapshots (the BENCH_<pr>.json files the
+// ROADMAP's perf trajectory cites) from one CI step.
+//
+// The benchmark bodies mirror the _test.go benchmarks they are named
+// after (internal/sim/bench_test.go, internal/billing/bench_test.go);
+// those stay the canonical `go test -bench` surface, this package is the
+// snapshot surface. Keep the two in sync when a workload shape changes.
+package perf
+
+import (
+	"fmt"
+	"runtime"
+	"sync/atomic"
+	"testing"
+
+	"osdc/internal/billing"
+	"osdc/internal/scenario"
+	"osdc/internal/sim"
+)
+
+// Metric is one tracked benchmark's snapshot entry.
+type Metric struct {
+	// Name identifies the benchmark across snapshots (stable key).
+	Name string `json:"name"`
+	// NsPerOp / AllocsPerOp / BytesPerOp are the usual testing.B
+	// per-operation numbers; for scenario-derived entries (console-load
+	// p95) NsPerOp carries the metric and the alloc fields are zero.
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	// N is the iteration count the harness settled on (0 for scenario
+	// entries) — a sanity check that the run was long enough to trust.
+	N int `json:"n,omitempty"`
+	// Unit is "ns/op" for benchmarks and the metric's own unit for
+	// scenario entries ("ms" for the console p95).
+	Unit string `json:"unit"`
+}
+
+// Snapshot is the BENCH_<pr>.json wire form.
+type Snapshot struct {
+	// PR labels which stacked PR the snapshot belongs to (the <pr> in
+	// BENCH_<pr>.json).
+	PR      string   `json:"pr,omitempty"`
+	GOOS    string   `json:"goos"`
+	GOARCH  string   `json:"goarch"`
+	NumCPU  int      `json:"num_cpu"`
+	Metrics []Metric `json:"metrics"`
+}
+
+// Collect runs the whole tracked suite and returns the snapshot. The
+// console-load entry needs the scenario registry populated (import
+// osdc/internal/experiments for side effects, as cmd/osdc-bench does);
+// everything else is self-contained.
+func Collect(pr string) (Snapshot, error) {
+	snap := Snapshot{
+		PR:     pr,
+		GOOS:   runtime.GOOS,
+		GOARCH: runtime.GOARCH,
+		NumCPU: runtime.NumCPU(),
+	}
+	for _, tb := range []struct {
+		name string
+		body func(*testing.B)
+	}{
+		{"engine-churn", EngineChurn},
+		{"engine-churn-pooled", EngineChurnPooled},
+		{"sharded-churn", ShardedChurn},
+		{"same-tick-batch", SameTickBatch},
+		{"biller-parallel-accrual", BillerParallelAccrual},
+	} {
+		r := testing.Benchmark(tb.body)
+		snap.Metrics = append(snap.Metrics, Metric{
+			Name:        tb.name,
+			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+			AllocsPerOp: r.AllocsPerOp(),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+			N:           r.N,
+			Unit:        "ns/op",
+		})
+	}
+	p95, err := ConsoleLoadP95()
+	if err != nil {
+		return Snapshot{}, err
+	}
+	snap.Metrics = append(snap.Metrics, Metric{
+		Name:    "console-load-p95",
+		NsPerOp: p95,
+		Unit:    "ms",
+	})
+	return snap, nil
+}
+
+// EngineChurn is the self-rescheduling cancel-and-replace timer-pool
+// workload of BenchmarkEngineChurn: ns/op and allocs/op per fired event.
+func EngineChurn(b *testing.B) {
+	b.ReportAllocs()
+	e := sim.NewEngine(2012)
+	rng := sim.NewRNG(7)
+	const outstanding = 4096
+	handles := make([]sim.Handle, outstanding)
+	fired := 0
+	var schedule func(slot int) sim.Handle
+	schedule = func(slot int) sim.Handle {
+		return e.After(rng.Exp(1.0), func() {
+			fired++
+			if fired >= b.N {
+				e.Halt()
+				return
+			}
+			if victim := rng.Intn(outstanding); victim != slot {
+				handles[victim].Cancel()
+				handles[victim] = schedule(victim)
+			}
+			handles[slot] = schedule(slot)
+		})
+	}
+	b.ResetTimer()
+	for i := range handles {
+		handles[i] = schedule(i)
+	}
+	e.Run()
+}
+
+// EngineChurnPooled is the same churn rebuilt on pooled Timers
+// (BenchmarkEngineChurnPooled): every reschedule is a Timer.Reset
+// reusing the closure allocated at NewTimer.
+func EngineChurnPooled(b *testing.B) {
+	b.ReportAllocs()
+	e := sim.NewEngine(2012)
+	rng := sim.NewRNG(7)
+	const outstanding = 4096
+	timers := make([]*sim.Timer, outstanding)
+	fired := 0
+	for i := range timers {
+		slot := i
+		timers[slot] = sim.NewTimer(e, func() {
+			fired++
+			if fired >= b.N {
+				e.Halt()
+				return
+			}
+			if victim := rng.Intn(outstanding); victim != slot {
+				timers[victim].Reset(rng.Exp(1.0))
+			}
+			timers[slot].Reset(rng.Exp(1.0))
+		})
+	}
+	b.ResetTimer()
+	for i := range timers {
+		timers[i].Reset(rng.Exp(1.0))
+	}
+	e.Run()
+}
+
+// ShardedChurn spreads the pooled churn over an 8-shard ShardSet
+// advancing in lockstep RunUntil windows (BenchmarkShardedChurn).
+func ShardedChurn(b *testing.B) {
+	b.ReportAllocs()
+	const k = 8
+	const outstanding = 4096
+	set := sim.NewShardSet(2012, k)
+	perShard := outstanding / k
+	quota := b.N/k + 1
+	for si := 0; si < k; si++ {
+		e := set.ShardAt(si)
+		rng := sim.NewRNG(uint64(7 + si))
+		timers := make([]*sim.Timer, perShard)
+		fired := 0
+		for i := range timers {
+			slot := i
+			timers[slot] = sim.NewTimer(e, func() {
+				fired++
+				if fired >= quota {
+					e.Halt()
+					return
+				}
+				if victim := rng.Intn(perShard); victim != slot {
+					timers[victim].Reset(rng.Exp(1.0))
+				}
+				timers[slot].Reset(rng.Exp(1.0))
+			})
+		}
+		for i := range timers {
+			timers[i].Reset(rng.Exp(1.0))
+		}
+	}
+	b.ResetTimer()
+	for set.Fired() < uint64(b.N) {
+		set.RunFor(64)
+	}
+}
+
+// SameTickBatch dispatches synchronized-timer ticks — 1024 events per
+// timestamp — on a shared engine (BenchmarkSameTickBatch): the shape the
+// batched run loop drains with one lock round-trip per tick.
+func SameTickBatch(b *testing.B) {
+	b.ReportAllocs()
+	e := sim.NewEngine(2012)
+	e.Share()
+	fire := func() {}
+	const width = 1024
+	b.ResetTimer()
+	scheduled := 0
+	tick := sim.Time(0)
+	for scheduled < b.N {
+		tick++
+		n := width
+		if rest := b.N - scheduled; rest < n {
+			n = rest
+		}
+		for j := 0; j < n; j++ {
+			e.At(tick, fire)
+		}
+		scheduled += n
+		// Drain each tick before refilling so the heap stays at tick
+		// width and the measurement is dispatch, not heap growth.
+		e.Run()
+	}
+}
+
+// BillerParallelAccrual is the sharded-accumulator contention workload
+// of BenchmarkBillerParallelAccrual: parallel workers accruing
+// minute-samples and reading usage across a large user population.
+func BillerParallelAccrual(b *testing.B) {
+	biller := billing.New(sim.NewEngine(1), billing.DefaultRates(), nil, nil)
+	const users = 1024
+	names := make([]string, users)
+	for i := range names {
+		names[i] = fmt.Sprintf("user%04d", i)
+	}
+	var next int64
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		// Each worker walks the population from its own offset so workers
+		// collide on shards, not on a single user.
+		i := int(atomic.AddInt64(&next, 257))
+		for pb.Next() {
+			name := names[i%users]
+			biller.AccrueCoresSample(name, 4)
+			_ = biller.CurrentUsage(name)
+			i++
+		}
+	})
+}
+
+// ConsoleLoadP95 runs the console-load scenario once at the golden seed
+// and returns its live-p95-ms metric — the one latency number in the
+// snapshot that exercises real HTTP handlers instead of the sim kernel.
+func ConsoleLoadP95() (float64, error) {
+	s, ok := scenario.Get("console-load")
+	if !ok {
+		return 0, fmt.Errorf("perf: console-load scenario not registered (import osdc/internal/experiments)")
+	}
+	res, err := s.Run(2012)
+	if err != nil {
+		return 0, fmt.Errorf("perf: console-load: %w", err)
+	}
+	p95, ok := res.Metrics["live-p95-ms"]
+	if !ok {
+		return 0, fmt.Errorf("perf: console-load reported no live-p95-ms metric")
+	}
+	return p95, nil
+}

@@ -1,0 +1,48 @@
+package perf
+
+import (
+	"testing"
+
+	_ "osdc/internal/experiments" // console-load for ConsoleLoadP95
+)
+
+// TestCollectSnapshot runs the real tracked suite once (a few seconds —
+// this is the same work the CI bench step does) and pins the snapshot
+// shape plus the two properties the suite exists to track: every entry
+// present with a positive measurement, and the pooled-timer churn path
+// staying at ≤ 1 alloc per fired event (the seed engine cost 2).
+func TestCollectSnapshot(t *testing.T) {
+	snap, err := Collect("test")
+	if err != nil {
+		t.Fatalf("Collect: %v", err)
+	}
+	if snap.PR != "test" || snap.NumCPU < 1 || snap.GOOS == "" || snap.GOARCH == "" {
+		t.Fatalf("snapshot header incomplete: %+v", snap)
+	}
+	want := []string{
+		"engine-churn", "engine-churn-pooled", "sharded-churn",
+		"same-tick-batch", "biller-parallel-accrual", "console-load-p95",
+	}
+	byName := map[string]Metric{}
+	for _, m := range snap.Metrics {
+		byName[m.Name] = m
+	}
+	for _, name := range want {
+		m, ok := byName[name]
+		if !ok {
+			t.Fatalf("snapshot missing metric %q (have %v)", name, snap.Metrics)
+		}
+		if m.NsPerOp <= 0 {
+			t.Fatalf("%s: non-positive measurement %+v", name, m)
+		}
+	}
+	if len(snap.Metrics) != len(want) {
+		t.Fatalf("snapshot has %d metrics, want %d", len(snap.Metrics), len(want))
+	}
+	if a := byName["engine-churn-pooled"].AllocsPerOp; a > 1 {
+		t.Fatalf("pooled churn allocates %d/op, want <= 1", a)
+	}
+	if byName["console-load-p95"].Unit != "ms" {
+		t.Fatalf("console-load-p95 unit = %q, want ms", byName["console-load-p95"].Unit)
+	}
+}

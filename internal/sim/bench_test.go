@@ -36,6 +36,79 @@ func BenchmarkEngineChurn(b *testing.B) {
 	e.Run()
 }
 
+// BenchmarkEngineChurnPooled is the churn workload rebuilt on pooled
+// Timers: the same outstanding-pool cancel-and-replace shape, but every
+// reschedule is a Timer.Reset reusing the closure allocated at NewTimer.
+// Compare against BenchmarkEngineChurn to see what the pooling discipline
+// buys — the per-schedule closure allocations drop to zero.
+func BenchmarkEngineChurnPooled(b *testing.B) {
+	b.ReportAllocs()
+	e := NewEngine(2012)
+	rng := NewRNG(7)
+	const outstanding = 4096
+	timers := make([]*Timer, outstanding)
+	fired := 0
+	for i := range timers {
+		slot := i
+		timers[slot] = NewTimer(e, func() {
+			fired++
+			if fired >= b.N {
+				e.Halt()
+				return
+			}
+			if victim := rng.Intn(outstanding); victim != slot {
+				timers[victim].Reset(rng.Exp(1.0))
+			}
+			timers[slot].Reset(rng.Exp(1.0))
+		})
+	}
+	b.ResetTimer()
+	for i := range timers {
+		timers[i].Reset(rng.Exp(1.0))
+	}
+	e.Run()
+}
+
+// BenchmarkShardedChurn is the churn workload spread over an 8-shard
+// ShardSet with pooled timers, shards advancing in lockstep through
+// RunUntil windows. ns/op is per fired event across all shards; on
+// multi-core hosts the shards advance concurrently.
+func BenchmarkShardedChurn(b *testing.B) {
+	b.ReportAllocs()
+	const k = 8
+	const outstanding = 4096
+	set := NewShardSet(2012, k)
+	perShard := outstanding / k
+	quota := b.N/k + 1
+	for si := 0; si < k; si++ {
+		e := set.ShardAt(si)
+		rng := NewRNG(uint64(7 + si))
+		timers := make([]*Timer, perShard)
+		fired := 0
+		for i := range timers {
+			slot := i
+			timers[slot] = NewTimer(e, func() {
+				fired++
+				if fired >= quota {
+					e.Halt()
+					return
+				}
+				if victim := rng.Intn(perShard); victim != slot {
+					timers[victim].Reset(rng.Exp(1.0))
+				}
+				timers[slot].Reset(rng.Exp(1.0))
+			})
+		}
+		for i := range timers {
+			timers[i].Reset(rng.Exp(1.0))
+		}
+	}
+	b.ResetTimer()
+	for set.Fired() < uint64(b.N) {
+		set.RunFor(64)
+	}
+}
+
 // BenchmarkEngineScheduleDrain measures the pure schedule-then-pop path
 // with no cancellations: b.N events pushed at random times, then drained.
 func BenchmarkEngineScheduleDrain(b *testing.B) {
@@ -48,4 +121,50 @@ func BenchmarkEngineScheduleDrain(b *testing.B) {
 		e.After(rng.Float64()*1000, fire)
 	}
 	e.Run()
+}
+
+// BenchmarkSameTickBatch measures dispatch of synchronized-timer ticks —
+// 1024 events per timestamp — on a shared (locked) engine, the shape the
+// batched run loop is built for: one lock round-trip drains the whole
+// tick instead of one per event.
+func BenchmarkSameTickBatch(b *testing.B) {
+	benchSameTick(b, func(e *Engine) { e.Run() })
+}
+
+// BenchmarkSameTickStepped is the same workload drained through the
+// single-event Step path — the per-event lock cost the batch amortizes.
+func BenchmarkSameTickStepped(b *testing.B) {
+	benchSameTick(b, func(e *Engine) {
+		for e.Step() {
+		}
+	})
+}
+
+func benchSameTick(b *testing.B, drain func(*Engine)) {
+	b.ReportAllocs()
+	e := NewEngine(2012)
+	e.Share()
+	runSameTick(b, e, drain)
+}
+
+func runSameTick(b *testing.B, e *Engine, drain func(*Engine)) {
+	fire := func() {}
+	const width = 1024
+	b.ResetTimer()
+	scheduled := 0
+	tick := Time(0)
+	for scheduled < b.N {
+		tick++
+		n := width
+		if rest := b.N - scheduled; rest < n {
+			n = rest
+		}
+		for j := 0; j < n; j++ {
+			e.At(tick, fire)
+		}
+		scheduled += n
+		// Drain the tick before refilling, so the heap stays at tick
+		// width and the measurement is dispatch, not heap growth.
+		drain(e)
+	}
 }

@@ -26,12 +26,15 @@ type ClockSource interface {
 }
 
 // Driver is the free-running ClockSource: every interval of real time it
-// runs the engine forward by the elapsed wall time multiplied by speedup.
+// runs the clock forward by the elapsed wall time multiplied by speedup.
 // This is what turns the discrete-event federation into a live service —
 // billing pollers, monitoring sweeps and VM boot timers all fire while
-// HTTP handlers schedule against the same clock.
+// HTTP handlers schedule against the same clock. The clock may be a
+// single Engine or a ShardSet, whose shards the driver advances to a
+// common target each tick.
 type Driver struct {
-	engine   *Engine
+	clock    Clock
+	anchor   *Engine
 	speedup  float64
 	interval time.Duration
 
@@ -45,15 +48,27 @@ type Driver struct {
 // real time), interval the wall period between advances (<= 0 means 5 ms).
 // Stop the driver before tearing the engine's world down.
 func StartDriver(e *Engine, speedup float64, interval time.Duration) *Driver {
+	return startDriver(e, e, speedup, interval)
+}
+
+// StartShardDriver is StartDriver over a sharded kernel: every tick
+// advances all shards to the same target, so cross-shard skew stays
+// bounded by one tick's worth of virtual time. Engine() reports the
+// set's anchor shard.
+func StartShardDriver(s *ShardSet, speedup float64, interval time.Duration) *Driver {
+	return startDriver(s, s.Anchor(), speedup, interval)
+}
+
+func startDriver(c Clock, anchor *Engine, speedup float64, interval time.Duration) *Driver {
 	if speedup <= 0 {
 		speedup = 1
 	}
 	if interval <= 0 {
 		interval = 5 * time.Millisecond
 	}
-	e.Share()
+	c.Share()
 	d := &Driver{
-		engine: e, speedup: speedup, interval: interval,
+		clock: c, anchor: anchor, speedup: speedup, interval: interval,
 		stop: make(chan struct{}), done: make(chan struct{}),
 	}
 	go d.loop()
@@ -73,14 +88,15 @@ func (d *Driver) loop() {
 			dt := now.Sub(last).Seconds()
 			last = now
 			if dt > 0 {
-				d.engine.RunFor(dt * d.speedup)
+				d.clock.RunUntil(d.clock.Now() + Time(dt*d.speedup))
 			}
 		}
 	}
 }
 
-// Engine implements ClockSource.
-func (d *Driver) Engine() *Engine { return d.engine }
+// Engine implements ClockSource. For a sharded driver it returns the
+// anchor shard.
+func (d *Driver) Engine() *Engine { return d.anchor }
 
 // Stop halts the driver and waits for its goroutine to exit. The engine is
 // left at whatever virtual time it reached; it remains in shared mode.

@@ -21,7 +21,8 @@ import (
 // stop firing rather than drifting, and the engine resumes from where it
 // stopped on the next publication.
 type Follower struct {
-	engine   *Engine
+	clock    Clock
+	anchor   *Engine
 	interval time.Duration
 	// maxRate caps catch-up speed in virtual seconds per wall second;
 	// <= 0 means unbounded (jump to the target in one tick).
@@ -41,13 +42,26 @@ type Follower struct {
 // seconds per wall second (<= 0 for unbounded catch-up). Until the first
 // SetTarget the clock holds still.
 func StartFollower(e *Engine, maxRate float64, interval time.Duration) *Follower {
+	return startFollower(e, e, maxRate, interval)
+}
+
+// StartShardFollower is StartFollower over a sharded kernel: each catch-up
+// tick advances all shards toward the same published target, so the
+// cross-shard skew bound composes with the cross-site one — no shard of
+// any site runs past the coordinator's clock. Engine() reports the set's
+// anchor shard.
+func StartShardFollower(s *ShardSet, maxRate float64, interval time.Duration) *Follower {
+	return startFollower(s, s.Anchor(), maxRate, interval)
+}
+
+func startFollower(c Clock, anchor *Engine, maxRate float64, interval time.Duration) *Follower {
 	if interval <= 0 {
 		interval = 2 * time.Millisecond
 	}
-	e.Share()
+	c.Share()
 	f := &Follower{
-		engine: e, maxRate: maxRate, interval: interval,
-		target: e.Now(),
+		clock: c, anchor: anchor, maxRate: maxRate, interval: interval,
+		target: c.Now(),
 		stop:   make(chan struct{}), done: make(chan struct{}),
 	}
 	go f.loop()
@@ -75,15 +89,16 @@ func (f *Follower) Target() Time {
 // Lag returns how far the engine's clock trails the newest target, in
 // virtual seconds (never negative).
 func (f *Follower) Lag() Duration {
-	lag := float64(f.Target() - f.engine.Now())
+	lag := float64(f.Target() - f.clock.Now())
 	if lag < 0 {
 		return 0
 	}
 	return lag
 }
 
-// Engine implements ClockSource.
-func (f *Follower) Engine() *Engine { return f.engine }
+// Engine implements ClockSource. For a sharded follower it returns the
+// anchor shard.
+func (f *Follower) Engine() *Engine { return f.anchor }
 
 // Stop implements ClockSource.
 func (f *Follower) Stop() {
@@ -104,7 +119,8 @@ func (f *Follower) loop() {
 			dt := now.Sub(last).Seconds()
 			last = now
 			target := f.Target()
-			lag := float64(target - f.engine.Now())
+			at := f.clock.Now()
+			lag := float64(target - at)
 			if lag <= 0 {
 				continue
 			}
@@ -113,7 +129,7 @@ func (f *Follower) loop() {
 					lag = step
 				}
 			}
-			f.engine.RunFor(lag)
+			f.clock.RunUntil(at + Time(lag))
 		}
 	}
 }

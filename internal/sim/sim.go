@@ -16,6 +16,22 @@
 // so a schedule-heavy workload that cancels most of its timers (retry
 // timers, timeouts that rarely fire) cannot grow the heap without bound.
 //
+// # Batch dispatch
+//
+// The run loops (Run, RunUntil, RunFor) drain events in same-tick batches:
+// every live event sharing the earliest due timestamp is popped under one
+// lock acquisition and the callbacks fire unlocked, in FIFO (schedule)
+// order. Workloads with synchronized timers — heartbeats aligned to a
+// minute boundary, polling sweeps, barrier ticks — pay one lock round-trip
+// per tick instead of one per event. Semantics are identical to per-event
+// dispatch: order is still (at, seq); a callback cancelling a later event
+// of the same tick prevents it from firing; Halt() mid-batch pushes the
+// unfired remainder back onto the queue.
+//
+// For schedule/cancel-heavy hot paths, Timer (NewTimer/Reset) reschedules
+// a pre-allocated callback with zero steady-state allocations — the
+// pooled-payload discipline the churn benchmarks measure.
+//
 // # Shared mode
 //
 // By default an Engine is single-threaded and lock-free: a scenario owns
@@ -34,6 +50,7 @@ import (
 	"fmt"
 	"math"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -82,6 +99,18 @@ type event struct {
 	at   Time
 	seq  uint64 // tie-break: FIFO among equal timestamps; unique per event
 	fire func()
+}
+
+// batchEntry is one same-tick event drained from the queue but not yet
+// fired. The dead word is claimed by compare-and-swap from two sides: the
+// run loop (about to fire the entry) and Cancel (the event's Handle was
+// cancelled after the drain). Whoever wins decides — a cancelled entry
+// never fires, and cancelling an already-claimed entry is the documented
+// fired-event no-op.
+type batchEntry struct {
+	seq  uint64
+	fire func()
+	dead uint32 // accessed with sync/atomic
 }
 
 // Handle identifies a scheduled event so it can be cancelled. The zero
@@ -145,8 +174,20 @@ type Engine struct {
 	seq       uint64
 	rng       *RNG
 	trace     func(t Time, msg string)
-	fired     uint64
 	halted    bool
+
+	// fired counts executed events. It is atomic because the batched run
+	// loop increments it with the lock released, right before each
+	// callback fires.
+	fired atomic.Uint64
+
+	// batch is the current same-tick dispatch batch: events popped from
+	// the queue in one lock acquisition, fired unlocked in seq order. The
+	// slice is owned and resized only by the clock-driving goroutine
+	// (always under the engine lock); entries claimed by firing or
+	// cancellation carry dead=1, so Pending can count the unfired
+	// remainder from any goroutine via the atomic dead words alone.
+	batch []batchEntry
 }
 
 // NewEngine returns an engine with its clock at zero and a deterministic RNG
@@ -181,28 +222,68 @@ func (e *Engine) Now() Time {
 	return e.now
 }
 
-// RNG returns the engine's deterministic random source. The RNG is not
-// protected by shared mode; only single-threaded scenario code may use it.
+// RNG returns the engine's deterministic random source. The RNG is NOT
+// protected by shared mode; only single-threaded scenario code that owns
+// the engine may use it directly. Concurrent callers — HTTP handlers,
+// callbacks racing a clock driver — must draw through the locked surface
+// (RandFloat64, RandIntn, RandUint64, RandExp) instead.
 func (e *Engine) RNG() *RNG { return e.rng }
 
-// Fired returns the number of events executed so far.
-func (e *Engine) Fired() uint64 {
+// RandFloat64 draws a uniform value in [0, 1) from the engine RNG under
+// the engine lock — the shared-mode-safe surface. Draw order is still
+// deterministic per engine: in shared mode it is serialized by the lock,
+// and sharded deployments keep determinism by giving every shard (and so
+// every entity) its own engine stream.
+func (e *Engine) RandFloat64() float64 {
 	e.lock()
 	defer e.unlock()
-	return e.fired
+	return e.rng.Float64()
 }
 
-// Pending returns the number of live (non-cancelled) events still queued.
-// The count is exact except after Cancel calls on already-fired events
-// (a documented no-op): each leaves a stale tombstone that under-counts
-// Pending by one until the next compaction sweeps it away.
+// RandIntn draws a uniform int in [0, n) under the engine lock. Panics if
+// n <= 0.
+func (e *Engine) RandIntn(n int) int {
+	e.lock()
+	defer e.unlock()
+	return e.rng.Intn(n)
+}
+
+// RandUint64 draws 64 random bits under the engine lock.
+func (e *Engine) RandUint64() uint64 {
+	e.lock()
+	defer e.unlock()
+	return e.rng.Uint64()
+}
+
+// RandExp draws an exponentially distributed value with the given mean
+// under the engine lock.
+func (e *Engine) RandExp(mean float64) float64 {
+	e.lock()
+	defer e.unlock()
+	return e.rng.Exp(mean)
+}
+
+// Fired returns the number of events executed so far.
+func (e *Engine) Fired() uint64 { return e.fired.Load() }
+
+// Pending returns the number of live (non-cancelled) events still queued,
+// including events drained into the current dispatch batch but not yet
+// fired. The count is exact except after Cancel calls on already-fired
+// events (a documented no-op): each leaves a stale tombstone that
+// under-counts Pending by one until the next compaction sweeps it away.
 func (e *Engine) Pending() int {
 	e.lock()
 	defer e.unlock()
-	if n := len(e.queue) - len(e.cancelled); n > 0 {
-		return n
+	n := len(e.queue) - len(e.cancelled)
+	for i := range e.batch {
+		if atomic.LoadUint32(&e.batch[i].dead) == 0 {
+			n++
+		}
 	}
-	return 0
+	if n < 0 {
+		return 0
+	}
+	return n
 }
 
 // SetTrace installs a trace sink invoked by Tracef. A nil sink disables
@@ -340,13 +421,115 @@ func (e *Engine) takeNext(deadline Time, clamp bool) func() {
 		}
 		e.pop()
 		e.now = top.at
-		e.fired++
+		e.fired.Add(1)
 		return top.fire
 	}
 	if clamp && e.now < deadline {
 		e.now = deadline
 	}
 	return nil
+}
+
+// takeBatch drains every live event sharing the earliest due timestamp ≤
+// deadline into e.batch under a single lock acquisition, advancing the
+// clock to that timestamp, and returns the batch size. It returns 0 when
+// no live event is due by deadline; with clamp set it then also advances
+// the clock to the deadline, atomically with the emptiness check (see
+// takeNext for why the atomicity matters in shared mode).
+func (e *Engine) takeBatch(deadline Time, clamp bool) int {
+	e.lock()
+	defer e.unlock()
+	// Release the previous batch's closures before reusing the buffer.
+	for i := range e.batch {
+		e.batch[i].fire = nil
+	}
+	e.batch = e.batch[:0]
+	var at Time
+	for len(e.queue) > 0 {
+		top := &e.queue[0]
+		if len(e.cancelled) > 0 {
+			if _, dead := e.cancelled[top.seq]; dead {
+				delete(e.cancelled, top.seq)
+				e.pop()
+				continue
+			}
+		}
+		if len(e.batch) == 0 {
+			if top.at > deadline {
+				break
+			}
+			if top.at < e.now {
+				panic("sim: event queue time went backwards")
+			}
+			at = top.at
+		} else if top.at != at {
+			break
+		}
+		ev := e.pop()
+		e.batch = append(e.batch, batchEntry{seq: ev.seq, fire: ev.fire})
+	}
+	if len(e.batch) == 0 {
+		if clamp && e.now < deadline {
+			e.now = deadline
+		}
+		return 0
+	}
+	e.now = at
+	return len(e.batch)
+}
+
+// fireBatch invokes the current batch's callbacks in FIFO (seq) order with
+// the lock released, skipping entries cancelled after the drain. It
+// reports false when Halt stopped the batch early; the unfired remainder
+// is then pushed back onto the queue.
+func (e *Engine) fireBatch() bool {
+	// Only this (clock-driving) goroutine resizes e.batch, so reading the
+	// header unlocked is safe; other goroutines touch entries only through
+	// the atomic dead words. In unshared mode nothing races the claim, so
+	// plain accesses replace the CAS on the hot path.
+	shared := e.lockOn
+	for i := 0; i < len(e.batch); i++ {
+		if e.halted {
+			e.requeueBatch()
+			return false
+		}
+		ent := &e.batch[i]
+		if shared {
+			if !atomic.CompareAndSwapUint32(&ent.dead, 0, 1) {
+				ent.fire = nil // cancelled while waiting in the batch
+				continue
+			}
+		} else if ent.dead != 0 {
+			ent.fire = nil
+			continue
+		} else {
+			ent.dead = 1
+		}
+		fire := ent.fire
+		ent.fire = nil
+		e.fired.Add(1)
+		fire()
+	}
+	return true
+}
+
+// requeueBatch pushes the batch's unclaimed entries back onto the queue
+// (Halt interrupted the batch before they fired) and resets the batch, so
+// Pending and Cancel see them as ordinarily queued again. Their timestamps
+// equal the current clock and their seqs are preserved, so dispatch order
+// on resume is unchanged. Already-fired and cancelled entries fail the
+// claim CAS and are simply dropped.
+func (e *Engine) requeueBatch() {
+	e.lock()
+	defer e.unlock()
+	for i := range e.batch {
+		ent := &e.batch[i]
+		if atomic.CompareAndSwapUint32(&ent.dead, 0, 1) {
+			e.push(event{at: e.now, seq: ent.seq, fire: ent.fire})
+		}
+		ent.fire = nil
+	}
+	e.batch = e.batch[:0]
 }
 
 // Step executes the single earliest pending event. It reports false when the
@@ -360,27 +543,34 @@ func (e *Engine) Step() bool {
 	return true
 }
 
-// Run executes events until the queue drains or Halt is called. It returns
-// the final clock value.
+// Run executes events until the queue drains or Halt is called, in
+// same-tick batches. It returns the final clock value.
 func (e *Engine) Run() Time {
 	e.halted = false
-	for !e.halted && e.Step() {
+	for !e.halted {
+		if e.takeBatch(Forever, false) == 0 {
+			break
+		}
+		if !e.fireBatch() {
+			break
+		}
 	}
 	return e.Now()
 }
 
-// RunUntil executes events with timestamps ≤ deadline, then sets the clock
-// to deadline (if it has not passed it already) and returns. If Halt fires
-// during the run, the clock stays where the halt occurred instead of
-// jumping to the deadline.
+// RunUntil executes events with timestamps ≤ deadline in same-tick
+// batches, then sets the clock to deadline (if it has not passed it
+// already) and returns. If Halt fires during the run, the clock stays
+// where the halt occurred instead of jumping to the deadline.
 func (e *Engine) RunUntil(deadline Time) Time {
 	e.halted = false
 	for !e.halted {
-		fire := e.takeNext(deadline, true)
-		if fire == nil {
+		if e.takeBatch(deadline, true) == 0 {
 			break
 		}
-		fire()
+		if !e.fireBatch() {
+			break
+		}
 	}
 	return e.Now()
 }
@@ -391,6 +581,9 @@ func (e *Engine) RunFor(d Duration) Time { return e.RunUntil(e.Now() + Time(d)) 
 // cancel tombstones seq and compacts the heap once tombstones outnumber
 // live events. Caller (Handle.Cancel) holds the lock in shared mode.
 func (e *Engine) cancel(seq uint64) {
+	if e.cancelInBatch(seq) {
+		return
+	}
 	if len(e.queue) == 0 {
 		// Nothing is pending, so this seq (and any lingering tombstone)
 		// can only refer to already-fired events.
@@ -438,10 +631,27 @@ func (e *Engine) compact() {
 	}
 }
 
+// cancelInBatch handles cancellation of an event already drained into the
+// current dispatch batch. It reports whether seq was found there; the CAS
+// against the run loop decides whether the cancel lands — losing the race
+// means the event is firing right now, which is the documented fired-event
+// no-op (and must not leave a tombstone behind). Caller holds the engine
+// lock, which serializes this scan against batch resizing in takeBatch and
+// requeueBatch; entry seqs are immutable once appended and the dead words
+// are atomic, so racing the unlocked run loop is safe.
+func (e *Engine) cancelInBatch(seq uint64) bool {
+	for i := range e.batch {
+		if e.batch[i].seq == seq {
+			atomic.CompareAndSwapUint32(&e.batch[i].dead, 0, 1)
+			return true
+		}
+	}
+	return false
+}
+
 // --- 4-ary value heap, ordered by (at, seq) ---
 
-func (e *Engine) less(i, j int) bool {
-	a, b := &e.queue[i], &e.queue[j]
+func lessEv(a, b *event) bool {
 	if a.at != b.at {
 		return a.at < b.at
 	}
@@ -465,23 +675,31 @@ func (e *Engine) pop() event {
 	return top
 }
 
+// up and down sift by hole insertion rather than pairwise swaps: the moving
+// event rides in a temporary while displaced entries shift into the hole,
+// writing each slot once instead of three times per level. The element
+// layout produced is identical to a swap-based sift, so heap order (and
+// with it trace determinism) is unchanged.
 func (e *Engine) up(i int) {
+	ev := e.queue[i]
 	for i > 0 {
 		parent := (i - 1) / 4
-		if !e.less(i, parent) {
-			return
+		if !lessEv(&ev, &e.queue[parent]) {
+			break
 		}
-		e.queue[i], e.queue[parent] = e.queue[parent], e.queue[i]
+		e.queue[i] = e.queue[parent]
 		i = parent
 	}
+	e.queue[i] = ev
 }
 
 func (e *Engine) down(i int) {
 	n := len(e.queue)
+	ev := e.queue[i]
 	for {
 		first := 4*i + 1
 		if first >= n {
-			return
+			break
 		}
 		best := first
 		last := first + 4
@@ -489,14 +707,15 @@ func (e *Engine) down(i int) {
 			last = n
 		}
 		for c := first + 1; c < last; c++ {
-			if e.less(c, best) {
+			if lessEv(&e.queue[c], &e.queue[best]) {
 				best = c
 			}
 		}
-		if !e.less(best, i) {
-			return
+		if !lessEv(&e.queue[best], &ev) {
+			break
 		}
-		e.queue[i], e.queue[best] = e.queue[best], e.queue[i]
+		e.queue[i] = e.queue[best]
 		i = best
 	}
+	e.queue[i] = ev
 }

@@ -1,0 +1,99 @@
+package sim
+
+import "testing"
+
+func TestTimerFiresAndRearms(t *testing.T) {
+	e := NewEngine(1)
+	var times []Time
+	var tm *Timer
+	tm = NewTimer(e, func() {
+		times = append(times, e.Now())
+		if len(times) < 3 {
+			tm.Reset(2)
+		}
+	})
+	tm.Reset(1)
+	e.Run()
+	want := []Time{1, 3, 5}
+	if len(times) != 3 {
+		t.Fatalf("fired %d times, want 3", len(times))
+	}
+	for i := range want {
+		if times[i] != want[i] {
+			t.Fatalf("fire times = %v, want %v", times, want)
+		}
+	}
+	if tm.Pending() {
+		t.Fatal("Pending = true after final fire")
+	}
+}
+
+func TestTimerResetSupersedesPending(t *testing.T) {
+	e := NewEngine(1)
+	fired := 0
+	tm := NewTimer(e, func() { fired++ })
+	tm.Reset(1)
+	tm.Reset(10) // must cancel the t=1 expiry
+	e.RunUntil(5)
+	if fired != 0 {
+		t.Fatalf("superseded expiry fired (%d fires by t=5)", fired)
+	}
+	e.RunUntil(20)
+	if fired != 1 {
+		t.Fatalf("fired %d times, want exactly 1 at t=10", fired)
+	}
+	if e.Pending() != 0 {
+		t.Fatalf("Pending = %d after run, want 0", e.Pending())
+	}
+}
+
+func TestTimerStop(t *testing.T) {
+	e := NewEngine(1)
+	tm := NewTimer(e, func() { t.Fatal("stopped timer fired") })
+	tm.Reset(1)
+	if !tm.Stop() {
+		t.Fatal("Stop() = false with expiry pending")
+	}
+	if tm.Stop() {
+		t.Fatal("second Stop() = true")
+	}
+	e.RunUntil(10)
+}
+
+// TestTimerResetWithinSameBatch: resetting a timer whose expiry sits later
+// in the currently dispatching batch must cancel that expiry in place.
+func TestTimerResetWithinSameBatch(t *testing.T) {
+	e := NewEngine(1)
+	var got []string
+	tm := NewTimer(e, func() { got = append(got, "timer") })
+	e.At(5, func() {
+		got = append(got, "first")
+		tm.Reset(3) // timer's t=5 expiry is in this batch, unfired
+	})
+	tm.ResetAt(5)
+	e.Run()
+	if len(got) != 2 || got[0] != "first" || got[1] != "timer" {
+		t.Fatalf("order = %v, want [first timer]", got)
+	}
+	if e.Now() != 8 {
+		t.Fatalf("clock = %v, want 8 (rescheduled expiry)", e.Now())
+	}
+}
+
+// TestTimerSteadyStateAllocs pins the pooling contract: once constructed,
+// a Reset/fire cycle allocates nothing (amortized heap-slice growth
+// aside), versus one closure per schedule for the Handle pattern.
+func TestTimerSteadyStateAllocs(t *testing.T) {
+	e := NewEngine(1)
+	tm := NewTimer(e, func() {})
+	// Warm the heap slice.
+	tm.Reset(1)
+	e.Run()
+	allocs := testing.AllocsPerRun(1000, func() {
+		tm.Reset(1)
+		e.Run()
+	})
+	if allocs > 0 {
+		t.Fatalf("steady-state Reset/fire allocates %v per op, want 0", allocs)
+	}
+}
