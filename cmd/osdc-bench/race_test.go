@@ -1,0 +1,9 @@
+//go:build race
+
+package main
+
+// raceEnabled reports whether this test binary was built with -race; the
+// golden suite uses it to skip scenarios whose default sweeps are pure
+// CPU-bound HTTP load (no new interleavings, minutes of runtime under the
+// detector).
+const raceEnabled = true

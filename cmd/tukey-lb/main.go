@@ -1,0 +1,57 @@
+// Command tukey-lb fronts N stateless console replicas (tukey-server
+// -state-url) with one address.
+//
+// Requests carrying a session token stick to a replica by consistent hash
+// (affinity keeps connections and caches warm); logins round-robin. Every
+// -probe interval each backend's /healthz is checked: failures mark it
+// down (its sessions transparently remap and in-flight requests retry on
+// a sibling), and -evict-after consecutive failures remove it from the
+// ring for good. Because the replicas keep their state in tukey-state,
+// losing one loses nothing — the balancer only has to stop sending
+// traffic at the corpse.
+//
+// Usage:
+//
+//	tukey-lb -backend http://host1:8080 -backend http://host2:8080
+//	         [-addr :8000] [-probe 2s] [-evict-after 5]
+package main
+
+import (
+	"flag"
+	"log"
+	"net/http"
+	"strings"
+	"time"
+
+	"osdc/internal/lb"
+)
+
+// backendList collects repeated -backend flags.
+type backendList []string
+
+func (b *backendList) String() string { return strings.Join(*b, ",") }
+
+func (b *backendList) Set(v string) error {
+	*b = append(*b, v)
+	return nil
+}
+
+func main() {
+	addr := flag.String("addr", ":8000", "balancer listen address")
+	probe := flag.Duration("probe", 2*time.Second, "health-probe interval (0 = passive mark-down only)")
+	evictAfter := flag.Int("evict-after", 5, "evict a backend after this many consecutive failed probes (0 = never)")
+	var backends backendList
+	flag.Var(&backends, "backend", "console replica base URL (repeatable)")
+	flag.Parse()
+	if len(backends) == 0 {
+		log.Fatal("tukey-lb: at least one -backend is required")
+	}
+
+	pool := lb.NewPool(backends, nil)
+	if *probe > 0 {
+		go pool.ProbeLoop(*probe, *evictAfter, make(chan struct{}))
+	}
+	log.Printf("tukey-lb on %s over %d replicas (probe %v, evict after %d)",
+		*addr, len(backends), *probe, *evictAfter)
+	log.Fatal(http.ListenAndServe(*addr, pool))
+}

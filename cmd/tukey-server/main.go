@@ -44,7 +44,14 @@
 //	             [-site name=url ...] [-clock-sync 50ms]
 //	             [-site-timeout 10s] [-rate-limit N] [-rate-burst M]
 //	             [-replication-factor N] [-replication-interval 200ms]
-//	             [-operator-secret S]
+//	             [-operator-secret S] [-state-url http://...] [-replica r1]
+//
+// Replica mode: with -state-url the server keeps no session or rate-limit
+// state of its own — tokens resolve through the tukey-state service and
+// admission draws on its shared per-user budgets, so any number of such
+// replicas (each with a distinct -replica name) behind cmd/tukey-lb behave
+// as one console: kill a replica and its users' sessions keep working on
+// the survivors. GET /healthz is the balancer's probe endpoint.
 //
 // Then:
 //
@@ -70,6 +77,7 @@ import (
 	"osdc/internal/iaas"
 	"osdc/internal/sim"
 	"osdc/internal/tukey"
+	"osdc/internal/tukeystate"
 )
 
 // sitePair is one -site flag value: an externally running cloud-site to
@@ -123,6 +131,15 @@ type options struct {
 	replicationFactor   int
 	replicationInterval time.Duration // coordinator round period; 0 = 200ms
 	operatorSecret      string        // gates operator-plane writes when set
+	// stateURL points at a tukey-state service; when set this replica holds
+	// no session or rate-limit state of its own — sessions resolve through
+	// a RemoteSessionStore and admission through a RemoteLimiter, so any
+	// number of replicas behind tukey-lb behave as one console.
+	stateURL string
+	// replica names this replica; it becomes the session-token prefix, so
+	// replicas sharing a state plane never mint colliding tokens. Required
+	// when stateURL is set.
+	replica string
 }
 
 // server is the assembled service: the federation, its console handler,
@@ -156,6 +173,17 @@ func newServer(opt options) (*server, error) {
 		if n := store.Count(); n > 0 {
 			log.Printf("session store %s: %d sessions survive the restart", opt.sessionFile, n)
 		}
+	}
+	if opt.stateURL != "" {
+		if opt.sessionFile != "" {
+			return nil, errors.New("-state-url and -session-file are mutually exclusive: the state plane owns the sessions")
+		}
+		if opt.replica == "" {
+			return nil, errors.New("-state-url needs -replica: replicas sharing a store must mint distinct tokens")
+		}
+		f.Tukey.SetSessionStore(tukeystate.NewRemoteSessionStore(opt.stateURL, nil))
+		f.Tukey.SetTokenPrefix(opt.replica + "-")
+		log.Printf("replica %s: sessions and admission served by state plane at %s", opt.replica, opt.stateURL)
 	}
 	siteClient := &http.Client{Timeout: cloudapi.DefaultTimeout}
 	if opt.siteTimeout > 0 {
@@ -332,7 +360,13 @@ func newServer(opt options) (*server, error) {
 
 	s.console = &tukey.Console{MW: f.Tukey, Biller: f.Biller, Catalog: f.Catalog, UsageMon: f.UsageMon,
 		Replication: f.Replication}
-	if opt.rateLimit > 0 {
+	switch {
+	case opt.stateURL != "":
+		if opt.rateLimit > 0 {
+			return nil, errors.New("-rate-limit is configured on tukey-state, not the replica, when -state-url is set")
+		}
+		s.console.Limiter = tukeystate.NewRemoteLimiter(opt.stateURL, nil)
+	case opt.rateLimit > 0:
 		burst := opt.rateBurst
 		if burst <= 0 {
 			burst = 2 * opt.rateLimit
@@ -341,6 +375,12 @@ func newServer(opt options) (*server, error) {
 	}
 	mux := http.NewServeMux()
 	mux.Handle("/", s.console)
+	// GET /healthz is what tukey-lb probes: 200 means this replica is
+	// taking traffic.
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(map[string]string{"status": "ok", "replica": opt.replica})
+	})
 	// GET /clock is the coordinator's readable face: cloud-site processes
 	// started with -clock-follow <this server's URL> poll it. Same wire
 	// form as every site's /cloudapi/clock (cloudapi.ClockStatus).
@@ -386,6 +426,8 @@ func main() {
 	replicationFactor := flag.Int("replication-factor", 0, "keep every catalog dataset at N site replicas (0 = no coordinator)")
 	replicationInterval := flag.Duration("replication-interval", 200*time.Millisecond, "replication coordinator round period")
 	operatorSecret := flag.String("operator-secret", "", "shared secret gating operator-plane writes on cloud servers")
+	stateURL := flag.String("state-url", "", "tukey-state service URL; makes this a stateless replica (requires -replica)")
+	replica := flag.String("replica", "", "replica name; prefixes session tokens so replicas sharing a state plane never collide")
 	var sites siteList
 	flag.Var(&sites, "site", "attach an externally running cloud-site as name=url (repeatable)")
 	flag.Parse()
@@ -395,7 +437,7 @@ func main() {
 		remoteClouds: *remote, sites: sites, siteTimeout: *siteTimeout, clockSync: *clockSync,
 		rateLimit: *rateLimit, rateBurst: *rateBurst,
 		replicationFactor: *replicationFactor, replicationInterval: *replicationInterval,
-		operatorSecret: *operatorSecret,
+		operatorSecret: *operatorSecret, stateURL: *stateURL, replica: *replica,
 	})
 	if err != nil {
 		log.Fatal(err)

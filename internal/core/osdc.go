@@ -92,6 +92,12 @@ type Federation struct {
 	Nagios   *monitor.Master
 	UsageMon *monitor.UsageMonitor
 
+	// TukeyReplicas are stateless clones of Tukey created by
+	// AddTukeyReplica: same IdPs and clouds, a shared session store, a
+	// distinct token prefix each. EnrollResearcher fans credential grants
+	// across them so every replica can serve every researcher.
+	TukeyReplicas []*tukey.Middleware
+
 	// Identity providers, exposed so examples and benchmarks can enroll
 	// accounts.
 	ShibIdP   *tukey.ShibbolethIdP
@@ -556,9 +562,27 @@ func (f *Federation) Topology() []TopologyRow {
 // per-cloud credentials, sharing-store user, and free-tier quotas.
 func (f *Federation) EnrollResearcher(username, password string) {
 	f.ShibIdP.Enroll(username, password)
-	f.Tukey.GrantCredentials(username+"@uchicago.edu",
-		tukey.CloudCredential{Cloud: ClusterAdler, AuthUser: username},
-		tukey.CloudCredential{Cloud: ClusterSullivan, AuthUser: username},
-	)
+	creds := []tukey.CloudCredential{
+		{Cloud: ClusterAdler, AuthUser: username},
+		{Cloud: ClusterSullivan, AuthUser: username},
+	}
+	f.Tukey.GrantCredentials(username+"@uchicago.edu", creds...)
+	// Replicas keep their own credential tables (a snapshot taken at clone
+	// time), so grants made after AddTukeyReplica must fan out — otherwise
+	// a login through one replica would be an unknown account on another.
+	for _, r := range f.TukeyReplicas {
+		r.GrantCredentials(username+"@uchicago.edu", creds...)
+	}
 	f.Sharing.AddUser(username)
+}
+
+// AddTukeyReplica clones f.Tukey into a stateless replica: same IdPs, a
+// snapshot of the current user DB and attached clouds, sessions resolved
+// through store (nil = share f.Tukey's store), tokens minted under
+// tokenPrefix. Call after AttachCloud wiring is done and before serving
+// traffic; later EnrollResearcher calls reach every replica.
+func (f *Federation) AddTukeyReplica(store tukey.SessionStore, tokenPrefix string) *tukey.Middleware {
+	r := f.Tukey.Replica(store, tokenPrefix)
+	f.TukeyReplicas = append(f.TukeyReplicas, r)
+	return r
 }

@@ -40,16 +40,18 @@ import (
 	"osdc/internal/cloudapi"
 	"osdc/internal/core"
 	"osdc/internal/iaas"
+	"osdc/internal/lb"
 	"osdc/internal/scenario"
 	"osdc/internal/sim"
 	"osdc/internal/tukey"
+	"osdc/internal/tukeystate"
 )
 
 const (
 	consoleLoadDesc           = "Tukey console under N concurrent researchers with the sim clock live (requests/sec, p50/p95/p99)"
 	consoleLoadRemoteDesc     = "console-load in the per-site topology: every cloud behind its own engine, driver and HTTP listener"
 	consoleLoadRemoteSyncDesc = "console-load-remote with followed clocks: a coordinator pushes the console engine's time to every site"
-	consoleKneeDesc           = "console p95 latency across the user axis (8/32/128 researchers), locating the knee"
+	consoleKneeDesc           = "console p95 latency across (users × replicas): stateless console replicas over a shared state plane behind tukey-lb, locating the knee per replica count (params: users, replicas, iters; 0 = sweep 128/1024/4096 × 1/2/4)"
 )
 
 // consoleLoadSpeedup is simulated seconds per wall second: fast enough
@@ -219,11 +221,14 @@ type consoleLoadResult struct {
 }
 
 // consoleClient is one researcher's view of the console: it times every
-// request and counts unexpected statuses.
+// request and counts unexpected statuses. A nil client means
+// http.DefaultClient; the knee sweep passes a shared pooled client so
+// thousands of researchers reuse one socket pool.
 type consoleClient struct {
-	base string
-	tok  string
-	res  *consoleLoadResult
+	base   string
+	tok    string
+	client *http.Client
+	res    *consoleLoadResult
 }
 
 func (c *consoleClient) do(method, path, body string, wantStatus int) (*http.Response, error) {
@@ -234,8 +239,12 @@ func (c *consoleClient) do(method, path, body string, wantStatus int) (*http.Res
 	if c.tok != "" {
 		req.Header.Set("X-Tukey-Session", c.tok)
 	}
+	hc := c.client
+	if hc == nil {
+		hc = http.DefaultClient
+	}
 	start := time.Now()
-	resp, err := http.DefaultClient.Do(req)
+	resp, err := hc.Do(req)
 	c.res.latencies = append(c.res.latencies, time.Since(start))
 	if err != nil {
 		c.res.errors++
@@ -485,88 +494,266 @@ func ConsoleLoad(seed uint64, opts ConsoleLoadOpts) (scenario.Result, error) {
 	return scenario.Result{Metrics: metrics, Table: b.String()}, nil
 }
 
-// kneeUserPoints is the user axis ConsoleKnee sweeps.
-var kneeUserPoints = []int{8, 32, 128}
+// kneeUserPoints is the user axis ConsoleKnee sweeps: past the historic
+// 128-user ceiling into the 10³–10⁴ region where a single console's locks
+// and accept queue actually matter.
+var kneeUserPoints = []int{128, 1024, 4096}
+
+// kneeReplicaPoints is the replica axis: how many stateless consoles share
+// the state plane behind the balancer at each user point.
+var kneeReplicaPoints = []int{1, 2, 4}
 
 // kneeIters is the read loops per researcher at each point — enough
-// requests for a stable p95, small enough that 128 users stay fast.
+// requests for a stable p95, small enough that 4096 users stay tractable.
+// Request accounting per user is 1 login + kneeIters×4 reads = 9.
 const kneeIters = 2
 
-// ConsoleKnee probes console latency across the user axis: at each point N
-// researchers log in and hammer the read routes (instances, usage,
-// datasets, status) concurrently, in the single-process topology. The knee
-// is the first point whose p95 exceeds twice the baseline p95 — the
-// admission-control sizing number ROADMAP asked for.
-func ConsoleKnee(seed uint64) (scenario.Result, error) {
-	metrics := map[string]float64{"points": float64(len(kneeUserPoints))}
+// kneeMaxInFlight bounds concurrently active researchers. 4096 users each
+// holding sockets to the balancer (which holds sockets to replicas, which
+// hold sockets to the state plane) would exhaust the fd table; a real
+// population that size is mostly thinking anyway. The bound is identical
+// across replica counts, so the replica comparison stays fair.
+const kneeMaxInFlight = 256
+
+// ConsoleKneeOpts shape the knee sweep; zero values mean "sweep the
+// default axis" (all kneeUserPoints × all kneeReplicaPoints).
+type ConsoleKneeOpts struct {
+	Users    int // fix the user axis to one point; 0 = sweep
+	Replicas int // fix the replica axis to one point; 0 = sweep
+	Iters    int // read loops per researcher; 0 = kneeIters
+}
+
+func consoleKneeOptsFrom(params map[string]float64) ConsoleKneeOpts {
+	return ConsoleKneeOpts{
+		Users:    int(params["users"]),
+		Replicas: int(params["replicas"]),
+		Iters:    int(params["iters"]),
+	}
+}
+
+// kneeRig is one knee point's world: a federation whose console runs as K
+// stateless replicas — each a Middleware clone resolving sessions through
+// a shared tukeystate plane, each behind its own listener — fronted by an
+// lb.Pool with session affinity. No rate limiter anywhere: the knee
+// measures the console itself, and request accounting stays deterministic.
+type kneeRig struct {
+	f       *core.Federation
+	front   *httptest.Server // the balancer: what researchers talk to
+	pool    *lb.Pool
+	admin   map[string]cloudapi.CloudAPI
+	drivers []*sim.Driver
+	closers []func()
+}
+
+func startKneeRig(seed uint64, replicas int) (*kneeRig, error) {
+	f, err := core.New(core.Options{Seed: seed, Scale: 8})
+	if err != nil {
+		return nil, err
+	}
+	rig := &kneeRig{f: f, admin: map[string]cloudapi.CloudAPI{
+		core.ClusterAdler:    f.AdlerAPI,
+		core.ClusterSullivan: f.SullivanAPI,
+	}}
+	for _, c := range []*iaas.Cloud{f.Adler, f.Sullivan} {
+		srv := httptest.NewServer(cloudapi.NewServer(c))
+		rig.closers = append(rig.closers, srv.Close)
+		f.Tukey.AttachCloud(tukey.CloudConfig{Name: c.Name, Stack: c.Stack, Endpoint: srv.URL})
+	}
+
+	// The shared state plane. Sessions live here and only here; the
+	// replicas are wire clients. One pooled transport is shared by every
+	// replica's store client so state-plane sockets are reused, not
+	// re-dialed per request.
+	state := httptest.NewServer(tukeystate.NewServer(tukey.NewMemorySessionStore(), nil))
+	rig.closers = append(rig.closers, state.Close)
+	stateClient := &http.Client{Timeout: tukeystate.DefaultTimeout, Transport: &http.Transport{
+		MaxIdleConns: kneeMaxInFlight, MaxIdleConnsPerHost: kneeMaxInFlight,
+	}}
+
+	// K stateless console replicas: cloned middleware (clouds attached
+	// above come along), remote session store, distinct token prefix, own
+	// listener. Enrollment happens after this, so EnrollResearcher fans
+	// credentials across every replica.
+	urls := make([]string, 0, replicas)
+	for k := 0; k < replicas; k++ {
+		mw := f.AddTukeyReplica(tukeystate.NewRemoteSessionStore(state.URL, stateClient), fmt.Sprintf("r%d-", k))
+		console := &tukey.Console{MW: mw, Biller: f.Biller, Catalog: f.Catalog, UsageMon: f.UsageMon}
+		srv := httptest.NewServer(console)
+		rig.closers = append(rig.closers, srv.Close)
+		urls = append(urls, srv.URL)
+	}
+
+	lbClient := &http.Client{Timeout: 30 * time.Second, Transport: &http.Transport{
+		MaxIdleConns: kneeMaxInFlight, MaxIdleConnsPerHost: kneeMaxInFlight,
+	}}
+	rig.pool = lb.NewPool(urls, lbClient)
+	rig.front = httptest.NewServer(rig.pool)
+	rig.closers = append(rig.closers, rig.front.Close, lbClient.CloseIdleConnections, stateClient.CloseIdleConnections)
+
+	rig.drivers = append(rig.drivers, sim.StartDriver(f.Engine, consoleLoadSpeedup, 2*time.Millisecond))
+	return rig, nil
+}
+
+func (rig *kneeRig) close() {
+	for _, d := range rig.drivers {
+		d.Stop()
+	}
+	for _, c := range rig.closers {
+		c()
+	}
+}
+
+// enroll provisions n researchers with free-tier quotas on every cloud.
+func (rig *kneeRig) enroll(n int) ([]string, error) {
+	users := make([]string, n)
+	for i := range users {
+		users[i] = fmt.Sprintf("load%04d", i)
+		rig.f.EnrollResearcher(users[i], "pw-"+users[i])
+		for _, api := range rig.admin {
+			if err := api.SetQuota(users[i], iaas.FreeTierQuota()); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return users, nil
+}
+
+// kneePointResult is one (users, replicas) grid point's aggregate.
+type kneePointResult struct {
+	reqs, errs int
+	p50, p95   float64
+}
+
+// runKneePoint storms one grid point: U researchers (at most
+// kneeMaxInFlight active at once) each log in through the balancer and
+// walk the read routes iters times. All traffic shares one pooled client —
+// the fd budget must not scale with U.
+func runKneePoint(seed uint64, users, replicas, iters int) (kneePointResult, error) {
+	rig, err := startKneeRig(seed, replicas)
+	if err != nil {
+		return kneePointResult{}, err
+	}
+	defer rig.close()
+	names, err := rig.enroll(users)
+	if err != nil {
+		return kneePointResult{}, err
+	}
+
+	client := &http.Client{Timeout: 60 * time.Second, Transport: &http.Transport{
+		MaxIdleConns: kneeMaxInFlight, MaxIdleConnsPerHost: kneeMaxInFlight,
+	}}
+	defer client.CloseIdleConnections()
+
+	results := make([]consoleLoadResult, users)
+	sem := make(chan struct{}, kneeMaxInFlight)
+	var wg sync.WaitGroup
+	for i := range names {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			c := &consoleClient{base: rig.front.URL, client: client, res: &results[i]}
+			if err := c.login(names[i]); err != nil {
+				return
+			}
+			for it := 0; it < iters; it++ {
+				for _, path := range []string{
+					"/console/instances", "/console/usage",
+					"/console/datasets?q=genomics", "/console/status",
+				} {
+					resp, _ := c.do("GET", path, "", http.StatusOK)
+					drain(resp)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	var all []time.Duration
+	out := kneePointResult{}
+	for i := range results {
+		all = append(all, results[i].latencies...)
+		out.reqs += len(results[i].latencies)
+		out.errs += results[i].errors
+	}
+	sort.Slice(all, func(a, b int) bool { return all[a] < all[b] })
+	out.p50, out.p95 = quantileMs(all, 0.50), quantileMs(all, 0.95)
+	return out, nil
+}
+
+// ConsoleKnee probes console p95 latency across a (users × replicas) grid:
+// at each point U researchers hammer the read routes through tukey-lb
+// fronting K stateless console replicas over a shared tukeystate plane.
+// Per replica count, the knee is the first user point whose p95 exceeds
+// twice that replica count's baseline p95 — so the sweep answers the
+// capacity-planning question directly: how far does each added replica
+// push the knee?
+func ConsoleKnee(seed uint64, opts ConsoleKneeOpts) (scenario.Result, error) {
+	userPoints, replicaPoints := kneeUserPoints, kneeReplicaPoints
+	if opts.Users > 0 {
+		userPoints = []int{opts.Users}
+	}
+	if opts.Replicas > 0 {
+		replicaPoints = []int{opts.Replicas}
+	}
+	iters := opts.Iters
+	if iters <= 0 {
+		iters = kneeIters
+	}
+
+	metrics := map[string]float64{"points": float64(len(userPoints) * len(replicaPoints))}
 	var b strings.Builder
-	fmt.Fprintf(&b, "console latency knee: read-route storm at %v researchers\n", kneeUserPoints)
+	fmt.Fprintf(&b, "console latency knee: read-route storm, %v researchers × %v replicas\n",
+		userPoints, replicaPoints)
 	fmt.Fprintln(&b, strings.Repeat("-", 72))
 
-	baseP95, knee := 0.0, 0.0
-	for _, n := range kneeUserPoints {
-		rig, err := startConsoleRig(seed, ConsoleLoadOpts{}, consoleLoadSpeedup)
-		if err != nil {
-			return scenario.Result{}, err
-		}
-		users, err := rig.enroll(n, iaas.FreeTierQuota())
-		if err != nil {
-			rig.close()
-			return scenario.Result{}, err
-		}
-		results := make([]consoleLoadResult, n)
-		var wg sync.WaitGroup
-		for i := range users {
-			i := i
-			wg.Add(1)
-			go func() {
-				defer wg.Done()
-				c := &consoleClient{base: rig.console.URL, res: &results[i]}
-				if err := c.login(users[i]); err != nil {
-					return
-				}
-				for it := 0; it < kneeIters; it++ {
-					for _, path := range []string{
-						"/console/instances", "/console/usage",
-						"/console/datasets?q=genomics", "/console/status",
-					} {
-						resp, _ := c.do("GET", path, "", http.StatusOK)
-						drain(resp)
-					}
-				}
-			}()
-		}
-		wg.Wait()
-		rig.close()
+	// p95 at the largest user point per replica count: the headline
+	// "does adding replicas move the knee" series.
+	maxUsers := userPoints[len(userPoints)-1]
+	topP95 := make([]float64, 0, len(replicaPoints))
 
-		var all []time.Duration
-		reqs, errs := 0, 0
-		for i := range results {
-			all = append(all, results[i].latencies...)
-			reqs += len(results[i].latencies)
-			errs += results[i].errors
+	for _, k := range replicaPoints {
+		baseP95, knee := 0.0, 0.0
+		for _, u := range userPoints {
+			pt, err := runKneePoint(seed, u, k, iters)
+			if err != nil {
+				return scenario.Result{}, err
+			}
+			if baseP95 == 0 {
+				baseP95 = pt.p95
+			} else if knee == 0 && pt.p95 > 2*baseP95 {
+				knee = float64(u)
+			}
+			key := fmt.Sprintf("[%d-users,%d-replicas]", u, k)
+			metrics["requests-total"+key] = float64(pt.reqs)
+			metrics["request-errors"+key] = float64(pt.errs)
+			metrics["live-p50-ms"+key] = pt.p50
+			metrics["live-p95-ms"+key] = pt.p95
+			if u == maxUsers {
+				topP95 = append(topP95, pt.p95)
+			}
+			fmt.Fprintf(&b, "%4d users × %d replicas: %5d requests, %d errors, p50 %.2f ms, p95 %.2f ms\n",
+				u, k, pt.reqs, pt.errs, pt.p50, pt.p95)
 		}
-		sort.Slice(all, func(a, b int) bool { return all[a] < all[b] })
-		p95 := quantileMs(all, 0.95)
-		if baseP95 == 0 {
-			baseP95 = p95
-		} else if knee == 0 && p95 > 2*baseP95 {
-			knee = float64(n)
+		metrics[fmt.Sprintf("live-knee-users[%d-replicas]", k)] = knee
+		if knee > 0 {
+			fmt.Fprintf(&b, "  %d replica(s): p95 knees (>2× the %d-user baseline) at %.0f users\n",
+				k, userPoints[0], knee)
+		} else {
+			fmt.Fprintf(&b, "  %d replica(s): no p95 knee up to %d users\n", k, maxUsers)
 		}
-		key := fmt.Sprintf("[%d-users]", n)
-		metrics["requests-total"+key] = float64(reqs)
-		metrics["request-errors"+key] = float64(errs)
-		metrics["live-p50-ms"+key] = quantileMs(all, 0.50)
-		metrics["live-p95-ms"+key] = p95
-		fmt.Fprintf(&b, "%4d users: %4d requests, %d errors, p50 %.2f ms, p95 %.2f ms\n",
-			n, reqs, errs, quantileMs(all, 0.50), p95)
 	}
-	metrics["live-knee-users"] = knee
-	if knee > 0 {
-		fmt.Fprintf(&b, "p95 knees (>2× the %d-user baseline) at %.0f users\n", kneeUserPoints[0], knee)
-	} else {
-		fmt.Fprintf(&b, "no p95 knee up to %d users (>2× the %d-user baseline)\n",
-			kneeUserPoints[len(kneeUserPoints)-1], kneeUserPoints[0])
+	if len(topP95) == len(replicaPoints) && len(replicaPoints) > 1 {
+		improves := true
+		for i := 1; i < len(topP95); i++ {
+			if topP95[i] > topP95[i-1] {
+				improves = false
+			}
+		}
+		fmt.Fprintf(&b, "p95 at %d users across %v replicas: %v ms (monotone improvement: %v)\n",
+			maxUsers, replicaPoints, topP95, improves)
 	}
 	return scenario.Result{Metrics: metrics, Table: b.String()}, nil
 }

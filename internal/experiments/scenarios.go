@@ -195,7 +195,13 @@ func init() {
 		func(seed uint64, params map[string]float64) (scenario.Result, error) {
 			return ConsoleLoad(seed, consoleLoadOptsFrom(params, true, true))
 		}))
-	scenario.Register(scenario.New("console-knee", consoleKneeDesc, ConsoleKnee))
+	// console-knee sweeps a (users × replicas) grid by default; fixing
+	// either param (e.g. -param users=1024,replicas=4) runs one point.
+	scenario.Register(scenario.NewParametric("console-knee", consoleKneeDesc,
+		map[string]float64{"users": 0, "replicas": 0, "iters": 0},
+		func(seed uint64, params map[string]float64) (scenario.Result, error) {
+			return ConsoleKnee(seed, consoleKneeOptsFrom(params))
+		}))
 	scenario.Register(scenario.New("rate-limit-sweep", rateLimitSweepDesc, RateLimitSweep))
 
 	// The sharded kernel's scale workload: defaults hit 10⁵ entities in a

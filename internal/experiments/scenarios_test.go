@@ -174,29 +174,33 @@ func TestConsoleLoadParams(t *testing.T) {
 	}
 }
 
-// TestConsoleKneeShape checks the user-axis sweep reports every point with
-// clean requests.
+// TestConsoleKneeShape checks one cheap grid point of the (users ×
+// replicas) sweep end to end: 2 replica consoles over a live state plane
+// behind the balancer, with exact request accounting and zero errors.
+// (The full default grid is pinned by the osdc-bench golden.)
 func TestConsoleKneeShape(t *testing.T) {
 	if testing.Short() {
 		t.Skip("live-HTTP load scenario")
 	}
-	r, err := ConsoleKnee(13)
+	const users, replicas = 32, 2
+	r, err := ConsoleKnee(13, ConsoleKneeOpts{Users: users, Replicas: replicas})
 	if err != nil {
 		t.Fatal(err)
 	}
-	for _, n := range []int{8, 32, 128} {
-		key := fmt.Sprintf("[%d-users]", n)
-		// login + iters × 4 read routes per user.
-		want := float64(n * (1 + kneeIters*4))
-		if got := r.Metrics["requests-total"+key]; got != want {
-			t.Fatalf("requests-total%s = %v, want %v", key, got, want)
-		}
-		if errs := r.Metrics["request-errors"+key]; errs != 0 {
-			t.Fatalf("request-errors%s = %v", key, errs)
-		}
-		if _, ok := r.Metrics["live-p95-ms"+key]; !ok {
-			t.Fatalf("missing p95 for %s: %v", key, r.Metrics)
-		}
+	key := fmt.Sprintf("[%d-users,%d-replicas]", users, replicas)
+	// login + iters × 4 read routes per user.
+	want := float64(users * (1 + kneeIters*4))
+	if got := r.Metrics["requests-total"+key]; got != want {
+		t.Fatalf("requests-total%s = %v, want %v", key, got, want)
+	}
+	if errs := r.Metrics["request-errors"+key]; errs != 0 {
+		t.Fatalf("request-errors%s = %v", key, errs)
+	}
+	if _, ok := r.Metrics["live-p95-ms"+key]; !ok {
+		t.Fatalf("missing p95 for %s: %v", key, r.Metrics)
+	}
+	if k, ok := r.Metrics[fmt.Sprintf("live-knee-users[%d-replicas]", replicas)]; !ok || k != 0 {
+		t.Fatalf("single-point run should report knee 0, got %v (present %v)", k, ok)
 	}
 }
 

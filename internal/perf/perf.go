@@ -89,6 +89,22 @@ func Collect(pr string) (Snapshot, error) {
 		NsPerOp: p95,
 		Unit:    "ms",
 	})
+	// The replica-scaling headline: console p95 at the 1024-user knee
+	// point served by 1 vs 4 stateless replicas over the shared state
+	// plane. On a multi-core runner the 4-replica number should sit at or
+	// below the 1-replica one; on a starved runner the extra proxy hop can
+	// invert it — which is itself worth tracking.
+	for _, replicas := range []int{1, 4} {
+		kp95, err := ConsoleKneeP95(1024, replicas)
+		if err != nil {
+			return Snapshot{}, err
+		}
+		snap.Metrics = append(snap.Metrics, Metric{
+			Name:    fmt.Sprintf("console-knee-p95-1024u-%dr", replicas),
+			NsPerOp: kp95,
+			Unit:    "ms",
+		})
+	}
 	return snap, nil
 }
 
@@ -260,6 +276,34 @@ func ConsoleLoadP95() (float64, error) {
 	p95, ok := res.Metrics["live-p95-ms"]
 	if !ok {
 		return 0, fmt.Errorf("perf: console-load reported no live-p95-ms metric")
+	}
+	return p95, nil
+}
+
+// ConsoleKneeP95 runs one console-knee grid point — users researchers
+// against replicas stateless console replicas behind tukey-lb — and
+// returns its live p95 in milliseconds.
+func ConsoleKneeP95(users, replicas int) (float64, error) {
+	s, ok := scenario.Get("console-knee")
+	if !ok {
+		return 0, fmt.Errorf("perf: console-knee scenario not registered (import osdc/internal/experiments)")
+	}
+	p, ok := s.(scenario.Parametric)
+	if !ok {
+		return 0, fmt.Errorf("perf: console-knee is not parametric")
+	}
+	point, err := p.With(map[string]float64{"users": float64(users), "replicas": float64(replicas)})
+	if err != nil {
+		return 0, err
+	}
+	res, err := point.Run(2012)
+	if err != nil {
+		return 0, fmt.Errorf("perf: console-knee: %w", err)
+	}
+	key := fmt.Sprintf("live-p95-ms[%d-users,%d-replicas]", users, replicas)
+	p95, ok := res.Metrics[key]
+	if !ok {
+		return 0, fmt.Errorf("perf: console-knee reported no %s metric", key)
 	}
 	return p95, nil
 }

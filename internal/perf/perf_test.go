@@ -22,6 +22,7 @@ func TestCollectSnapshot(t *testing.T) {
 	want := []string{
 		"engine-churn", "engine-churn-pooled", "sharded-churn",
 		"same-tick-batch", "biller-parallel-accrual", "console-load-p95",
+		"console-knee-p95-1024u-1r", "console-knee-p95-1024u-4r",
 	}
 	byName := map[string]Metric{}
 	for _, m := range snap.Metrics {

@@ -4,7 +4,7 @@ import (
 	"encoding/json"
 	"net/http"
 	"strings"
-	"sync/atomic"
+	"sync"
 
 	"osdc/internal/billing"
 	"osdc/internal/datasets"
@@ -29,6 +29,13 @@ import (
 //	GET  /console/datasets/replicas  per-site dataset placement (?dataset= to filter)
 //	POST /console/datasets/stage     {dataset, cloud}: place a replica on a cloud's site
 //	GET  /console/status             attached clouds
+//
+// Each route is served through an interceptor chain (interceptor.go):
+// auth/session resolution, then rate-limit admission, then the handler.
+// The layers keep their state behind the SessionStore and Limiter seams,
+// which is what makes a Console replica stateless — point MW at a shared
+// (or remote) store and Limiter at a shared limiter and N replicas behave
+// as one console.
 type Console struct {
 	MW      *Middleware
 	Biller  *billing.Biller
@@ -40,16 +47,23 @@ type Console struct {
 	// /console/status operator view alongside the biller's poll errors.
 	UsageMon *monitor.UsageMonitor
 	// Limiter, when set, is the per-user admission control: every console
-	// route charges one token against the caller's federated identifier
-	// (for /login, the attempted username) and answers 429 when the bucket
-	// is empty.
-	Limiter *RateLimiter
+	// route charges route-weighted tokens against the caller's federated
+	// identifier (for /login, the attempted username) and answers 429 when
+	// the bucket is empty. An in-process *RateLimiter and the state
+	// plane's RemoteLimiter both satisfy it.
+	Limiter Limiter
 	// UserFor maps a federated identity to the local username the biller
 	// and catalog know. Defaults to the identifier's local part.
 	UserFor func(Identity) string
 
 	// RateLimited counts requests rejected with 429.
 	RateLimited int64
+
+	// routes is the chained routing table, built once on first request
+	// (the Console is constructed as a struct literal all over the repo,
+	// so there is no constructor to hang this on).
+	routesOnce sync.Once
+	routes     map[string]http.Handler
 }
 
 func (c *Console) localUser(id Identity) string {
@@ -93,204 +107,173 @@ func routeCost(method, path string) float64 {
 	return 1
 }
 
-func (c *Console) session(w http.ResponseWriter, r *http.Request) (Identity, bool) {
-	cost := routeCost(r.Method, r.URL.Path)
-	tok := r.Header.Get("X-Tukey-Session")
-	id, ok := c.MW.identityFor(tok)
-	if !ok {
-		if !c.allow(w, invalidSessionKey, cost) {
-			return Identity{}, false
-		}
-		writeJSON(w, http.StatusUnauthorized, map[string]string{"error": "invalid or missing session"})
-		return Identity{}, false
-	}
-	if !c.allow(w, id.Identifier, cost) {
-		return Identity{}, false
-	}
-	return id, true
-}
-
-// allow charges cost rate-limit tokens for key, answering 429 when the
-// caller's bucket is exhausted. With no Limiter configured everything
-// passes.
-func (c *Console) allow(w http.ResponseWriter, key string, cost float64) bool {
-	if c.Limiter == nil || c.Limiter.AllowN(key, cost) {
-		return true
-	}
-	atomic.AddInt64(&c.RateLimited, 1)
-	writeJSON(w, http.StatusTooManyRequests, map[string]string{"error": "rate limit exceeded for " + key})
-	return false
-}
-
 func writeJSON(w http.ResponseWriter, code int, v interface{}) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(code)
 	_ = json.NewEncoder(w).Encode(v)
 }
 
-// ServeHTTP implements http.Handler.
-func (c *Console) ServeHTTP(w http.ResponseWriter, r *http.Request) {
-	switch {
-	case r.URL.Path == "/login" && r.Method == http.MethodPost:
-		var req struct {
-			Provider string `json:"provider"`
-			Username string `json:"username"`
-			Secret   string `json:"secret"`
-		}
-		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-			writeJSON(w, http.StatusBadRequest, map[string]string{"error": err.Error()})
-			return
-		}
-		// Login attempts are charged per attempted username, bounding
-		// brute force before the IdP sees it.
-		if !c.allow(w, req.Username, routeCost(r.Method, r.URL.Path)) {
-			return
-		}
-		tok, err := c.MW.Login(Provider(req.Provider), req.Username, req.Secret)
-		if err != nil {
-			writeJSON(w, http.StatusUnauthorized, map[string]string{"error": err.Error()})
-			return
-		}
-		writeJSON(w, http.StatusOK, map[string]string{"token": tok})
-
-	case r.URL.Path == "/console/instances" && r.Method == http.MethodGet:
-		if _, ok := c.session(w, r); !ok {
-			return
-		}
-		servers, err := c.MW.ListServers(r.Header.Get("X-Tukey-Session"))
-		if err != nil {
-			writeJSON(w, http.StatusBadGateway, map[string]string{"error": err.Error()})
-			return
-		}
-		writeJSON(w, http.StatusOK, map[string]interface{}{"servers": servers})
-
-	case r.URL.Path == "/console/launch" && r.Method == http.MethodPost:
-		if _, ok := c.session(w, r); !ok {
-			return
-		}
-		var req struct{ Cloud, Name, Flavor string }
-		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-			writeJSON(w, http.StatusBadRequest, map[string]string{"error": err.Error()})
-			return
-		}
-		srv, err := c.MW.LaunchServer(r.Header.Get("X-Tukey-Session"), req.Cloud, req.Name, req.Flavor)
-		if err != nil {
-			writeJSON(w, http.StatusConflict, map[string]string{"error": err.Error()})
-			return
-		}
-		writeJSON(w, http.StatusAccepted, map[string]interface{}{"server": srv})
-
-	case r.URL.Path == "/console/terminate" && r.Method == http.MethodPost:
-		if _, ok := c.session(w, r); !ok {
-			return
-		}
-		var req struct{ Cloud, ID string }
-		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-			writeJSON(w, http.StatusBadRequest, map[string]string{"error": err.Error()})
-			return
-		}
-		if err := c.MW.TerminateServer(r.Header.Get("X-Tukey-Session"), req.Cloud, req.ID); err != nil {
-			writeJSON(w, http.StatusConflict, map[string]string{"error": err.Error()})
-			return
-		}
-		writeJSON(w, http.StatusOK, map[string]string{"status": "terminated"})
-
-	case r.URL.Path == "/console/usage" && r.Method == http.MethodGet:
-		id, ok := c.session(w, r)
-		if !ok {
-			return
-		}
-		if c.Biller == nil {
-			writeJSON(w, http.StatusServiceUnavailable, map[string]string{"error": "billing not configured"})
-			return
-		}
-		u := c.Biller.CurrentUsage(c.localUser(id))
-		writeJSON(w, http.StatusOK, map[string]interface{}{
-			"user": u.User, "core_hours": u.CoreHours(), "gb_days": u.GBDays,
-			"cycle": c.Biller.Cycle(),
-		})
-
-	case r.URL.Path == "/console/datasets" && r.Method == http.MethodGet:
-		if _, ok := c.session(w, r); !ok {
-			return
-		}
-		if c.Catalog == nil {
-			writeJSON(w, http.StatusServiceUnavailable, map[string]string{"error": "catalog not configured"})
-			return
-		}
-		q := r.URL.Query().Get("q")
-		writeJSON(w, http.StatusOK, map[string]interface{}{"datasets": c.Catalog.Search(q)})
-
-	case r.URL.Path == "/console/datasets/replicas" && r.Method == http.MethodGet:
-		if _, ok := c.session(w, r); !ok {
-			return
-		}
-		if c.Replication == nil {
-			writeJSON(w, http.StatusServiceUnavailable, map[string]string{"error": "replication not configured"})
-			return
-		}
-		rows := c.Replication.Placement()
-		if want := r.URL.Query().Get("dataset"); want != "" {
-			filtered := rows[:0]
-			for _, row := range rows {
-				if row.Dataset == want {
-					filtered = append(filtered, row)
-				}
-			}
-			rows = filtered
-		}
-		writeJSON(w, http.StatusOK, map[string]interface{}{"placement": rows})
-
-	case r.URL.Path == "/console/datasets/stage" && r.Method == http.MethodPost:
-		// Staging places a dataset replica on the site that will host the
-		// user's instances before the launch (§4: compute next to the
-		// data), so the VM reads it over the LAN instead of the WAN.
-		if _, ok := c.session(w, r); !ok {
-			return
-		}
-		if c.Replication == nil {
-			writeJSON(w, http.StatusServiceUnavailable, map[string]string{"error": "replication not configured"})
-			return
-		}
-		var req struct{ Dataset, Cloud string }
-		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-			writeJSON(w, http.StatusBadRequest, map[string]string{"error": err.Error()})
-			return
-		}
-		if req.Dataset == "" || req.Cloud == "" {
-			writeJSON(w, http.StatusBadRequest, map[string]string{"error": "stage needs a dataset and a cloud"})
-			return
-		}
-		st, err := c.Replication.Stage(req.Dataset, req.Cloud)
-		if err != nil {
-			writeJSON(w, http.StatusConflict, map[string]string{"error": err.Error()})
-			return
-		}
-		code := http.StatusOK
-		if st.State == "staging" {
-			code = http.StatusAccepted
-		}
-		writeJSON(w, code, st)
-
-	case r.URL.Path == "/console/status" && r.Method == http.MethodGet:
-		// Cloud topology is operator data: like every other /console/*
-		// route this requires a session (it used to be the one
-		// unauthenticated leak).
-		if _, ok := c.session(w, r); !ok {
-			return
-		}
-		status := map[string]interface{}{"clouds": c.MW.Clouds()}
-		// Per-site poller health: which clouds the billing and monitoring
-		// sweeps failed to reach, not just that one did.
-		if c.Biller != nil {
-			status["poll_errors"] = c.Biller.PollErrorsByCloud()
-		}
-		if c.UsageMon != nil {
-			status["sample_errors"] = c.UsageMon.SampleErrorsByCloud()
-		}
-		writeJSON(w, http.StatusOK, status)
-
-	default:
-		writeJSON(w, http.StatusNotFound, map[string]string{"error": "no route " + r.Method + " " + r.URL.Path})
+// buildRoutes assembles the routing table: every console route behind the
+// session chain (authenticate → rateLimit → enforceSession → handler),
+// /login behind its own (parseLogin → rateLimit → handler). Routing
+// happens before any chain runs, so an unknown path stays a bare 404 with
+// no session resolution and no bucket charge — exactly the monolith's
+// behavior.
+func (c *Console) buildRoutes() {
+	session := func(h http.HandlerFunc) http.Handler {
+		return Chain(h, c.authenticate, c.rateLimit, c.enforceSession)
 	}
+	c.routes = map[string]http.Handler{
+		"POST /login":                    Chain(http.HandlerFunc(c.handleLogin), c.parseLogin, c.rateLimit),
+		"GET /console/instances":         session(c.handleInstances),
+		"POST /console/launch":           session(c.handleLaunch),
+		"POST /console/terminate":        session(c.handleTerminate),
+		"GET /console/usage":             session(c.handleUsage),
+		"GET /console/datasets":          session(c.handleDatasets),
+		"GET /console/datasets/replicas": session(c.handleDatasetReplicas),
+		"POST /console/datasets/stage":   session(c.handleDatasetStage),
+		"GET /console/status":            session(c.handleStatus),
+	}
+}
+
+// ServeHTTP implements http.Handler: pure routing — every other concern
+// lives in the per-route interceptor chains.
+func (c *Console) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	c.routesOnce.Do(c.buildRoutes)
+	if h, ok := c.routes[r.Method+" "+r.URL.Path]; ok {
+		h.ServeHTTP(w, r)
+		return
+	}
+	writeJSON(w, http.StatusNotFound, map[string]string{"error": "no route " + r.Method + " " + r.URL.Path})
+}
+
+func (c *Console) handleLogin(w http.ResponseWriter, r *http.Request) {
+	req, _ := loginFrom(r)
+	tok, err := c.MW.Login(Provider(req.Provider), req.Username, req.Secret)
+	if err != nil {
+		writeJSON(w, http.StatusUnauthorized, map[string]string{"error": err.Error()})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"token": tok})
+}
+
+func (c *Console) handleInstances(w http.ResponseWriter, r *http.Request) {
+	servers, err := c.MW.ListServers(r.Header.Get("X-Tukey-Session"))
+	if err != nil {
+		writeJSON(w, http.StatusBadGateway, map[string]string{"error": err.Error()})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]interface{}{"servers": servers})
+}
+
+func (c *Console) handleLaunch(w http.ResponseWriter, r *http.Request) {
+	var req struct{ Cloud, Name, Flavor string }
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeJSON(w, http.StatusBadRequest, map[string]string{"error": err.Error()})
+		return
+	}
+	srv, err := c.MW.LaunchServer(r.Header.Get("X-Tukey-Session"), req.Cloud, req.Name, req.Flavor)
+	if err != nil {
+		writeJSON(w, http.StatusConflict, map[string]string{"error": err.Error()})
+		return
+	}
+	writeJSON(w, http.StatusAccepted, map[string]interface{}{"server": srv})
+}
+
+func (c *Console) handleTerminate(w http.ResponseWriter, r *http.Request) {
+	var req struct{ Cloud, ID string }
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeJSON(w, http.StatusBadRequest, map[string]string{"error": err.Error()})
+		return
+	}
+	if err := c.MW.TerminateServer(r.Header.Get("X-Tukey-Session"), req.Cloud, req.ID); err != nil {
+		writeJSON(w, http.StatusConflict, map[string]string{"error": err.Error()})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "terminated"})
+}
+
+func (c *Console) handleUsage(w http.ResponseWriter, r *http.Request) {
+	si, _ := sessionFrom(r)
+	if c.Biller == nil {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"error": "billing not configured"})
+		return
+	}
+	u := c.Biller.CurrentUsage(c.localUser(si.id))
+	writeJSON(w, http.StatusOK, map[string]interface{}{
+		"user": u.User, "core_hours": u.CoreHours(), "gb_days": u.GBDays,
+		"cycle": c.Biller.Cycle(),
+	})
+}
+
+func (c *Console) handleDatasets(w http.ResponseWriter, r *http.Request) {
+	if c.Catalog == nil {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"error": "catalog not configured"})
+		return
+	}
+	q := r.URL.Query().Get("q")
+	writeJSON(w, http.StatusOK, map[string]interface{}{"datasets": c.Catalog.Search(q)})
+}
+
+func (c *Console) handleDatasetReplicas(w http.ResponseWriter, r *http.Request) {
+	if c.Replication == nil {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"error": "replication not configured"})
+		return
+	}
+	rows := c.Replication.Placement()
+	if want := r.URL.Query().Get("dataset"); want != "" {
+		filtered := rows[:0]
+		for _, row := range rows {
+			if row.Dataset == want {
+				filtered = append(filtered, row)
+			}
+		}
+		rows = filtered
+	}
+	writeJSON(w, http.StatusOK, map[string]interface{}{"placement": rows})
+}
+
+// handleDatasetStage places a dataset replica on the site that will host
+// the user's instances before the launch (§4: compute next to the data),
+// so the VM reads it over the LAN instead of the WAN.
+func (c *Console) handleDatasetStage(w http.ResponseWriter, r *http.Request) {
+	if c.Replication == nil {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"error": "replication not configured"})
+		return
+	}
+	var req struct{ Dataset, Cloud string }
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeJSON(w, http.StatusBadRequest, map[string]string{"error": err.Error()})
+		return
+	}
+	if req.Dataset == "" || req.Cloud == "" {
+		writeJSON(w, http.StatusBadRequest, map[string]string{"error": "stage needs a dataset and a cloud"})
+		return
+	}
+	st, err := c.Replication.Stage(req.Dataset, req.Cloud)
+	if err != nil {
+		writeJSON(w, http.StatusConflict, map[string]string{"error": err.Error()})
+		return
+	}
+	code := http.StatusOK
+	if st.State == "staging" {
+		code = http.StatusAccepted
+	}
+	writeJSON(w, code, st)
+}
+
+// handleStatus reports cloud topology — operator data: like every other
+// /console/* route this requires a session (it used to be the one
+// unauthenticated leak).
+func (c *Console) handleStatus(w http.ResponseWriter, r *http.Request) {
+	status := map[string]interface{}{"clouds": c.MW.Clouds()}
+	// Per-site poller health: which clouds the billing and monitoring
+	// sweeps failed to reach, not just that one did.
+	if c.Biller != nil {
+		status["poll_errors"] = c.Biller.PollErrorsByCloud()
+	}
+	if c.UsageMon != nil {
+		status["sample_errors"] = c.UsageMon.SampleErrorsByCloud()
+	}
+	writeJSON(w, http.StatusOK, status)
 }

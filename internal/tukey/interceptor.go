@@ -1,0 +1,135 @@
+package tukey
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"sync/atomic"
+)
+
+// Interceptor wraps an http.Handler with one console concern. The console
+// used to be a monolithic switch doing auth, admission control and routing
+// in one body; decomposing it into chained interceptors (the conduit-bmc
+// gateway shape) makes each layer's state dependency explicit — the auth
+// layer touches only the SessionStore, the rate-limit layer only the
+// Limiter — which is what lets N stateless replicas share both through
+// the tukeystate plane.
+type Interceptor func(http.Handler) http.Handler
+
+// Chain composes interceptors around h. The first interceptor is the
+// outermost layer: Chain(h, a, b) runs a, then b, then h.
+func Chain(h http.Handler, layers ...Interceptor) http.Handler {
+	for i := len(layers) - 1; i >= 0; i-- {
+		h = layers[i](h)
+	}
+	return h
+}
+
+// ctxKey namespaces the console's request-context values.
+type ctxKey int
+
+const (
+	sessionCtxKey ctxKey = iota
+	loginCtxKey
+)
+
+// sessionInfo is what the auth layer learned about a request: the resolved
+// identity, or the fact that the token was missing/invalid/expired.
+type sessionInfo struct {
+	id Identity
+	ok bool
+}
+
+// loginRequest is the parsed /login body, decoded once by the parseLogin
+// layer and consumed by both the rate-limit layer (the attempted username
+// is the charge key) and the login handler.
+type loginRequest struct {
+	Provider string `json:"provider"`
+	Username string `json:"username"`
+	Secret   string `json:"secret"`
+}
+
+// sessionFrom extracts the auth layer's verdict from the request context.
+func sessionFrom(r *http.Request) (sessionInfo, bool) {
+	si, ok := r.Context().Value(sessionCtxKey).(sessionInfo)
+	return si, ok
+}
+
+// loginFrom extracts the parsed login body from the request context.
+func loginFrom(r *http.Request) (*loginRequest, bool) {
+	lr, ok := r.Context().Value(loginCtxKey).(*loginRequest)
+	return lr, ok
+}
+
+// authenticate resolves the X-Tukey-Session token into the request
+// context. It never writes a response itself: whether an unauthenticated
+// request is rejected (401) or throttled first (429) belongs to the layers
+// downstream — the rate-limit layer sees the failed auth and charges the
+// shared invalid-session bucket before enforceSession writes the 401, so
+// token guessing is throttled exactly as it was in the monolithic console.
+func (c *Console) authenticate(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		id, ok := c.MW.identityFor(r.Header.Get("X-Tukey-Session"))
+		ctx := context.WithValue(r.Context(), sessionCtxKey, sessionInfo{id: id, ok: ok})
+		next.ServeHTTP(w, r.WithContext(ctx))
+	})
+}
+
+// rateLimit charges the route's weighted cost against the caller's bucket:
+// the resolved identity for authenticated requests, the attempted username
+// for /login, and the shared invalid-session bucket for everything else.
+// An exhausted bucket answers 429 and stops the chain.
+func (c *Console) rateLimit(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		key := invalidSessionKey
+		if si, ok := sessionFrom(r); ok && si.ok {
+			key = si.id.Identifier
+		} else if lr, ok := loginFrom(r); ok {
+			key = lr.Username
+		}
+		if !c.allow(w, key, routeCost(r.Method, r.URL.Path)) {
+			return
+		}
+		next.ServeHTTP(w, r)
+	})
+}
+
+// enforceSession rejects requests the auth layer could not resolve. It
+// runs after the rate-limit layer so a rejected request has already been
+// charged to the invalid-session bucket.
+func (c *Console) enforceSession(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if si, ok := sessionFrom(r); !ok || !si.ok {
+			writeJSON(w, http.StatusUnauthorized, map[string]string{"error": "invalid or missing session"})
+			return
+		}
+		next.ServeHTTP(w, r)
+	})
+}
+
+// parseLogin decodes the /login body into the context. A malformed body is
+// a 400 before any bucket is charged — the charge key is the attempted
+// username, which a body that does not parse cannot assert.
+func (c *Console) parseLogin(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		var req loginRequest
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			writeJSON(w, http.StatusBadRequest, map[string]string{"error": err.Error()})
+			return
+		}
+		ctx := context.WithValue(r.Context(), loginCtxKey, &req)
+		next.ServeHTTP(w, r.WithContext(ctx))
+	})
+}
+
+// allow charges cost rate-limit tokens for key, answering 429 when the
+// caller's bucket is exhausted. With no Limiter configured everything
+// passes.
+func (c *Console) allow(w http.ResponseWriter, key string, cost float64) bool {
+	if c.Limiter == nil || c.Limiter.AllowN(key, cost) {
+		return true
+	}
+	atomic.AddInt64(&c.RateLimited, 1)
+	writeJSON(w, http.StatusTooManyRequests, map[string]string{"error": "rate limit exceeded for " + key})
+	return false
+}

@@ -1,9 +1,26 @@
 package tukey
 
 import (
+	"hash/fnv"
 	"sync"
 	"time"
 )
+
+// Limiter is the console's admission-control seam: AllowN spends cost
+// tokens against key's bucket and reports whether the request is admitted.
+// The in-process RateLimiter implements it; so does the state plane's
+// remote client (tukeystate.RemoteLimiter), which is how N console
+// replicas share one budget per user.
+type Limiter interface {
+	AllowN(key string, cost float64) bool
+}
+
+// limiterShards is the bucket map's shard count. The limiter is the one
+// lock every request on every replica funnels through once it moves to the
+// shared state plane; the console-knee mutex profile showed the single
+// bucket-map mutex as the first state-plane lock to saturate, so the map
+// is split by key hash and each shard carries its own mutex.
+const limiterShards = 16
 
 // RateLimiter is a per-key token bucket: each key (a federated user) gets
 // burst tokens, refilled at rate tokens per second; a request spends one.
@@ -14,10 +31,15 @@ import (
 type RateLimiter struct {
 	rate    float64 // tokens per second
 	burst   float64 // bucket capacity
-	maxKeys int     // eviction threshold for the bucket map
+	maxKeys int     // eviction threshold for the bucket maps (total)
 
+	now    func() time.Time // test hook; time.Now when nil
+	shards [limiterShards]limiterShard
+}
+
+// limiterShard is one slice of the key space with its own lock.
+type limiterShard struct {
 	mu      sync.Mutex
-	now     func() time.Time // test hook; time.Now when nil
 	buckets map[string]*tokenBucket
 }
 
@@ -26,8 +48,8 @@ type tokenBucket struct {
 	last   time.Time
 }
 
-// defaultMaxKeys bounds the bucket map. Keys include attempted /login
-// usernames — attacker-chosen, unauthenticated strings — so the map must
+// defaultMaxKeys bounds the bucket maps. Keys include attempted /login
+// usernames — attacker-chosen, unauthenticated strings — so the maps must
 // not grow with the number of distinct keys ever seen, only with the keys
 // active inside one refill window.
 const defaultMaxKeys = 1 << 16
@@ -39,24 +61,43 @@ func NewRateLimiter(rate, burst float64) *RateLimiter {
 	if burst < 1 {
 		burst = 1
 	}
-	return &RateLimiter{rate: rate, burst: burst, maxKeys: defaultMaxKeys,
-		buckets: make(map[string]*tokenBucket)}
+	rl := &RateLimiter{rate: rate, burst: burst, maxKeys: defaultMaxKeys}
+	for i := range rl.shards {
+		rl.shards[i].buckets = make(map[string]*tokenBucket)
+	}
+	return rl
+}
+
+// shardFor hashes key onto its shard.
+func (rl *RateLimiter) shardFor(key string) *limiterShard {
+	h := fnv.New32a()
+	_, _ = h.Write([]byte(key))
+	return &rl.shards[h.Sum32()%limiterShards]
+}
+
+// shardMaxKeys is the per-shard slice of the total key cap (at least 1).
+func (rl *RateLimiter) shardMaxKeys() int {
+	per := rl.maxKeys / limiterShards
+	if per < 1 {
+		per = 1
+	}
+	return per
 }
 
 // evictStaleLocked drops buckets idle long enough to have refilled to
 // burst — for those, forgetting the bucket is observably identical to
-// keeping it (a fresh bucket starts full). Callers hold rl.mu.
-func (rl *RateLimiter) evictStaleLocked(now time.Time) {
+// keeping it (a fresh bucket starts full). Callers hold sh.mu.
+func (rl *RateLimiter) evictStaleLocked(sh *limiterShard, now time.Time) {
 	if rl.rate <= 0 {
 		// Buckets never refill: nothing is ever safely forgettable, so
 		// fall back to dropping everything (test-only configuration).
-		rl.buckets = make(map[string]*tokenBucket)
+		sh.buckets = make(map[string]*tokenBucket)
 		return
 	}
 	idle := time.Duration(rl.burst / rl.rate * float64(time.Second))
-	for k, b := range rl.buckets {
+	for k, b := range sh.buckets {
 		if now.Sub(b.last) >= idle {
-			delete(rl.buckets, k)
+			delete(sh.buckets, k)
 		}
 	}
 }
@@ -86,19 +127,21 @@ func (rl *RateLimiter) AllowN(key string, cost float64) bool {
 		cost = rl.burst
 	}
 	now := rl.wallNow()
-	rl.mu.Lock()
-	defer rl.mu.Unlock()
-	b, ok := rl.buckets[key]
+	sh := rl.shardFor(key)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	b, ok := sh.buckets[key]
 	if !ok {
-		if len(rl.buckets) >= rl.maxKeys {
-			rl.evictStaleLocked(now)
+		cap := rl.shardMaxKeys()
+		if len(sh.buckets) >= cap {
+			rl.evictStaleLocked(sh, now)
 		}
 		b = &tokenBucket{tokens: rl.burst, last: now}
 		// Hard cap: if every existing bucket is genuinely active, admit
 		// this first-time key (a fresh bucket always has a token) without
 		// remembering it rather than growing without bound.
-		if len(rl.buckets) < rl.maxKeys {
-			rl.buckets[key] = b
+		if len(sh.buckets) < cap {
+			sh.buckets[key] = b
 		}
 	} else {
 		if dt := now.Sub(b.last).Seconds(); dt > 0 {
@@ -119,7 +162,12 @@ func (rl *RateLimiter) AllowN(key string, cost float64) bool {
 // Keys reports how many distinct keys hold buckets (a gauge for tests and
 // status pages).
 func (rl *RateLimiter) Keys() int {
-	rl.mu.Lock()
-	defer rl.mu.Unlock()
-	return len(rl.buckets)
+	n := 0
+	for i := range rl.shards {
+		sh := &rl.shards[i]
+		sh.mu.Lock()
+		n += len(sh.buckets)
+		sh.mu.Unlock()
+	}
+	return n
 }

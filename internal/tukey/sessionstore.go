@@ -1,6 +1,7 @@
 package tukey
 
 import (
+	"hash/fnv"
 	"sync"
 	"time"
 )
@@ -18,10 +19,9 @@ func (s Session) expired(now time.Time) bool {
 }
 
 // SessionStore is where the middleware keeps login sessions. Extracting it
-// from the middleware means multiple console replicas can later share one
-// store (the ROADMAP's session-persistence item): the middleware never
-// assumes the token it minted is still in memory, only that the store
-// answers.
+// from the middleware means multiple console replicas can share one store
+// (the shared state plane): the middleware never assumes the token it
+// minted is still in memory, only that the store answers.
 //
 // Implementations must be safe for concurrent use; every console request
 // resolves its token through the store.
@@ -40,58 +40,90 @@ type SessionStore interface {
 	ExpireBefore(t time.Time) int
 }
 
-// MemorySessionStore is the default store: an in-memory TTL map, scoped to
-// one process — a restart logs everyone out, which is exactly the
-// limitation the interface exists to lift.
+// sessionShards is MemorySessionStore's shard count. The in-memory store
+// is what the state plane serves to every console replica, so its lock is
+// hit by every request from every replica; splitting the token space by
+// hash keeps one hot shard from queueing the rest (the same treatment the
+// rate limiter's bucket map gets).
+const sessionShards = 16
+
+// MemorySessionStore is the default store: an in-memory TTL map, sharded
+// by token hash, scoped to one process. Put behind the tukeystate server
+// it becomes the shared backend N console replicas resolve tokens against.
 type MemorySessionStore struct {
+	shards [sessionShards]sessionShard
+}
+
+type sessionShard struct {
 	mu sync.Mutex
 	m  map[string]Session
 }
 
 // NewMemorySessionStore creates an empty in-memory store.
 func NewMemorySessionStore() *MemorySessionStore {
-	return &MemorySessionStore{m: make(map[string]Session)}
+	s := &MemorySessionStore{}
+	for i := range s.shards {
+		s.shards[i].m = make(map[string]Session)
+	}
+	return s
+}
+
+func (s *MemorySessionStore) shardFor(token string) *sessionShard {
+	h := fnv.New32a()
+	_, _ = h.Write([]byte(token))
+	return &s.shards[h.Sum32()%sessionShards]
 }
 
 // Get implements SessionStore.
 func (s *MemorySessionStore) Get(token string) (Session, bool) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	sess, ok := s.m[token]
+	sh := s.shardFor(token)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	sess, ok := sh.m[token]
 	return sess, ok
 }
 
 // Put implements SessionStore.
 func (s *MemorySessionStore) Put(token string, sess Session) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.m[token] = sess
+	sh := s.shardFor(token)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	sh.m[token] = sess
 }
 
 // Delete implements SessionStore.
 func (s *MemorySessionStore) Delete(token string) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	delete(s.m, token)
+	sh := s.shardFor(token)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	delete(sh.m, token)
 }
 
 // Count implements SessionStore.
 func (s *MemorySessionStore) Count() int {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return len(s.m)
+	n := 0
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		n += len(sh.m)
+		sh.mu.Unlock()
+	}
+	return n
 }
 
 // ExpireBefore implements SessionStore.
 func (s *MemorySessionStore) ExpireBefore(t time.Time) int {
-	s.mu.Lock()
-	defer s.mu.Unlock()
 	n := 0
-	for tok, sess := range s.m {
-		if !sess.Expires.IsZero() && t.After(sess.Expires) {
-			delete(s.m, tok)
-			n++
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		for tok, sess := range sh.m {
+			if !sess.Expires.IsZero() && t.After(sess.Expires) {
+				delete(sh.m, tok)
+				n++
+			}
 		}
+		sh.mu.Unlock()
 	}
 	return n
 }

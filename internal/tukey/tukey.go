@@ -145,9 +145,14 @@ type Middleware struct {
 	clouds  []CloudConfig
 	store   SessionStore
 	nextTok int
-	ttl     time.Duration    // session lifetime; 0 = sessions never expire
-	now     func() time.Time // test hook; time.Now when nil
-	client  *http.Client
+	// tokenPrefix distinguishes tokens minted by different console
+	// replicas sharing one session store: every replica counts its own
+	// nextTok, so without a per-replica prefix two replicas would mint the
+	// same token for different identities (a cross-user session collision).
+	tokenPrefix string
+	ttl         time.Duration    // session lifetime; 0 = sessions never expire
+	now         func() time.Time // test hook; time.Now when nil
+	client      *http.Client
 
 	Logins       int64
 	LoginFails   int64
@@ -174,6 +179,48 @@ func (m *Middleware) SetSessionStore(s SessionStore) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	m.store = s
+}
+
+// SetTokenPrefix namespaces this middleware's session tokens
+// ("tukey-sess-<prefix>%06d"). Every replica sharing a session store must
+// carry a distinct prefix or two replicas' independent token counters
+// will collide in the shared store. Call before traffic starts.
+func (m *Middleware) SetTokenPrefix(p string) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.tokenPrefix = p
+}
+
+// Replica clones this middleware into a stateless peer sharing its IdPs
+// (same pointers: enrollment tables are setup-time state), a snapshot of
+// its user DB and attached clouds, and the given session store — nil
+// shares this middleware's store. tokenPrefix must be unique per replica.
+// Credentials granted after the clone go only to the middleware they are
+// granted on; core.Federation.EnrollResearcher fans grants across every
+// replica it tracks.
+func (m *Middleware) Replica(store SessionStore, tokenPrefix string) *Middleware {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	r := &Middleware{
+		idps:        make(map[Provider]IdP, len(m.idps)),
+		userDB:      make(map[string][]CloudCredential, len(m.userDB)),
+		clouds:      append([]CloudConfig(nil), m.clouds...),
+		store:       store,
+		tokenPrefix: tokenPrefix,
+		ttl:         m.ttl,
+		now:         m.now,
+		client:      m.client,
+	}
+	if store == nil {
+		r.store = m.store
+	}
+	for p, idp := range m.idps {
+		r.idps[p] = idp
+	}
+	for id, creds := range m.userDB {
+		r.userDB[id] = append([]CloudCredential(nil), creds...)
+	}
+	return r
 }
 
 // sessionStore returns the current store under the lock.
@@ -302,36 +349,60 @@ func (m *Middleware) Login(p Provider, username, secret string) (string, error) 
 	// setup-time state.
 	id, err := idp.Assert(username, secret)
 	m.mu.Lock()
-	defer m.mu.Unlock()
 	if err != nil {
 		m.LoginFails++
+		m.mu.Unlock()
 		return "", err
 	}
 	if _, ok := m.userDB[id.Identifier]; !ok {
 		m.LoginFails++
+		m.mu.Unlock()
 		return "", fmt.Errorf("tukey: %s authenticated but has no OSDC account", id.Identifier)
 	}
 	m.nextTok++
-	tok := fmt.Sprintf("tukey-sess-%06d", m.nextTok)
+	tok := fmt.Sprintf("tukey-sess-%s%06d", m.tokenPrefix, m.nextTok)
 	s := Session{Identity: id}
 	if m.ttl > 0 {
 		s.Expires = m.wallNow().Add(m.ttl)
 	}
-	m.store.Put(tok, s)
+	store := m.store
 	m.Logins++
+	m.mu.Unlock()
+	// The Put runs outside m.mu: with a wire-backed store it is a network
+	// round trip, and holding the middleware lock across it serializes
+	// every login on the replica (the console-knee mutex profile put 95%
+	// of all lock delay here). Token uniqueness comes from nextTok, minted
+	// under the lock above.
+	store.Put(tok, s)
 	return tok, nil
 }
 
-// identityFor resolves a session token, reaping it if it has expired.
+// identityFor resolves a session token, reaping it if it has expired and
+// sliding its expiry forward if it is active.
 func (m *Middleware) identityFor(token string) (Identity, bool) {
-	store := m.sessionStore()
+	m.mu.Lock()
+	store, ttl := m.store, m.ttl
+	m.mu.Unlock()
 	s, ok := store.Get(token)
 	if !ok {
 		return Identity{}, false
 	}
-	if s.expired(m.wallNow()) {
+	now := m.wallNow()
+	if s.expired(now) {
 		store.Delete(token)
 		return Identity{}, false
+	}
+	// Sliding expiry: touching a session renews it to now+ttl, so a
+	// session busy on replica A cannot be reaped by ExpireBefore running
+	// on replica B against the shared store with a stale last-seen. The
+	// write is elided until at least ttl/8 of the lifetime has been
+	// consumed, bounding refresh traffic against the shared store to at
+	// most 8 writes per ttl per active session.
+	if ttl > 0 && !s.Expires.IsZero() {
+		if fresh := now.Add(ttl); fresh.Sub(s.Expires) >= ttl/8 {
+			s.Expires = fresh
+			store.Put(token, s)
+		}
 	}
 	return s.Identity, true
 }

@@ -1,0 +1,161 @@
+// Package tukeystate is the console's shared state plane: an HTTP service
+// that serves one SessionStore and one rate limiter to N stateless console
+// replicas, plus the remote clients the replicas use to reach it.
+//
+// The console refactor (interceptor chains over the SessionStore/Limiter
+// seams) made every piece of per-request console state live behind two
+// small interfaces; this package puts those interfaces on the wire. A
+// replica with a RemoteSessionStore and a RemoteLimiter holds no session
+// or admission state of its own — kill it and the next request lands on a
+// sibling with every session and every bucket intact. Parity tests pin the
+// remote clients to the in-memory backends: Local and Remote must be
+// byte-identical through the interface.
+package tukeystate
+
+import (
+	"encoding/json"
+	"net/http"
+	"time"
+
+	"osdc/internal/tukey"
+)
+
+// Wire types. Session expiry crosses as RFC3339; JSON round-trips drop
+// Go's monotonic clock reading, which is why parity tests compare with
+// time.Time.Equal, not ==.
+
+type sessionReq struct {
+	Token   string         `json:"token"`
+	Session *tukey.Session `json:"session,omitempty"`
+	Before  *time.Time     `json:"before,omitempty"`
+}
+
+type sessionResp struct {
+	Session *tukey.Session `json:"session,omitempty"`
+	OK      bool           `json:"ok"`
+	Count   int            `json:"count,omitempty"`
+	Reaped  int            `json:"reaped,omitempty"`
+}
+
+type allowReq struct {
+	Key  string  `json:"key"`
+	Cost float64 `json:"cost"`
+}
+
+type allowResp struct {
+	OK bool `json:"ok"`
+}
+
+// Server serves a SessionStore and a Limiter over HTTP. The store carries
+// the sessions every replica shares; the limiter carries the per-user
+// admission budgets, so a user throttled on one replica is throttled on
+// all of them (one budget, not one per replica).
+type Server struct {
+	store   tukey.SessionStore
+	limiter tukey.Limiter
+	mux     *http.ServeMux
+}
+
+// NewServer wraps store and limiter (either may be nil: a nil limiter
+// answers every /state/ratelimit/allow with admit, a nil store 404s the
+// session routes).
+func NewServer(store tukey.SessionStore, limiter tukey.Limiter) *Server {
+	s := &Server{store: store, limiter: limiter, mux: http.NewServeMux()}
+	if store != nil {
+		s.mux.HandleFunc("/state/sessions/get", s.handleGet)
+		s.mux.HandleFunc("/state/sessions/put", s.handlePut)
+		s.mux.HandleFunc("/state/sessions/delete", s.handleDelete)
+		s.mux.HandleFunc("/state/sessions/count", s.handleCount)
+		s.mux.HandleFunc("/state/sessions/expire", s.handleExpire)
+	}
+	s.mux.HandleFunc("/state/ratelimit/allow", s.handleAllow)
+	s.mux.HandleFunc("/state/health", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	})
+	return s
+}
+
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+func writeJSON(w http.ResponseWriter, code int, v interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func decode(w http.ResponseWriter, r *http.Request, v interface{}) bool {
+	if r.Method != http.MethodPost {
+		writeJSON(w, http.StatusMethodNotAllowed, map[string]string{"error": "POST required"})
+		return false
+	}
+	if err := json.NewDecoder(r.Body).Decode(v); err != nil {
+		writeJSON(w, http.StatusBadRequest, map[string]string{"error": err.Error()})
+		return false
+	}
+	return true
+}
+
+func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
+	var req sessionReq
+	if !decode(w, r, &req) {
+		return
+	}
+	sess, ok := s.store.Get(req.Token)
+	resp := sessionResp{OK: ok}
+	if ok {
+		resp.Session = &sess
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handlePut(w http.ResponseWriter, r *http.Request) {
+	var req sessionReq
+	if !decode(w, r, &req) {
+		return
+	}
+	if req.Session == nil {
+		writeJSON(w, http.StatusBadRequest, map[string]string{"error": "put needs a session"})
+		return
+	}
+	s.store.Put(req.Token, *req.Session)
+	writeJSON(w, http.StatusOK, sessionResp{OK: true})
+}
+
+func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
+	var req sessionReq
+	if !decode(w, r, &req) {
+		return
+	}
+	s.store.Delete(req.Token)
+	writeJSON(w, http.StatusOK, sessionResp{OK: true})
+}
+
+func (s *Server) handleCount(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, sessionResp{OK: true, Count: s.store.Count()})
+}
+
+func (s *Server) handleExpire(w http.ResponseWriter, r *http.Request) {
+	var req sessionReq
+	if !decode(w, r, &req) {
+		return
+	}
+	if req.Before == nil {
+		writeJSON(w, http.StatusBadRequest, map[string]string{"error": "expire needs a bound"})
+		return
+	}
+	writeJSON(w, http.StatusOK, sessionResp{OK: true, Reaped: s.store.ExpireBefore(*req.Before)})
+}
+
+func (s *Server) handleAllow(w http.ResponseWriter, r *http.Request) {
+	var req allowReq
+	if !decode(w, r, &req) {
+		return
+	}
+	ok := true
+	if s.limiter != nil {
+		ok = s.limiter.AllowN(req.Key, req.Cost)
+	}
+	writeJSON(w, http.StatusOK, allowResp{OK: ok})
+}
