@@ -239,6 +239,36 @@ func TestMutexProfileWritten(t *testing.T) {
 	}
 }
 
+// TestShardedGoldensPinnedAtK1 is the sharded live path's backward-
+// compatibility gate: running the scenarios that grew a shard axis with an
+// explicit shards=1 override must reproduce the pre-sharding goldens byte
+// for byte — K=1 is not "approximately the old behavior", it IS the old
+// behavior (same engine seeding, same serial dispatch, no extra metric
+// keys).
+func TestShardedGoldensPinnedAtK1(t *testing.T) {
+	cases := map[string]string{
+		"console-load":   "shards=1,bg-instances=0",
+		"mixed-workload": "shards=1",
+	}
+	for name, params := range cases {
+		t.Run(name, func(t *testing.T) {
+			var out bytes.Buffer
+			if err := run([]string{"-exp", name, "-seed", "7", "-param", params, "-json"}, &out); err != nil {
+				t.Fatalf("run -exp %s -param %s: %v", name, params, err)
+			}
+			normalized := normalizeGolden(t, out.Bytes())
+			want, err := os.ReadFile(filepath.Join("testdata", name+".json"))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(want, normalized) {
+				t.Errorf("explicit K=1 run of %s drifted from the pre-sharding golden\n--- got ---\n%s\n--- want ---\n%s",
+					name, normalized, want)
+			}
+		})
+	}
+}
+
 // TestDeterministicAccountingPinnedAcrossTopologies is the federated clock
 // plane's acceptance invariant, checked at the golden layer: console-load,
 // console-load-remote and console-load-remote-sync must agree on every

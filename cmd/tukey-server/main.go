@@ -39,7 +39,7 @@
 //
 // Usage:
 //
-//	tukey-server [-addr :8080] [-speedup 60] [-session-ttl 12h]
+//	tukey-server [-addr :8080] [-speedup 60] [-shards K] [-session-ttl 12h]
 //	             [-session-file sessions.json] [-remote-clouds]
 //	             [-site name=url ...] [-clock-sync 50ms]
 //	             [-site-timeout 10s] [-rate-limit N] [-rate-burst M]
@@ -116,6 +116,7 @@ func (s *siteList) Set(v string) error {
 // what they exercise).
 type options struct {
 	seed         uint64
+	shards       int           // kernel shard count on the live path; <= 1 = single engine
 	speedup      float64       // simulated seconds per wall second; <= 0 freezes every clock
 	sessionTTL   time.Duration // 0 = sessions never expire
 	sessionFile  string        // persistent session store; "" = in-memory
@@ -157,7 +158,7 @@ type server struct {
 // newServer builds the federation in the requested topology, enrolls the
 // demo researcher, and starts the clock source(s) and coordinator.
 func newServer(opt options) (*server, error) {
-	f, err := core.New(core.Options{Seed: opt.seed, Scale: 4})
+	f, err := core.New(core.Options{Seed: opt.seed, Scale: 4, Shards: opt.shards})
 	if err != nil {
 		return nil, err
 	}
@@ -233,6 +234,7 @@ func newServer(opt options) (*server, error) {
 			Seed: opt.seed, Scale: 4, Speedup: speedup,
 			Clock: clockMode, Client: siteClient, Clouds: inProcess,
 			Datasets: true, OperatorSecret: opt.operatorSecret,
+			Shards: opt.shards,
 		})
 		if err != nil {
 			s.Close()
@@ -392,7 +394,14 @@ func newServer(opt options) (*server, error) {
 	s.handler = mux
 
 	if opt.speedup > 0 {
-		s.driver = sim.StartDriver(f.Engine, opt.speedup, 5*time.Millisecond)
+		// A sharded kernel must advance every shard in lockstep — driving
+		// only the anchor would strand instances homed on other shards with
+		// frozen boot and stop timers.
+		if f.Set.K() > 1 {
+			s.driver = sim.StartShardDriver(f.Set, opt.speedup, 5*time.Millisecond)
+		} else {
+			s.driver = sim.StartDriver(f.Engine, opt.speedup, 5*time.Millisecond)
+		}
 	}
 	if opt.clockSync > 0 && len(syncTargets) > 0 {
 		f.StartClockSync(opt.clockSync, syncTargets...)
@@ -416,6 +425,7 @@ func (s *server) Close() {
 func main() {
 	addr := flag.String("addr", ":8080", "console listen address")
 	speedup := flag.Float64("speedup", 60, "simulated seconds advanced per wall second (0 freezes the clock)")
+	shards := flag.Int("shards", 1, "simulation kernel shards on the live path (1 = single engine, bit-identical to the historic behavior)")
 	sessionTTL := flag.Duration("session-ttl", 12*time.Hour, "wall-clock session lifetime (0 = never expire)")
 	sessionFile := flag.String("session-file", "", "persist sessions to this JSON file so restarts keep users logged in")
 	remote := flag.Bool("remote-clouds", false, "run each cloud behind its own HTTP listener with its own engine and clock")
@@ -433,7 +443,7 @@ func main() {
 	flag.Parse()
 
 	s, err := newServer(options{
-		seed: 1, speedup: *speedup, sessionTTL: *sessionTTL, sessionFile: *sessionFile,
+		seed: 1, shards: *shards, speedup: *speedup, sessionTTL: *sessionTTL, sessionFile: *sessionFile,
 		remoteClouds: *remote, sites: sites, siteTimeout: *siteTimeout, clockSync: *clockSync,
 		rateLimit: *rateLimit, rateBurst: *rateBurst,
 		replicationFactor: *replicationFactor, replicationInterval: *replicationInterval,

@@ -251,3 +251,127 @@ func TestRateLimitFlag(t *testing.T) {
 		t.Fatal("burst of 6 requests against burst=3 never saw 429")
 	}
 }
+
+// TestShardedLiveConsoleFlow drives the -shards live path: a K=4 kernel
+// behind the shard driver, launch/stop/terminate through the console, and
+// usage accruing while every shard advances in lockstep (an instance homed
+// off the anchor shard would otherwise never boot or meter).
+func TestShardedLiveConsoleFlow(t *testing.T) {
+	s, err := newServer(options{seed: 11, shards: 4, speedup: 86_400})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if s.fed.Set.K() != 4 {
+		t.Fatalf("kernel K = %d, want 4", s.fed.Set.K())
+	}
+	srv := httptest.NewServer(s.console)
+	defer srv.Close()
+	tok := login(t, srv.URL)
+
+	// Enough launches that some instance IDs hash off the anchor shard.
+	var ids []string
+	for i := 0; i < 6; i++ {
+		resp := consoleDo(t, srv.URL, "POST", "/console/launch", tok,
+			`{"cloud":"`+core.ClusterAdler+`","name":"sh","flavor":"m1.small"}`)
+		if resp.StatusCode != http.StatusAccepted {
+			t.Fatalf("launch %d: status %d", i, resp.StatusCode)
+		}
+		var out struct {
+			Server struct {
+				ID string `json:"ID"`
+			} `json:"server"`
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		ids = append(ids, out.Server.ID)
+	}
+	offAnchor := false
+	for _, id := range ids {
+		if s.fed.Set.ShardIndex(id) != 0 {
+			offAnchor = true
+		}
+	}
+	if !offAnchor {
+		t.Fatalf("all %d instances hashed to the anchor shard; test proves nothing", len(ids))
+	}
+
+	// Every instance reaches ACTIVE: the shard driver advances the owning
+	// shard's boot timer no matter where the ID hashed.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		resp := consoleDo(t, srv.URL, "GET", "/console/instances", tok, "")
+		var list struct {
+			Servers []tukey.TaggedServer `json:"servers"`
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&list); err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		active := 0
+		for _, sv := range list.Servers {
+			if sv.Status == "ACTIVE" {
+				active++
+			}
+		}
+		if active == len(ids) {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("only %d/%d instances ACTIVE after 10 s wall on the sharded kernel", active, len(ids))
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	// Stop one off-anchor instance through the console; the stop timer must
+	// fire on the owning shard and reach SHUTOFF.
+	stopID := ""
+	for _, id := range ids {
+		if s.fed.Set.ShardIndex(id) != 0 {
+			stopID = id
+			break
+		}
+	}
+	resp := consoleDo(t, srv.URL, "POST", "/console/stop", tok,
+		`{"cloud":"`+core.ClusterAdler+`","id":"`+stopID+`"}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("stop: status %d", resp.StatusCode)
+	}
+	resp.Body.Close()
+	deadline = time.Now().Add(10 * time.Second)
+	for {
+		inst, err := s.fed.AdlerAPI.Instance(stopID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if inst.Status == "SHUTOFF" {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("off-anchor instance %s still %s after stop", stopID, inst.Status)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	// Usage accrues through the anchor-shard biller.
+	deadline = time.Now().Add(10 * time.Second)
+	for {
+		resp := consoleDo(t, srv.URL, "GET", "/console/usage", tok, "")
+		var usage struct {
+			CoreHours float64 `json:"core_hours"`
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&usage); err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if usage.CoreHours > 0 {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("usage still zero on the sharded kernel")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}

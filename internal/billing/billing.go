@@ -17,8 +17,10 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"osdc/internal/cloudapi"
+	"osdc/internal/fanout"
 	"osdc/internal/sim"
 )
 
@@ -113,6 +115,10 @@ type Biller struct {
 	// *which* site is unreachable, not just that one is. Keys are fixed at
 	// construction; values are atomics.
 	errByCloud map[string]*int64
+
+	// deadline bounds one cloud sample's wall time per poll; defaults to
+	// pollDeadline. Set during setup (SetPollDeadline).
+	deadline time.Duration
 }
 
 // DaysPerCycle is the billing month (30 days).
@@ -121,7 +127,8 @@ const DaysPerCycle = 30
 // New starts a biller: per-minute VM polling, daily storage sampling, and a
 // 30-day invoice cycle, all on the simulation clock.
 func New(e *sim.Engine, rates Rates, clouds []cloudapi.CloudAPI, storage StorageFunc) *Biller {
-	b := &Biller{engine: e, rates: rates, clouds: clouds, storage: storage, cycle: 1}
+	b := &Biller{engine: e, rates: rates, clouds: clouds, storage: storage, cycle: 1,
+		deadline: pollDeadline}
 	for i := range b.shards {
 		b.shards[i].usage = make(map[string]*Usage)
 	}
@@ -134,6 +141,10 @@ func New(e *sim.Engine, rates Rates, clouds []cloudapi.CloudAPI, storage Storage
 	b.pollMon = e.Every(DaysPerCycle*sim.Day, b.closeCycle)
 	return b
 }
+
+// SetPollDeadline overrides the per-cloud sample deadline (0 = wait
+// forever). Call during setup, before the clock is driven.
+func (b *Biller) SetPollDeadline(d time.Duration) { b.deadline = d }
 
 // Stop halts all pollers.
 func (b *Biller) Stop() {
@@ -193,25 +204,59 @@ func (sh *usageShard) user(u string) *Usage {
 	return x
 }
 
+// pollWorkers bounds the per-poll fan-out — the same worker count the
+// ClockCoordinator pushes with.
+const pollWorkers = 8
+
+// pollDeadline is the wall budget one cloud's Usage sample gets before the
+// poll abandons the wait (half the Remote client's own timeout, so the
+// poll surfaces a hung site well before the transport gives up). An
+// abandoned sample is counted as a poll error against that cloud; its
+// late result is discarded.
+const pollDeadline = cloudapi.DefaultTimeout / 2
+
 // pollVMs samples every cloud: one sample = one minute of the user's
 // currently allocated cores.
+//
+// The samples fan out over the bounded pool with a per-poll deadline —
+// pollVMs fires on the clock-driving goroutine, and serial sampling would
+// let one hung remote site (a network round trip) stall the simulation
+// clock for every site behind it. Accrual stays on this goroutine, in
+// cloud-attachment order, so the metered sums remain deterministic.
 func (b *Biller) pollVMs() {
-	// Sample the clouds before touching any shard: a sample is a lock
-	// acquisition (Local) or a network round trip (Remote), and holding
-	// one service lock while taking another is how deadlocks start.
-	samples := make([]cloudapi.Usage, 0, len(b.clouds))
-	for _, c := range b.clouds {
-		u, err := c.Usage()
+	type slot struct {
+		mu  sync.Mutex // an abandoned task may write its result late
+		u   cloudapi.Usage
+		err error
+	}
+	slots := make([]slot, len(b.clouds))
+	tasks := make([]func(), len(b.clouds))
+	for i, c := range b.clouds {
+		i, c := i, c
+		tasks[i] = func() {
+			u, err := c.Usage()
+			slots[i].mu.Lock()
+			slots[i].u, slots[i].err = u, err
+			slots[i].mu.Unlock()
+		}
+	}
+	completed := fanout.Each(pollWorkers, b.deadline, tasks)
+	atomic.AddInt64(&b.Polls, 1)
+	for i, c := range b.clouds {
+		if !completed[i] {
+			atomic.AddInt64(&b.PollErrors, 1)
+			atomic.AddInt64(b.errByCloud[c.Name()], 1)
+			continue
+		}
+		slots[i].mu.Lock()
+		u, err := slots[i].u, slots[i].err
+		slots[i].mu.Unlock()
 		if err != nil {
 			atomic.AddInt64(&b.PollErrors, 1)
 			atomic.AddInt64(b.errByCloud[c.Name()], 1)
 			continue
 		}
-		samples = append(samples, u)
-	}
-	atomic.AddInt64(&b.Polls, 1)
-	for _, sample := range samples {
-		for user, v := range sample.ByUser {
+		for user, v := range u.ByUser {
 			b.accrueCores(user, v.Cores)
 		}
 	}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 	"testing"
+	"time"
 
 	"osdc/internal/cloudapi"
 	"osdc/internal/iaas"
@@ -183,5 +184,54 @@ func TestStopHaltsPolling(t *testing.T) {
 	e.RunFor(10 * sim.Minute)
 	if b.Polls != before {
 		t.Fatal("polling continued after Stop")
+	}
+}
+
+// hangingCloud is a CloudAPI whose usage samples block until released — a
+// hung remote site that never answers, as opposed to one that errors fast.
+type hangingCloud struct {
+	cloudapi.CloudAPI
+	name    string
+	release chan struct{}
+}
+
+func (h *hangingCloud) Name() string { return h.name }
+func (h *hangingCloud) Usage() (cloudapi.Usage, error) {
+	<-h.release
+	return cloudapi.Usage{}, nil
+}
+
+// TestAbandonedPollSurfacesAsPollError: a site whose Usage hangs past the
+// per-poll deadline is counted in PollErrorsByCloud while the healthy site
+// keeps accruing — the poll abandons the wait instead of stalling the
+// clock goroutine behind the hung transport.
+func TestAbandonedPollSurfacesAsPollError(t *testing.T) {
+	e := sim.NewEngine(3)
+	good := iaas.NewCloud(e, "healthy", "openstack", "chicago")
+	good.AddRack("r", 2)
+	good.SetQuota("alice", iaas.Quota{MaxInstances: 10, MaxCores: 100})
+	if _, err := good.Launch("alice", "vm", "m1.small", ""); err != nil {
+		t.Fatal(err)
+	}
+	hung := &hangingCloud{name: "hung-site", release: make(chan struct{})}
+	t.Cleanup(func() { close(hung.release) }) // drain the abandoned tasks
+
+	b := New(e, DefaultRates(), []cloudapi.CloudAPI{
+		cloudapi.NewLocal(good),
+		hung,
+	}, nil)
+	b.SetPollDeadline(5 * time.Millisecond)
+	e.RunFor(5 * sim.Minute)
+	b.Stop()
+
+	per := b.PollErrorsByCloud()
+	if per["healthy"] != 0 {
+		t.Fatalf("healthy cloud charged %d poll errors", per["healthy"])
+	}
+	if per["hung-site"] < 4 {
+		t.Fatalf("hung-site abandoned polls = %d, want ~5", per["hung-site"])
+	}
+	if u := b.CurrentUsage("alice"); u.Samples < 4 {
+		t.Fatalf("healthy accrual stalled behind the hung site: %d samples", u.Samples)
 	}
 }

@@ -84,6 +84,11 @@ type CloudAPI interface {
 	Launch(user, name, flavor, image string) (Instance, error)
 	// Terminate releases user's instance id.
 	Terminate(user, id string) error
+	// Stop shuts user's instance id down (it reaches SHUTOFF after the
+	// cloud's stop delay and stops accruing usage, keeping its
+	// allocation). Maps to OpenStack's os-stop action and EC2's
+	// StopInstances.
+	Stop(user, id string) error
 	// Instances lists user's non-terminated instances, sorted by ID.
 	Instances(user string) ([]Instance, error)
 	// Instance looks one instance up by ID (any state, any owner);

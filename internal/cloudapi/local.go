@@ -41,6 +41,9 @@ func (l *Local) Launch(user, name, flavor, image string) (Instance, error) {
 // Terminate implements CloudAPI.
 func (l *Local) Terminate(user, id string) error { return l.C.Terminate(user, id) }
 
+// Stop implements CloudAPI.
+func (l *Local) Stop(user, id string) error { return l.C.Stop(user, id) }
+
 // Instances implements CloudAPI.
 func (l *Local) Instances(user string) ([]Instance, error) {
 	var out []Instance

@@ -122,6 +122,37 @@ func TestLocalRemoteParity(t *testing.T) {
 				}
 			}
 
+			// Stop through the native dialect (os-stop / StopInstances):
+			// the instance reaches SHUTOFF after the stop delay, both
+			// backends observe it identically, and a second Stop is
+			// idempotent through either backend.
+			stopped, err := local.Launch("alice", "vm-s", "m1.small", "")
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := remote.Stop("alice", stopped.ID); err != nil {
+				t.Fatal(err)
+			}
+			rig.engine.RunFor(120)
+			shut := both(t, "Instance(stopped)",
+				func() (Instance, error) { return local.Instance(stopped.ID) },
+				func() (Instance, error) { return remote.Instance(stopped.ID) })
+			if shut.Status != string(iaas.StateShutoff) {
+				t.Fatalf("stopped status = %q, want SHUTOFF", shut.Status)
+			}
+			if err := local.Stop("alice", stopped.ID); err != nil {
+				t.Fatalf("second Stop not idempotent: %v", err)
+			}
+			if err := remote.Stop("alice", "no-such"); err == nil {
+				t.Fatal("remote Stop of unknown id succeeded")
+			}
+			if err := local.Stop("alice", "no-such"); err == nil {
+				t.Fatal("local Stop of unknown id succeeded")
+			}
+			if err := local.Terminate("alice", stopped.ID); err != nil {
+				t.Fatal(err)
+			}
+
 			// Quota set through the Remote operator plane binds the cloud
 			// both backends see, and rejections keep their error class
 			// across the wire.

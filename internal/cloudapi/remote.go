@@ -220,6 +220,18 @@ func (r *Remote) novaTerminate(user, id string) error {
 	return nil
 }
 
+func (r *Remote) novaStop(user, id string) error {
+	resp, err := r.novaDo(http.MethodPost, "/v2/servers/"+id+"/action", `{"os-stop": null}`, user)
+	if err != nil {
+		return err
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		return fmt.Errorf("cloudapi: stop on %s returned %d", r.name, resp.StatusCode)
+	}
+	return nil
+}
+
 func (r *Remote) novaImages(user string) ([]Image, error) {
 	resp, err := r.novaDo(http.MethodGet, "/v2/images", "", user)
 	if err != nil {
@@ -369,6 +381,19 @@ func (r *Remote) ec2Terminate(user, id string) error {
 	return nil
 }
 
+func (r *Remote) ec2Stop(user, id string) error {
+	q := url.Values{"Action": {"StopInstances"}, "AWSAccessKeyId": {user}, "InstanceId.1": {id}}
+	status, raw, err := r.ec2Get(q)
+	if err != nil {
+		return err
+	}
+	if status != http.StatusOK {
+		_, msg := ec2FailBody(raw)
+		return fmt.Errorf("cloudapi: stop on %s returned %d: %s", r.name, status, msg)
+	}
+	return nil
+}
+
 func (r *Remote) ec2Images(user string) ([]Image, error) {
 	q := url.Values{"Action": {"DescribeImages"}, "AWSAccessKeyId": {user}}
 	status, raw, err := r.ec2Get(q)
@@ -426,6 +451,14 @@ func (r *Remote) Terminate(user, id string) error {
 		return r.ec2Terminate(user, id)
 	}
 	return r.novaTerminate(user, id)
+}
+
+// Stop implements CloudAPI via the native dialect.
+func (r *Remote) Stop(user, id string) error {
+	if r.stack == "eucalyptus" {
+		return r.ec2Stop(user, id)
+	}
+	return r.novaStop(user, id)
 }
 
 // Instances implements CloudAPI via the native dialect.

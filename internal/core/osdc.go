@@ -428,7 +428,8 @@ func (f *Federation) StartReplication(opt ReplicationOptions) *datastore.Coordin
 		}
 	}
 	f.Replication = datastore.NewCoordinator(f.Engine, f.Network, f.Catalog,
-		datastore.Options{Factor: opt.Factor, Factors: opt.Factors, Seed: opt.Seed}, sites...)
+		datastore.Options{Factor: opt.Factor, Factors: opt.Factors, Seed: opt.Seed,
+			Shards: f.Set}, sites...)
 	if opt.Interval > 0 {
 		f.Replication.Start(opt.Interval)
 	}

@@ -90,6 +90,11 @@ type Options struct {
 	SiteDeadline time.Duration
 	// Seed feeds the coordinator's private RNG (flow loss sampling).
 	Seed uint64
+	// Shards, when set with K > 1, homes each round's flow groups by link
+	// name and prices them concurrently across shards (per-link RNG
+	// streams). Nil or K = 1 keeps the serial single-stream pricing path —
+	// the one the scenario goldens are pinned against.
+	Shards *sim.ShardSet
 }
 
 // Coordinator keeps every catalog dataset at its target replication factor
@@ -116,6 +121,9 @@ type Coordinator struct {
 	factors map[string]int
 	proto   string
 	workers int
+
+	shards  *sim.ShardSet
+	rngSeed uint64
 
 	mu           sync.Mutex
 	rng          *sim.RNG
@@ -166,6 +174,7 @@ func NewCoordinator(e *sim.Engine, nw *simnet.Network, cat *datasets.Catalog, op
 		engine: e, nw: nw, catalog: cat,
 		factor: opt.Factor, factors: opt.Factors,
 		proto: opt.Protocol, workers: opt.Workers,
+		shards: opt.Shards, rngSeed: opt.Seed ^ 0xda7a,
 		rng:          sim.NewRNG(opt.Seed ^ 0xda7a),
 		sites:        append([]API(nil), sites...),
 		siteDeadline: opt.SiteDeadline,
@@ -496,6 +505,10 @@ func (c *Coordinator) priceLocked(now sim.Time, plans []*Transfer) {
 		byLink[t.Link] = append(byLink[t.Link], t)
 	}
 	sort.Strings(links) // deterministic RNG consumption order
+	if c.shards != nil && c.shards.K() > 1 {
+		c.priceShardedLocked(now, links, byLink)
+		return
+	}
 	for _, link := range links {
 		group := byLink[link]
 		path := c.pathBetween(c.locOf(group[0].From), c.locOf(group[0].To))
@@ -509,6 +522,36 @@ func (c *Coordinator) priceLocked(now sim.Time, plans []*Transfer) {
 		for i, t := range group {
 			t.ArriveAt = now + sim.Time(results[i].Duration)
 			t.Retransmit = results[i].Retransmit
+		}
+	}
+}
+
+// priceShardedLocked prices the round's link groups concurrently, homed by
+// link name over the kernel's shard count — replication and staging flows
+// planned in one round price in parallel while arrivals still install on
+// the anchor engine's clock. Each link draws a private RNG stream seeded
+// from its name, so sharded pricing is bit-deterministic for any K; it is
+// a different (equally valid) loss sample than the serial path's single
+// shared stream, which is why K = 1 keeps the serial path and its pinned
+// goldens.
+func (c *Coordinator) priceShardedLocked(now sim.Time, links []string, byLink map[string][]*Transfer) {
+	groups := make([]transport.FlowGroup, len(links))
+	for gi, link := range links {
+		group := byLink[link]
+		path := c.pathBetween(c.locOf(group[0].From), c.locOf(group[0].To))
+		ctrls := make([]transport.Controller, len(group))
+		sizes := make([]int64, len(group))
+		for i, t := range group {
+			ctrls[i] = c.controller(path)
+			sizes[i] = t.Bytes
+		}
+		groups[gi] = transport.FlowGroup{Name: link, Path: path, Ctrls: ctrls, Sizes: sizes}
+	}
+	results := transport.SimulateGrouped(c.rngSeed, c.shards.K(), groups)
+	for gi, link := range links {
+		for i, t := range byLink[link] {
+			t.ArriveAt = now + sim.Time(results[gi][i].Duration)
+			t.Retransmit = results[gi][i].Retransmit
 		}
 	}
 }

@@ -551,3 +551,37 @@ func TestArrivalInstallDoesNotHoldCoordinatorLock(t *testing.T) {
 		t.Fatal("Poll completed no arrivals")
 	}
 }
+
+// TestShardedPricingDeterministicAndConverges: a coordinator homed on a
+// K=4 kernel prices flow groups concurrently yet reproduces the same
+// placement and stats run over run, and a K=1 shard set keeps the serial
+// pricing path bit-identical to a shard-less coordinator.
+func TestShardedPricingDeterministicAndConverges(t *testing.T) {
+	run := func(set *sim.ShardSet) Stats {
+		rig := newCoordRig(t, 11)
+		c := NewCoordinator(rig.e, rig.nw, rig.cat,
+			Options{Factor: 2, Seed: 11, Shards: set}, rig.a, rig.b, rig.c)
+		converge(t, rig.e, c)
+		for _, d := range rig.cat.All() {
+			if got := rig.replicaCount(d.Name); got != 2 {
+				t.Fatalf("%s has %d replicas, want 2", d.Name, got)
+			}
+		}
+		return c.Stats()
+	}
+
+	sharded1 := run(sim.NewShardSet(11, 4))
+	sharded2 := run(sim.NewShardSet(11, 4))
+	if !reflect.DeepEqual(sharded1, sharded2) {
+		t.Fatalf("K=4 pricing not deterministic:\nrun1: %+v\nrun2: %+v", sharded1, sharded2)
+	}
+
+	k1 := run(sim.NewShardSet(11, 1))
+	serial := run(nil)
+	if !reflect.DeepEqual(k1, serial) {
+		t.Fatalf("K=1 shard set diverged from serial pricing:\nK=1:    %+v\nserial: %+v", k1, serial)
+	}
+	if sharded1.BytesMoved != serial.BytesMoved || sharded1.Transfers != serial.Transfers {
+		t.Fatalf("sharded pricing changed what moved: sharded %+v vs serial %+v", sharded1, serial)
+	}
+}

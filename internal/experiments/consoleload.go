@@ -59,6 +59,22 @@ const (
 // sub-second run.
 const consoleLoadSpeedup = 60_000
 
+// consoleGridSpeedup replaces consoleLoadSpeedup in grid mode: with 10⁵
+// background instances each heartbeating every gridHeartbeat, 60 000×
+// would ask the kernel for ~3×10⁶ events per wall second; 600× keeps the
+// live event rate in the 10⁴/s range while still packing 31 simulated
+// minutes of billing into a few wall seconds.
+const consoleGridSpeedup = 600
+
+// Grid-mode background population shape: dense synthetic hypervisors (so
+// 10⁵ VMs need a few hundred host records rather than 10⁴ paper hosts),
+// every VM heartbeating usage on its owning shard.
+const (
+	gridHostCores = 512
+	gridHeartbeat = sim.Duration(30 * sim.Minute)
+	gridUser      = "grid"
+)
+
 // consoleLoadSyncInterval is the coordinator's wall push period in the
 // followed-clock topology: long enough that HTTP round trips stay a small
 // fraction of it, short enough for many sync rounds per run.
@@ -86,6 +102,18 @@ type ConsoleLoadOpts struct {
 	// scenario maps them to live- keys.
 	RateLimit float64
 	RateBurst float64
+	// Shards is the live kernel's shard count (<= 1 = one engine). K=1
+	// reproduces the historic single-engine runs bit for bit; K>1 homes
+	// every instance's boot/heartbeat/stop timers on the shard its ID
+	// hashes to and drives all shards in lockstep.
+	Shards int
+	// BgInstances > 0 switches on grid mode: that many background
+	// m1.small VMs are parked on Adler (dense synthetic hosts, a usage
+	// heartbeat armed on each) before the console storm starts, so
+	// latencies are measured against a kernel busy with a large live
+	// entity population. Grid mode runs at consoleGridSpeedup and only in
+	// the single-process topology.
+	BgInstances int
 }
 
 // DefaultConsoleLoadOpts is the historic 8×5 workload.
@@ -99,6 +127,8 @@ func consoleLoadOptsFrom(params map[string]float64, remote, clockFollow bool) Co
 		Think:       time.Duration(params["think-ms"]) * time.Millisecond,
 		Remote:      remote,
 		ClockFollow: clockFollow,
+		Shards:      int(params["shards"]),
+		BgInstances: int(params["bg-instances"]),
 	}
 }
 
@@ -122,11 +152,26 @@ type consoleRig struct {
 // are rewired onto Remote transports — free-running by default, or
 // coordinator-followed with opts.ClockFollow.
 func startConsoleRig(seed uint64, opts ConsoleLoadOpts, speedup float64) (*consoleRig, error) {
-	f, err := core.New(core.Options{Seed: seed, Scale: 8})
+	f, err := core.New(core.Options{Seed: seed, Scale: 8, Shards: opts.Shards})
 	if err != nil {
 		return nil, err
 	}
 	rig := &consoleRig{f: f, admin: map[string]cloudapi.CloudAPI{}}
+
+	if opts.BgInstances > 0 {
+		if opts.Remote {
+			rig.close()
+			return nil, fmt.Errorf("console-load: grid mode (bg-instances) requires the single-process topology")
+		}
+		// Hosts and the heartbeat setting must land before the clock goes
+		// live: AddHost is a setup-phase call (unlocked), and SetHeartbeat
+		// only arms instances launched after it.
+		for i := 0; i*gridHostCores < opts.BgInstances+gridHostCores; i++ {
+			f.Adler.AddHost(iaas.NewHost(fmt.Sprintf("grid-%03d", i),
+				gridHostCores, gridHostCores*4096, gridHostCores*100))
+		}
+		f.Adler.SetHeartbeat(gridHeartbeat)
+	}
 
 	if opts.Remote {
 		// Per-site worlds: own engine, own cloud, own listener, own
@@ -141,7 +186,7 @@ func startConsoleRig(seed uint64, opts ConsoleLoadOpts, speedup float64) (*conso
 		}
 		sites, err := f.StartRemoteSitesWithOptions(core.RemoteSiteOptions{
 			Seed: seed, Scale: 8, Speedup: siteSpeedup,
-			Clock: clock, SyncInterval: syncEvery,
+			Clock: clock, SyncInterval: syncEvery, Shards: opts.Shards,
 		})
 		if err != nil {
 			rig.close()
@@ -173,8 +218,13 @@ func startConsoleRig(seed uint64, opts ConsoleLoadOpts, speedup float64) (*conso
 	rig.closers = append(rig.closers, rig.console.Close)
 
 	// The console-side engine goes live last: from here on handlers and
-	// pollers share it.
-	rig.drivers = append(rig.drivers, sim.StartDriver(f.Engine, speedup, 2*time.Millisecond))
+	// pollers share it. A sharded kernel needs the shard driver — driving
+	// only the anchor would strand off-anchor boot and heartbeat timers.
+	if f.Set.K() > 1 {
+		rig.drivers = append(rig.drivers, sim.StartShardDriver(f.Set, speedup, 2*time.Millisecond))
+	} else {
+		rig.drivers = append(rig.drivers, sim.StartDriver(f.Engine, speedup, 2*time.Millisecond))
+	}
 	return rig, nil
 }
 
@@ -294,7 +344,11 @@ func ConsoleLoad(seed uint64, opts ConsoleLoadOpts) (scenario.Result, error) {
 	if opts.Iters <= 0 {
 		opts.Iters = 5
 	}
-	rig, err := startConsoleRig(seed, opts, consoleLoadSpeedup)
+	speedup := float64(consoleLoadSpeedup)
+	if opts.BgInstances > 0 {
+		speedup = consoleGridSpeedup
+	}
+	rig, err := startConsoleRig(seed, opts, speedup)
 	if err != nil {
 		return scenario.Result{}, err
 	}
@@ -305,6 +359,27 @@ func ConsoleLoad(seed uint64, opts ConsoleLoadOpts) (scenario.Result, error) {
 	}
 	console := rig.console
 	f := rig.f
+
+	// Grid mode: park the background population on Adler before the storm.
+	// Launches go straight through the iaas control plane — the point is a
+	// busy kernel under the console, not 10⁵ HTTP round trips — and the
+	// clock is already live, so boots and heartbeats start firing on their
+	// owning shards while the loop is still running.
+	bgShardsPopulated := 0
+	if opts.BgInstances > 0 {
+		f.Adler.SetQuota(gridUser, iaas.Quota{
+			MaxInstances: opts.BgInstances + 1, MaxCores: opts.BgInstances + 1})
+		for i := 0; i < opts.BgInstances; i++ {
+			if _, err := f.Adler.Launch(gridUser, fmt.Sprintf("bg-%06d", i), "m1.small", ""); err != nil {
+				return scenario.Result{}, fmt.Errorf("console-load: grid launch %d/%d: %w", i, opts.BgInstances, err)
+			}
+		}
+		for _, n := range f.Adler.ShardPopulation() {
+			if n > 0 {
+				bgShardsPopulated++
+			}
+		}
+	}
 
 	wallStart := time.Now()
 	simStart := f.Engine.Now()
@@ -450,6 +525,9 @@ func ConsoleLoad(seed uint64, opts ConsoleLoadOpts) (scenario.Result, error) {
 		topology += " (followed clocks)"
 		clockFlag = 1
 	}
+	if opts.Shards > 1 {
+		topology += fmt.Sprintf(", %d-shard kernel", f.Set.K())
+	}
 
 	var b strings.Builder
 	fmt.Fprintf(&b, "console load: %d researchers × (login + persistent VM + %d op loops), %s topology\n",
@@ -460,8 +538,12 @@ func ConsoleLoad(seed uint64, opts ConsoleLoadOpts) (scenario.Result, error) {
 	fmt.Fprintf(&b, "throughput       : %.0f req/s over %v wall\n", float64(totalReqs)/wallElapsed.Seconds(), wallElapsed.Round(time.Millisecond))
 	fmt.Fprintf(&b, "latency          : p50 %.2f ms, p95 %.2f ms, p99 %.2f ms\n",
 		quantileMs(all, 0.50), quantileMs(all, 0.95), quantileMs(all, 0.99))
-	fmt.Fprintf(&b, "sim clock        : advanced %v while serving (speedup %d×)\n", sim.Time(simElapsed), consoleLoadSpeedup)
+	fmt.Fprintf(&b, "sim clock        : advanced %v while serving (speedup %.0f×)\n", sim.Time(simElapsed), speedup)
 	fmt.Fprintf(&b, "metered usage    : every researcher nonzero (min %.2f core-hours)\n", minCoreHours)
+	if opts.BgInstances > 0 {
+		fmt.Fprintf(&b, "grid background  : %d VMs across %d shard bucket(s), %d usage heartbeats, shard skew %.0f s at join\n",
+			opts.BgInstances, bgShardsPopulated, f.Adler.Heartbeats(), float64(f.Set.Skew()))
+	}
 
 	metrics := map[string]float64{
 		"users":              float64(opts.Users),
@@ -480,6 +562,17 @@ func ConsoleLoad(seed uint64, opts ConsoleLoadOpts) (scenario.Result, error) {
 		"live-p99-ms":        quantileMs(all, 0.99),
 		"live-sim-minutes":   float64(simElapsed) / sim.Minute,
 		"live-core-hours":    minCoreHours,
+	}
+	// Shard/grid keys appear only when the axes are exercised, so the
+	// default-run goldens pinned before sharding stay byte-identical.
+	if opts.Shards > 1 {
+		metrics["shards"] = float64(f.Set.K())
+	}
+	if opts.BgInstances > 0 {
+		metrics["bg-instances"] = float64(opts.BgInstances)
+		metrics["bg-shards-populated"] = float64(bgShardsPopulated)
+		metrics["live-bg-heartbeats"] = float64(f.Adler.Heartbeats())
+		metrics["live-shard-skew-s"] = float64(f.Set.Skew())
 	}
 	if opts.ClockFollow {
 		metrics["clock-follow"] = clockFlag

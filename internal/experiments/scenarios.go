@@ -173,12 +173,22 @@ func init() {
 			return scenario.Result{Metrics: metrics, Table: out}, nil
 		}))
 
-	scenario.Register(scenario.New("mixed-workload", mixedWorkloadDesc, MixedWorkload))
+	// mixed-workload's shards param runs the composition on the sharded
+	// kernel; the default (1) is the historic single-engine run.
+	scenario.Register(scenario.NewParametric("mixed-workload", mixedWorkloadDesc,
+		map[string]float64{"shards": 1},
+		func(seed uint64, params map[string]float64) (scenario.Result, error) {
+			return MixedWorkload(seed, int(params["shards"]))
+		}))
 	scenario.Register(scenario.New("wan-contention", wanContentionDesc, WANContention))
 
 	// console-load runs in both federation topologies and takes its
 	// workload shape from scenario params (osdc-bench -param users=32,...).
-	consoleLoadDefaults := map[string]float64{"users": 8, "iters": 5, "think-ms": 0}
+	// shards > 1 puts the live path on the sharded kernel; bg-instances > 0
+	// (single-process topology only) parks that many background VMs on
+	// Adler first — the 10⁵-entity grid the sharded p95 benchmarks sweep.
+	consoleLoadDefaults := map[string]float64{
+		"users": 8, "iters": 5, "think-ms": 0, "shards": 1, "bg-instances": 0}
 	scenario.Register(scenario.NewParametric("console-load", consoleLoadDesc, consoleLoadDefaults,
 		func(seed uint64, params map[string]float64) (scenario.Result, error) {
 			return ConsoleLoad(seed, consoleLoadOptsFrom(params, false, false))

@@ -25,11 +25,11 @@ func TestAllExperimentsRegistered(t *testing.T) {
 }
 
 func TestMixedWorkloadDeterministic(t *testing.T) {
-	a, err := MixedWorkload(21)
+	a, err := MixedWorkload(21, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := MixedWorkload(21)
+	b, err := MixedWorkload(21, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -41,6 +41,31 @@ func TestMixedWorkloadDeterministic(t *testing.T) {
 	}
 	if a.Metrics["elephant-mbit"] <= 0 || a.Metrics["science-total-TB"] <= 0 {
 		t.Fatalf("metrics incomplete: %v", a.Metrics)
+	}
+}
+
+// TestMixedWorkloadShardInvariant: the sharded kernel changes which engine
+// fires each instance timer, never what the run computes — every metric
+// except the shards marker matches the single-engine run exactly.
+func TestMixedWorkloadShardInvariant(t *testing.T) {
+	serial, err := MixedWorkload(21, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sharded, err := MixedWorkload(21, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sharded.Metrics["shards"] != 8 {
+		t.Fatalf("sharded run did not report its shard count: %v", sharded.Metrics)
+	}
+	if _, ok := serial.Metrics["shards"]; ok {
+		t.Fatalf("K=1 run leaked the shards key (golden would change): %v", serial.Metrics)
+	}
+	for key, want := range serial.Metrics {
+		if got := sharded.Metrics[key]; got != want {
+			t.Fatalf("%s diverged on the sharded kernel: K=1 %v, K=8 %v", key, want, got)
+		}
 	}
 }
 

@@ -12,8 +12,9 @@ import (
 // different in shape from NovaAPI (GET+query vs REST+JSON, XML vs JSON,
 // reservation wrapping vs flat lists).
 //
-// Supported actions: RunInstances, DescribeInstances, TerminateInstances,
-// DescribeImages. The caller identity arrives as AWSAccessKeyId.
+// Supported actions: RunInstances, DescribeInstances, StopInstances,
+// TerminateInstances, DescribeImages. The caller identity arrives as
+// AWSAccessKeyId.
 type EucaAPI struct {
 	Cloud *Cloud
 }
@@ -48,6 +49,13 @@ type DescribeInstancesResponse struct {
 // TerminateInstancesResponse is the EC2 wire response.
 type TerminateInstancesResponse struct {
 	XMLName xml.Name `xml:"TerminateInstancesResponse"`
+	ID      string   `xml:"instancesSet>item>instanceId"`
+	State   string   `xml:"instancesSet>item>currentState>name"`
+}
+
+// StopInstancesResponse is the EC2 wire response.
+type StopInstancesResponse struct {
+	XMLName xml.Name `xml:"StopInstancesResponse"`
 	ID      string   `xml:"instancesSet>item>instanceId"`
 	State   string   `xml:"instancesSet>item>currentState>name"`
 }
@@ -142,6 +150,14 @@ func (a *EucaAPI) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		writeXML(w, http.StatusOK, DescribeInstancesResponse{
 			Reservations: []ec2Reservation{{OwnerID: user, Items: items}},
 		})
+
+	case "StopInstances":
+		id := q.Get("InstanceId.1")
+		if err := a.Cloud.Stop(user, id); err != nil {
+			ec2Fail(w, http.StatusNotFound, "InvalidInstanceID.NotFound", err.Error())
+			return
+		}
+		writeXML(w, http.StatusOK, StopInstancesResponse{ID: id, State: "stopping"})
 
 	case "TerminateInstances":
 		id := q.Get("InstanceId.1")

@@ -21,6 +21,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"osdc/internal/sim"
 )
@@ -80,6 +81,18 @@ type Instance struct {
 	State    InstanceState
 	Launched sim.Time
 	Stopped  sim.Time // valid when terminated/shutoff
+
+	// Timer plumbing, all homed on the shard that owns ID. boot and stop
+	// are per-schedule handles: cancelling one locks the engine the event
+	// was scheduled on (Handle carries its engine), so a cross-shard Stop
+	// or Terminate always cancels on the owning shard, never the anchor.
+	// hb is the pooled usage-heartbeat timer; it is owned by the shard's
+	// event goroutine and is never cancelled from API goroutines — a beat
+	// that finds the instance no longer running simply does not re-arm.
+	boot        sim.Handle
+	stop        sim.Handle
+	hb          *sim.Timer
+	stopPending bool
 }
 
 // CoreSecondsUntil returns core-seconds consumed up to t (for billing).
@@ -135,27 +148,75 @@ type Quota struct {
 // FreeTierQuota is the default allocation for any researcher.
 func FreeTierQuota() Quota { return Quota{MaxInstances: 2, MaxCores: 4} }
 
+// instShard is one shard-local instance bucket. Every per-instance hot
+// path — boot completion, usage heartbeats, stop completion, state reads
+// from API handlers — goes through the bucket's own mutex, so callbacks
+// firing concurrently on K shard goroutines never serialize on the cloud
+// lock, and samplers (biller, usage monitor) walk K short critical
+// sections instead of one global locked list.
+type instShard struct {
+	mu   sync.Mutex
+	inst map[string]*Instance
+	// beats counts usage heartbeats fired by this shard's instances. It is
+	// written only under mu by callbacks homed on this shard's engine and
+	// summed in shard order by Heartbeats().
+	beats uint64
+}
+
+// topology pins the instance population's shard fan-out: the ShardSet
+// keying instance IDs to engines (nil = unsharded) and the matching
+// per-shard buckets. SetShards replaces it wholesale during setup; all
+// traffic-time readers load it lock-free through the atomic pointer.
+type topology struct {
+	set *sim.ShardSet
+	sh  []*instShard
+}
+
+func (t *topology) index(id string) int {
+	if t.set == nil {
+		return 0
+	}
+	return t.set.ShardIndex(id)
+}
+
+func (t *topology) bucket(id string) *instShard { return t.sh[t.index(id)] }
+
+// footprint is one user's running allocation (ACTIVE + BUILD instances),
+// maintained incrementally so Launch's quota check is O(1) instead of a
+// walk over the whole population.
+type footprint struct {
+	n     int
+	cores int
+}
+
 // Cloud is one compute cloud (e.g. OSDC-Adler or OSDC-Sullivan).
 //
-// mu covers everything that changes after setup: instances, host
-// allocations, quotas, images and the counters. Hosts and flavors are
-// attached before traffic starts and their identity is read-only after
-// that (their allocation fields are guarded by mu). API handlers call the
-// exported methods from concurrent goroutines while boot timers fire on
-// the clock-driving one.
+// mu covers the control plane: host allocations, quotas, images, the ID
+// counter, per-user footprints and the launch/reject counters. Instance
+// records live in per-shard buckets guarded by their own mutexes (see
+// instShard); the lock order is c.mu → instShard.mu → engine internals,
+// and timer callbacks take at most the bucket lock (stop completion also
+// takes c.mu first, in that order, to return the user's footprint).
+// Hosts and flavors are attached before traffic starts and their identity
+// is read-only after that. API handlers call the exported methods from
+// concurrent goroutines while boot/heartbeat/stop timers fire on the
+// owning shard's clock goroutine.
 type Cloud struct {
 	Name    string
 	Stack   string // "openstack" or "eucalyptus" — selects the native API
 	Site    string
 	mu      sync.Mutex
 	engine  *sim.Engine
-	shards  *sim.ShardSet // nil: all timers on engine
+	topo    atomic.Pointer[topology]
 	hosts   []*Host
 	flavors map[string]Flavor
 	images  map[string]*Image
-	inst    map[string]*Instance
 	quotas  map[string]Quota
+	foot    map[string]footprint
 	nextID  int
+	// hbEvery > 0 arms a usage heartbeat on every launched instance,
+	// firing on the instance's owning shard. Set during setup.
+	hbEvery sim.Duration
 
 	Launches   int64
 	Rejections int64
@@ -167,30 +228,95 @@ func NewCloud(e *sim.Engine, name, stack, site string) *Cloud {
 		Name: name, Stack: stack, Site: site, engine: e,
 		flavors: make(map[string]Flavor),
 		images:  make(map[string]*Image),
-		inst:    make(map[string]*Instance),
 		quotas:  make(map[string]Quota),
+		foot:    make(map[string]footprint),
 	}
+	c.topo.Store(&topology{sh: []*instShard{{inst: make(map[string]*Instance)}}})
 	for _, f := range DefaultFlavors() {
 		c.flavors[f.Name] = f
 	}
 	return c
 }
 
-// SetShards routes per-instance timers (boot completion) onto the shard
-// owning each instance ID instead of the cloud's base engine — the
-// sharded-kernel wiring. The set's anchor must be the cloud's engine, so
-// a K=1 set reproduces the unsharded behavior exactly. Call during setup,
-// before traffic starts.
+// SetShards homes the instance population on the shard set: instance
+// records bucket by sim.ShardIndex(instanceID) and every per-instance
+// timer (boot, heartbeat, stop) fires on the owning shard instead of the
+// cloud's base engine — the sharded-kernel wiring. The set's anchor must
+// be the cloud's engine, so a K=1 set reproduces the unsharded behavior
+// exactly. Call during setup, before traffic starts; instances launched
+// before the call are re-bucketed, but their already-scheduled timers
+// stay on the engine that scheduled them (their handles cancel there
+// regardless).
 func (c *Cloud) SetShards(set *sim.ShardSet) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	c.shards = set
+	k := 1
+	if set != nil {
+		k = set.K()
+	}
+	next := &topology{set: set, sh: make([]*instShard, k)}
+	for i := range next.sh {
+		next.sh[i] = &instShard{inst: make(map[string]*Instance)}
+	}
+	prev := c.topo.Load()
+	for _, sh := range prev.sh {
+		sh.mu.Lock()
+		for id, inst := range sh.inst {
+			next.bucket(id).inst[id] = inst
+		}
+		next.sh[0].beats += sh.beats
+		sh.mu.Unlock()
+	}
+	c.topo.Store(next)
 }
 
-// timerEngine returns the engine that owns key's timers. Callers hold c.mu.
+// SetHeartbeat arms a usage heartbeat every `every` simulated seconds on
+// each subsequently launched instance. Beats fire on the instance's
+// owning shard, re-arm themselves while the instance is BUILD/ACTIVE, and
+// drain (do not re-arm) once it stops or terminates. 0 disables (the
+// default). Call during setup.
+func (c *Cloud) SetHeartbeat(every sim.Duration) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.hbEvery = every
+}
+
+// Heartbeats returns the total usage heartbeats fired, summed in shard
+// order.
+func (c *Cloud) Heartbeats() uint64 {
+	t := c.topo.Load()
+	var total uint64
+	for _, sh := range t.sh {
+		sh.mu.Lock()
+		total += sh.beats
+		sh.mu.Unlock()
+	}
+	return total
+}
+
+// ShardPopulation returns the live (non-terminated) instance count per
+// shard bucket — the observability hook the sharded stress tests assert
+// on.
+func (c *Cloud) ShardPopulation() []int {
+	t := c.topo.Load()
+	out := make([]int, len(t.sh))
+	for i, sh := range t.sh {
+		sh.mu.Lock()
+		for _, inst := range sh.inst {
+			if inst.State != StateTerminated {
+				out[i]++
+			}
+		}
+		sh.mu.Unlock()
+	}
+	return out
+}
+
+// timerEngine returns the engine that owns key's timers.
 func (c *Cloud) timerEngine(key string) *sim.Engine {
-	if c.shards != nil {
-		return c.shards.Shard(key)
+	t := c.topo.Load()
+	if t.set != nil {
+		return t.set.Shard(key)
 	}
 	return c.engine
 }
@@ -293,6 +419,19 @@ type ErrCapacity struct{ Flavor string }
 
 func (e ErrCapacity) Error() string { return "iaas: no capacity for flavor " + e.Flavor }
 
+// stopDelay is how long an instance takes to shut down cleanly once Stop
+// is accepted, in simulated seconds.
+const stopDelay sim.Duration = 5
+
+// footDec returns cores/instance slots to the user's running footprint.
+// Callers hold c.mu.
+func (c *Cloud) footDec(user string, cores int) {
+	f := c.foot[user]
+	f.n--
+	f.cores -= cores
+	c.foot[user] = f
+}
+
 // Launch provisions an instance for user. Scheduling is most-free-cores
 // first (spreads load like nova's filter scheduler with defaults).
 func (c *Cloud) Launch(user, name, flavorName, imageID string) (*Instance, error) {
@@ -311,20 +450,16 @@ func (c *Cloud) Launch(user, name, flavorName, imageID string) (*Instance, error
 			return nil, fmt.Errorf("iaas: image %q not accessible to %s", imageID, user)
 		}
 	}
-	// Quota check against the user's running footprint.
+	// Quota check against the user's running footprint — an O(1) counter
+	// read, not a walk over the population (at 10⁵ instances the walk was
+	// the launch path's whole cost).
 	q := c.quotaFor(user)
-	n, cores := 0, 0
-	for _, i := range c.inst {
-		if i.User == user && (i.State == StateActive || i.State == StateBuild) {
-			n++
-			cores += i.Flavor.VCPUs
-		}
-	}
-	if n+1 > q.MaxInstances {
+	ft := c.foot[user]
+	if ft.n+1 > q.MaxInstances {
 		c.Rejections++
 		return nil, ErrQuota{User: user, Reason: "instance limit"}
 	}
-	if cores+f.VCPUs > q.MaxCores {
+	if ft.cores+f.VCPUs > q.MaxCores {
 		c.Rejections++
 		return nil, ErrQuota{User: user, Reason: "core limit"}
 	}
@@ -345,6 +480,9 @@ func (c *Cloud) Launch(user, name, flavorName, imageID string) (*Instance, error
 	best.usedCores += f.VCPUs
 	best.usedRAM += f.RAMMB
 	best.usedDisk += f.DiskGB
+	ft.n++
+	ft.cores += f.VCPUs
+	c.foot[user] = ft
 	c.nextID++
 	inst := &Instance{
 		ID: fmt.Sprintf("%s-inst-%d", c.Name, c.nextID), Name: name,
@@ -352,39 +490,126 @@ func (c *Cloud) Launch(user, name, flavorName, imageID string) (*Instance, error
 		State: StateBuild, Launched: c.engine.Now(),
 	}
 	best.instances[inst.ID] = inst
-	c.inst[inst.ID] = inst
+	topo := c.topo.Load()
+	sh := topo.bucket(inst.ID)
+	eng := c.engine
+	if topo.set != nil {
+		eng = topo.set.Shard(inst.ID)
+	}
+	sh.mu.Lock()
+	sh.inst[inst.ID] = inst
 	c.Launches++
-	// VMs take ~90 s to boot. The callback fires on the clock-driving
-	// goroutine, so it must re-take the cloud lock; scheduling while we
-	// hold c.mu is fine because the engine never fires events under its
-	// own lock (Cloud→Engine is the only lock order between the two).
-	// With a sharded kernel the timer lands on the shard owning this
-	// instance ID.
-	c.timerEngine(inst.ID).After(90, func() {
-		c.mu.Lock()
+	// VMs take ~90 s to boot. The callback fires on the owning shard's
+	// clock goroutine and takes only the bucket lock — never c.mu — so K
+	// shards complete boots concurrently. Scheduling while we hold locks
+	// is fine because the engine never fires events under its own lock
+	// (Cloud→bucket→Engine is the only lock order between them). The
+	// handle is retained so Stop/Terminate cancel the boot on the engine
+	// that owns it.
+	inst.boot = eng.After(90, func() {
+		sh.mu.Lock()
 		if inst.State == StateBuild {
 			inst.State = StateActive
 		}
-		c.mu.Unlock()
+		sh.mu.Unlock()
 	})
+	if every := c.hbEvery; every > 0 {
+		// The usage heartbeat: a pooled timer owned by the shard's event
+		// goroutine. Each beat checks liveness under the bucket lock and
+		// re-arms itself; once the instance stops or terminates the next
+		// beat drains without re-arming, so API goroutines never touch
+		// the timer (sim.Timer is deliberately single-owner).
+		inst.hb = sim.NewTimer(eng, func() {
+			sh.mu.Lock()
+			if inst.State == StateBuild || inst.State == StateActive {
+				sh.beats++
+				inst.hb.Reset(every)
+			}
+			sh.mu.Unlock()
+		})
+		inst.hb.Reset(every)
+	}
 	cp := *inst
+	sh.mu.Unlock()
 	return &cp, nil
 }
 
-// Terminate releases an instance's resources.
-func (c *Cloud) Terminate(user, id string) error {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	inst, ok := c.inst[id]
+// Stop shuts an instance down (OpenStack os-stop / EC2 StopInstances):
+// after stopDelay it reaches SHUTOFF, keeps its host allocation, and
+// stops accruing usage. Stopping a BUILD instance cancels its pending
+// boot. Both cancellations and the shutdown timer resolve the shard that
+// owns the instance ID — the handles carry their engine — so a Stop
+// issued from any goroutine against any shard's instance cancels on the
+// owning engine, never the anchor.
+func (c *Cloud) Stop(user, id string) error {
+	sh := c.topo.Load().bucket(id)
+	eng := c.timerEngine(id)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	inst, ok := sh.inst[id]
 	if !ok {
 		return fmt.Errorf("iaas: no instance %q", id)
 	}
 	if inst.User != user {
 		return fmt.Errorf("iaas: instance %q not owned by %s", id, user)
 	}
+	switch {
+	case inst.State == StateTerminated:
+		return fmt.Errorf("iaas: instance %q is terminated", id)
+	case inst.State == StateShutoff || inst.stopPending:
+		return nil // already stopped or stopping
+	}
+	inst.boot.Cancel()
+	inst.stopPending = true
+	inst.stop = eng.After(stopDelay, func() {
+		// Shutdown completion: the footprint refund needs c.mu, taken
+		// before the bucket lock to respect the lock order.
+		c.mu.Lock()
+		sh.mu.Lock()
+		if inst.State == StateActive || inst.State == StateBuild {
+			inst.State = StateShutoff
+			inst.Stopped = eng.Now()
+			c.footDec(inst.User, inst.Flavor.VCPUs)
+		}
+		inst.stopPending = false
+		sh.mu.Unlock()
+		c.mu.Unlock()
+	})
+	return nil
+}
+
+// Terminate releases an instance's resources, cancelling any pending
+// boot or stop timer on the shard that owns them.
+func (c *Cloud) Terminate(user, id string) error {
+	sh := c.topo.Load().bucket(id)
+	eng := c.timerEngine(id)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	sh.mu.Lock()
+	inst, ok := sh.inst[id]
+	if !ok {
+		sh.mu.Unlock()
+		return fmt.Errorf("iaas: no instance %q", id)
+	}
+	if inst.User != user {
+		sh.mu.Unlock()
+		return fmt.Errorf("iaas: instance %q not owned by %s", id, user)
+	}
 	if inst.State == StateTerminated {
+		sh.mu.Unlock()
 		return nil
 	}
+	wasRunning := inst.State == StateActive || inst.State == StateBuild
+	inst.boot.Cancel()
+	inst.stop.Cancel()
+	inst.stopPending = false
+	inst.State = StateTerminated
+	if wasRunning {
+		// A SHUTOFF instance keeps its earlier stop timestamp — billing
+		// must not re-open the accrual window.
+		inst.Stopped = eng.Now()
+	}
+	sh.mu.Unlock()
 	for _, h := range c.hosts {
 		if h.Name == inst.Host {
 			h.usedCores -= inst.Flavor.VCPUs
@@ -393,25 +618,30 @@ func (c *Cloud) Terminate(user, id string) error {
 			delete(h.instances, id)
 		}
 	}
-	inst.State = StateTerminated
-	inst.Stopped = c.engine.Now()
+	if wasRunning {
+		c.footDec(inst.User, inst.Flavor.VCPUs)
+	}
 	return nil
 }
 
 // Instances lists a user's instances ("" = all), sorted by ID. The
 // returned records are point-in-time copies: the live instances keep
-// changing state (boot timers, terminations) on the clock-driving
-// goroutine, so handing out the internal pointers would race with every
-// caller that renders them.
+// changing state (boot timers, terminations) on the shard goroutines, so
+// handing out the internal pointers would race with every caller that
+// renders them. The walk is shard-local: K short bucket locks, never
+// c.mu.
 func (c *Cloud) Instances(user string) []*Instance {
-	c.mu.Lock()
-	defer c.mu.Unlock()
+	t := c.topo.Load()
 	var out []*Instance
-	for _, i := range c.inst {
-		if user == "" || i.User == user {
-			cp := *i
-			out = append(out, &cp)
+	for _, sh := range t.sh {
+		sh.mu.Lock()
+		for _, i := range sh.inst {
+			if user == "" || i.User == user {
+				cp := *i
+				out = append(out, &cp)
+			}
 		}
+		sh.mu.Unlock()
 	}
 	sort.Slice(out, func(a, b int) bool { return out[a].ID < out[b].ID })
 	return out
@@ -419,9 +649,10 @@ func (c *Cloud) Instances(user string) []*Instance {
 
 // Instance looks up one instance, returning a point-in-time copy.
 func (c *Cloud) Instance(id string) (*Instance, bool) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	i, ok := c.inst[id]
+	sh := c.topo.Load().bucket(id)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	i, ok := sh.inst[id]
 	if !ok {
 		return nil, false
 	}
@@ -430,18 +661,24 @@ func (c *Cloud) Instance(id string) (*Instance, bool) {
 }
 
 // RunningByUser returns user → (instance count, cores) for active VMs: the
-// measurement the billing poller takes every minute (§6.4).
+// measurement the billing poller takes every minute (§6.4). The sample
+// walks shard-local snapshots — K bucket locks held one at a time — so a
+// poll never serializes against the control plane or against callbacks on
+// other shards.
 func (c *Cloud) RunningByUser() map[string][2]int {
-	c.mu.Lock()
-	defer c.mu.Unlock()
+	t := c.topo.Load()
 	out := make(map[string][2]int)
-	for _, i := range c.inst {
-		if i.State == StateActive || i.State == StateBuild {
-			v := out[i.User]
-			v[0]++
-			v[1] += i.Flavor.VCPUs
-			out[i.User] = v
+	for _, sh := range t.sh {
+		sh.mu.Lock()
+		for _, i := range sh.inst {
+			if i.State == StateActive || i.State == StateBuild {
+				v := out[i.User]
+				v[0]++
+				v[1] += i.Flavor.VCPUs
+				out[i.User] = v
+			}
 		}
+		sh.mu.Unlock()
 	}
 	return out
 }

@@ -12,11 +12,12 @@ import (
 //
 // Routes:
 //
-//	GET    /v2/servers          list the caller's servers
-//	POST   /v2/servers          create a server
-//	DELETE /v2/servers/{id}     terminate a server
-//	GET    /v2/flavors          list flavors
-//	GET    /v2/images           list visible images
+//	GET    /v2/servers             list the caller's servers
+//	POST   /v2/servers             create a server
+//	DELETE /v2/servers/{id}        terminate a server
+//	POST   /v2/servers/{id}/action server actions ({"os-stop": null})
+//	GET    /v2/flavors             list flavors
+//	GET    /v2/images              list visible images
 //
 // Authentication is a bearer-style header, X-Auth-User, injected by the
 // middleware after it has mapped the federated identity to per-cloud
@@ -111,6 +112,23 @@ func (a *NovaAPI) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		writeJSON(w, http.StatusAccepted, map[string]interface{}{"server": novaServer(inst)})
+
+	case strings.HasPrefix(r.URL.Path, "/v2/servers/") && strings.HasSuffix(r.URL.Path, "/action") && r.Method == http.MethodPost:
+		id := strings.TrimSuffix(strings.TrimPrefix(r.URL.Path, "/v2/servers/"), "/action")
+		var action map[string]json.RawMessage
+		if err := json.NewDecoder(r.Body).Decode(&action); err != nil {
+			novaError(w, http.StatusBadRequest, "bad JSON: "+err.Error())
+			return
+		}
+		if _, ok := action["os-stop"]; !ok {
+			novaError(w, http.StatusBadRequest, "unsupported server action")
+			return
+		}
+		if err := a.Cloud.Stop(user, id); err != nil {
+			novaError(w, http.StatusNotFound, err.Error())
+			return
+		}
+		w.WriteHeader(http.StatusAccepted)
 
 	case strings.HasPrefix(r.URL.Path, "/v2/servers/") && r.Method == http.MethodDelete:
 		id := strings.TrimPrefix(r.URL.Path, "/v2/servers/")

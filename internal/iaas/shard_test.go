@@ -1,0 +1,124 @@
+package iaas
+
+// Shard-homed instance lifecycle: every per-instance timer (boot,
+// heartbeat, stop) must live on the engine its instance ID hashes to, and
+// every cancellation must resolve that same engine — never the anchor.
+
+import (
+	"fmt"
+	"testing"
+
+	"osdc/internal/sim"
+)
+
+func shardedCloud(k int) (*sim.ShardSet, *Cloud) {
+	set := sim.NewShardSet(5, k)
+	c := NewCloud(set.Anchor(), "adler", "openstack", "chicago-kenwood")
+	c.AddRack("r1", 64)
+	c.SetShards(set)
+	return set, c
+}
+
+// launchOnShard launches instances until one's ID hashes to the wanted
+// shard, returning it.
+func launchOnShard(t *testing.T, set *sim.ShardSet, c *Cloud, user string, shard int) *Instance {
+	t.Helper()
+	for i := 0; i < 256; i++ {
+		inst, err := c.Launch(user, fmt.Sprintf("vm%03d", i), "m1.small", "")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if set.ShardIndex(inst.ID) == shard {
+			return inst
+		}
+	}
+	t.Fatalf("no instance ID hashed to shard %d in 256 launches", shard)
+	return nil
+}
+
+// TestStopResolvesOwningShard is the regression for stop/terminate
+// cancellation resolving the anchor engine instead of the owning shard:
+// an instance booted on shard 3 of a K=8 kernel must reach SHUTOFF after
+// a Stop, which requires the stop timer to fire on shard 3's clock.
+func TestStopResolvesOwningShard(t *testing.T) {
+	set, c := shardedCloud(8)
+	c.SetQuota("alice", Quota{MaxInstances: 256, MaxCores: 256})
+	inst := launchOnShard(t, set, c, "alice", 3)
+
+	set.RunFor(120) // boot fires on shard 3, not the anchor
+	booted, ok := c.Instance(inst.ID)
+	if !ok || booted.State != StateActive {
+		t.Fatalf("instance on shard 3 after whole-kernel advance = %+v, want ACTIVE", booted)
+	}
+	if err := c.Stop("alice", inst.ID); err != nil {
+		t.Fatal(err)
+	}
+	set.RunFor(float64(stopDelay) + 1)
+	stopped, ok := c.Instance(inst.ID)
+	if !ok || stopped.State != StateShutoff {
+		t.Fatalf("instance after stop = %+v, want SHUTOFF", stopped)
+	}
+}
+
+// TestStopDuringBuildCancelsBootOnOwningShard: stopping a still-building
+// off-anchor instance must cancel the pending boot on the shard that
+// scheduled it — if the cancel resolved the anchor, the orphaned boot
+// would flip the instance back to ACTIVE at t=90.
+func TestStopDuringBuildCancelsBootOnOwningShard(t *testing.T) {
+	set, c := shardedCloud(8)
+	c.SetQuota("alice", Quota{MaxInstances: 256, MaxCores: 256})
+	inst := launchOnShard(t, set, c, "alice", 3)
+
+	if err := c.Stop("alice", inst.ID); err != nil {
+		t.Fatal(err)
+	}
+	set.RunFor(200) // well past the 90 s boot window
+	got, ok := c.Instance(inst.ID)
+	if !ok || got.State != StateShutoff {
+		t.Fatalf("stopped-during-BUILD instance = %+v, want SHUTOFF (boot not canceled on owner)", got)
+	}
+}
+
+// TestShardHomedTimersNeedWholeKernel pins the ownership rule itself:
+// advancing only the anchor leaves off-anchor instances frozen in BUILD,
+// and a whole-kernel advance boots them all.
+func TestShardHomedTimersNeedWholeKernel(t *testing.T) {
+	set, c := shardedCloud(8)
+	c.SetHeartbeat(60)
+	c.SetQuota("alice", Quota{MaxInstances: 256, MaxCores: 256})
+	for i := 0; i < 32; i++ {
+		if _, err := c.Launch("alice", fmt.Sprintf("vm%03d", i), "m1.small", ""); err != nil {
+			t.Fatal(err)
+		}
+	}
+	populated := 0
+	for _, n := range c.ShardPopulation() {
+		if n > 0 {
+			populated++
+		}
+	}
+	if populated < 2 {
+		t.Fatalf("32 instances collapsed onto %d shard bucket(s)", populated)
+	}
+
+	set.Anchor().RunFor(120)
+	frozen := 0
+	for _, inst := range c.Instances("alice") {
+		if set.ShardIndex(inst.ID) != 0 && inst.State == StateBuild {
+			frozen++
+		}
+	}
+	if frozen == 0 {
+		t.Fatal("anchor-only advance booted off-anchor instances; timers are not shard-homed")
+	}
+
+	set.RunFor(120)
+	for _, inst := range c.Instances("alice") {
+		if inst.State != StateActive {
+			t.Fatalf("instance %s = %s after whole-kernel advance, want ACTIVE", inst.ID, inst.State)
+		}
+	}
+	if c.Heartbeats() == 0 {
+		t.Fatal("no usage heartbeats fired across the sharded kernel")
+	}
+}

@@ -14,10 +14,23 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"osdc/internal/cloudapi"
+	"osdc/internal/fanout"
 	"osdc/internal/sim"
 )
+
+// pollWorkers bounds the monitoring fan-out (master agent sweeps and
+// usage-monitor samples) — the same worker count the ClockCoordinator
+// pushes with.
+const pollWorkers = 8
+
+// pollDeadline is the wall budget one agent sweep or cloud sample gets
+// before the poll abandons the wait (half the Remote transport's own
+// timeout). Abandoned polls surface in the error counters; late results
+// are discarded.
+const pollDeadline = cloudapi.DefaultTimeout / 2
 
 // State is a Nagios check state.
 type State int
@@ -133,6 +146,14 @@ type Master struct {
 	alerts []Alert
 
 	ChecksRun int64
+	// PollsAbandoned counts agent sweeps that missed their per-poll
+	// deadline (a hung plugin); read with atomic.LoadInt64 while polling
+	// may fire.
+	PollsAbandoned int64
+
+	// deadline bounds one agent sweep's wall time; defaults to
+	// pollDeadline. Set during setup (SetPollDeadline).
+	deadline time.Duration
 }
 
 // NewMaster starts a master polling all registered agents every interval.
@@ -141,10 +162,15 @@ func NewMaster(e *sim.Engine, interval sim.Duration, notify func(Alert)) *Master
 	m := &Master{
 		engine: e, agents: make(map[string]*Agent),
 		last: make(map[string]State), notify: notify,
+		deadline: pollDeadline,
 	}
 	m.ticker = e.Every(interval, m.pollAll)
 	return m
 }
+
+// SetPollDeadline overrides the per-sweep wall deadline (0 = wait
+// forever). Call during setup, before the clock is driven.
+func (m *Master) SetPollDeadline(d time.Duration) { m.deadline = d }
 
 // AddAgent registers a host's agent with the master.
 func (m *Master) AddAgent(a *Agent) {
@@ -165,27 +191,66 @@ func (m *Master) pollAll() {
 	m.mu.Unlock()
 	sort.Strings(hosts)
 	now := m.engine.Now()
-	var fired []Alert
-	for _, h := range hosts {
+
+	// One task per agent host: the whole sweep runs outside m.mu (plugins
+	// reach into other subsystems — disk models, clouds — with locks of
+	// their own) and the hosts fan out over the bounded pool so one slow
+	// plugin does not serialize every other host's sweep. Results land in
+	// per-host slots; state transitions and alerts are then applied on
+	// this goroutine in sorted host order, so the alert log stays
+	// deterministic regardless of which host finished first.
+	type result struct {
+		name  string
+		state State
+		value float64
+	}
+	type slot struct {
+		mu  sync.Mutex // an abandoned sweep may write late
+		res []result
+	}
+	slots := make([]slot, len(hosts))
+	tasks := make([]func(), len(hosts))
+	for i, h := range hosts {
 		m.mu.Lock()
 		a := m.agents[h]
 		m.mu.Unlock()
-		for _, name := range a.CheckNames() {
-			// Run the plugin outside the lock: plugins reach into other
-			// subsystems (disk models, clouds) with locks of their own.
-			st, v, err := a.RunCheck(name)
-			if err != nil {
-				st = StateUnknown
+		i, a := i, a
+		tasks[i] = func() {
+			names := a.CheckNames()
+			res := make([]result, 0, len(names))
+			for _, name := range names {
+				st, v, err := a.RunCheck(name)
+				if err != nil {
+					st = StateUnknown
+				}
+				res = append(res, result{name: name, state: st, value: v})
 			}
-			key := h + "/" + name
+			slots[i].mu.Lock()
+			slots[i].res = res
+			slots[i].mu.Unlock()
+		}
+	}
+	completed := fanout.Each(pollWorkers, m.deadline, tasks)
+
+	var fired []Alert
+	for i, h := range hosts {
+		if !completed[i] {
+			atomic.AddInt64(&m.PollsAbandoned, 1)
+			continue
+		}
+		slots[i].mu.Lock()
+		res := slots[i].res
+		slots[i].mu.Unlock()
+		for _, r := range res {
+			key := h + "/" + r.name
 			m.mu.Lock()
 			m.ChecksRun++
-			if st != m.last[key] && st != StateOK {
-				al := Alert{Host: h, Check: name, State: st, Value: v, At: now}
+			if r.state != m.last[key] && r.state != StateOK {
+				al := Alert{Host: h, Check: r.name, State: r.state, Value: r.value, At: now}
 				m.alerts = append(m.alerts, al)
 				fired = append(fired, al)
 			}
-			m.last[key] = st
+			m.last[key] = r.state
 			m.mu.Unlock()
 		}
 	}
@@ -241,11 +306,16 @@ type UsageMonitor struct {
 	// errByCloud breaks SampleErrors down per cloud; keys fixed at
 	// construction, values atomic.
 	errByCloud map[string]*int64
+
+	// deadline bounds one cloud sample's wall time; defaults to
+	// pollDeadline. Set during setup (SetPollDeadline).
+	deadline time.Duration
 }
 
 // NewUsageMonitor starts sampling every interval.
 func NewUsageMonitor(e *sim.Engine, clouds []cloudapi.CloudAPI, interval sim.Duration) *UsageMonitor {
-	um := &UsageMonitor{engine: e, clouds: clouds, latest: make(map[string]UsageSnapshot)}
+	um := &UsageMonitor{engine: e, clouds: clouds, latest: make(map[string]UsageSnapshot),
+		deadline: pollDeadline}
 	um.errByCloud = make(map[string]*int64, len(clouds))
 	for _, c := range clouds {
 		um.errByCloud[c.Name()] = new(int64)
@@ -253,6 +323,10 @@ func NewUsageMonitor(e *sim.Engine, clouds []cloudapi.CloudAPI, interval sim.Dur
 	um.ticker = e.Every(interval, um.sample)
 	return um
 }
+
+// SetPollDeadline overrides the per-sample wall deadline (0 = wait
+// forever). Call during setup, before the clock is driven.
+func (um *UsageMonitor) SetPollDeadline(d time.Duration) { um.deadline = d }
 
 // SampleErrorsByCloud returns each cloud's sample-failure count, zero
 // entries included.
@@ -264,18 +338,46 @@ func (um *UsageMonitor) SampleErrorsByCloud() map[string]int64 {
 	return out
 }
 
+// sample queries every cloud concurrently through the bounded pool —
+// sample fires on the clock-driving goroutine, and one hung remote site
+// polled serially would stall the clock for every site behind it. A
+// sample that misses the per-poll deadline counts against that cloud in
+// SampleErrorsByCloud; its late result is discarded.
 func (um *UsageMonitor) sample() {
-	for _, c := range um.clouds {
-		// Query the cloud before taking um.mu; a sample is a lock
-		// acquisition (Local) or a network round trip (Remote).
-		u, err := c.Usage()
+	now := um.engine.Now()
+	type slot struct {
+		mu  sync.Mutex // an abandoned sample may write late
+		u   cloudapi.Usage
+		err error
+	}
+	slots := make([]slot, len(um.clouds))
+	tasks := make([]func(), len(um.clouds))
+	for i, c := range um.clouds {
+		i, c := i, c
+		tasks[i] = func() {
+			u, err := c.Usage()
+			slots[i].mu.Lock()
+			slots[i].u, slots[i].err = u, err
+			slots[i].mu.Unlock()
+		}
+	}
+	completed := fanout.Each(pollWorkers, um.deadline, tasks)
+	for i, c := range um.clouds {
+		if !completed[i] {
+			atomic.AddInt64(&um.SampleErrors, 1)
+			atomic.AddInt64(um.errByCloud[c.Name()], 1)
+			continue
+		}
+		slots[i].mu.Lock()
+		u, err := slots[i].u, slots[i].err
+		slots[i].mu.Unlock()
 		if err != nil {
 			atomic.AddInt64(&um.SampleErrors, 1)
 			atomic.AddInt64(um.errByCloud[c.Name()], 1)
 			continue
 		}
 		snap := UsageSnapshot{
-			At: um.engine.Now(), Cloud: c.Name(),
+			At: now, Cloud: c.Name(),
 			UsedCores: u.UsedCores, TotalCores: u.TotalCores,
 			ActiveUsers: len(u.ByUser),
 		}

@@ -2,7 +2,9 @@ package monitor
 
 import (
 	"errors"
+	"sync/atomic"
 	"testing"
+	"time"
 
 	"osdc/internal/cloudapi"
 	"osdc/internal/iaas"
@@ -122,4 +124,78 @@ func TestUsageMonitorPublishesSnapshot(t *testing.T) {
 		t.Fatalf("snapshot = %+v", s)
 	}
 	um.Stop()
+}
+
+// hangingCloud is a CloudAPI whose usage samples block until released.
+type hangingCloud struct {
+	cloudapi.CloudAPI
+	name    string
+	release chan struct{}
+}
+
+func (h *hangingCloud) Name() string { return h.name }
+func (h *hangingCloud) Usage() (cloudapi.Usage, error) {
+	<-h.release
+	return cloudapi.Usage{}, nil
+}
+
+// TestAbandonedSampleSurfacesPerCloud: a cloud whose Usage hangs past the
+// sample deadline lands in SampleErrorsByCloud while the healthy cloud's
+// snapshot still publishes.
+func TestAbandonedSampleSurfacesPerCloud(t *testing.T) {
+	e := sim.NewEngine(9)
+	c := iaas.NewCloud(e, "adler", "openstack", "chicago")
+	c.AddRack("r", 4)
+	hung := &hangingCloud{name: "hung-site", release: make(chan struct{})}
+	t.Cleanup(func() { close(hung.release) })
+
+	um := NewUsageMonitor(e, []cloudapi.CloudAPI{cloudapi.NewLocal(c), hung}, 300)
+	um.SetPollDeadline(5 * time.Millisecond)
+	e.RunFor(901)
+	um.Stop()
+
+	per := um.SampleErrorsByCloud()
+	if per["adler"] != 0 {
+		t.Fatalf("healthy cloud charged %d sample errors", per["adler"])
+	}
+	if per["hung-site"] < 2 {
+		t.Fatalf("hung-site abandoned samples = %d, want ~3", per["hung-site"])
+	}
+	status := um.PublicStatus()
+	if len(status) != 1 || status[0].Cloud != "adler" {
+		t.Fatalf("healthy snapshot missing: %+v", status)
+	}
+}
+
+// TestMasterAbandonsHungAgent: one agent's plugin hangs; its sweep is
+// abandoned (PollsAbandoned) while the other host's checks keep running.
+func TestMasterAbandonsHungAgent(t *testing.T) {
+	e := sim.NewEngine(9)
+	m := NewMaster(e, 60, nil)
+	m.SetPollDeadline(5 * time.Millisecond)
+
+	release := make(chan struct{})
+	t.Cleanup(func() { close(release) })
+	stuck := NewAgent("stuck-host")
+	stuck.Register(Check{Name: "hang", Plugin: func() (float64, error) {
+		<-release
+		return 0, nil
+	}, Warn: 1, Crit: 2})
+	healthy := NewAgent("ok-host")
+	healthy.Register(Check{Name: "load", Plugin: func() (float64, error) { return 0.5, nil }, Warn: 8, Crit: 16})
+	m.AddAgent(stuck)
+	m.AddAgent(healthy)
+
+	e.RunFor(301) // 5 polls
+	m.Stop()
+
+	if n := atomic.LoadInt64(&m.PollsAbandoned); n < 4 {
+		t.Fatalf("PollsAbandoned = %d, want ~5", n)
+	}
+	if m.StateOf("ok-host", "load") != StateOK {
+		t.Fatal("healthy host's checks did not run")
+	}
+	if m.StateOf("stuck-host", "hang") != StateOK {
+		t.Fatal("abandoned sweep must not record a state")
+	}
 }

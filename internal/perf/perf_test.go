@@ -21,7 +21,10 @@ func TestCollectSnapshot(t *testing.T) {
 	}
 	want := []string{
 		"engine-churn", "engine-churn-pooled", "sharded-churn",
-		"same-tick-batch", "biller-parallel-accrual", "console-load-p95",
+		"same-tick-batch", "biller-parallel-accrual",
+		"usage-sample-sharded-k1", "usage-sample-sharded-k8",
+		"console-load-p95",
+		"console-load-p95-grid100k-k1", "console-load-p95-grid100k-k8",
 		"console-knee-p95-1024u-1r", "console-knee-p95-1024u-4r",
 	}
 	byName := map[string]Metric{}

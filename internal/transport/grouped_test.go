@@ -1,0 +1,71 @@
+package transport
+
+import (
+	"reflect"
+	"testing"
+)
+
+// testGroups builds fresh flow groups (controllers carry state, so every
+// SimulateGrouped call needs its own).
+func testGroups() []FlowGroup {
+	path := Path{BandwidthBps: 1e9, RTT: 0.1, Loss: 0.001, MSS: DefaultMSS}
+	mk := func(n int) ([]Controller, []int64) {
+		ctrls := make([]Controller, n)
+		sizes := make([]int64, n)
+		for i := range ctrls {
+			ctrls[i] = &stubCtrl{name: "stub", interval: 0.01, pps: path.PacketsPerSec() * 2}
+			sizes[i] = int64(64+i) << 20
+		}
+		return ctrls, sizes
+	}
+	names := []string{"kenwood→nu", "nu→ampath", "ampath→kenwood", "kenwood→llnl"}
+	groups := make([]FlowGroup, len(names))
+	for gi, name := range names {
+		ctrls, sizes := mk(1 + gi%3)
+		groups[gi] = FlowGroup{Name: name, Path: path, Ctrls: ctrls, Sizes: sizes}
+	}
+	return groups
+}
+
+// TestSimulateGroupedDeterministicAcrossK: grouped pricing is a pure
+// function of (seed, groups) — the home partition (k) only changes which
+// goroutine prices a group, never the result.
+func TestSimulateGroupedDeterministicAcrossK(t *testing.T) {
+	base := SimulateGrouped(42, 1, testGroups())
+	for _, k := range []int{2, 4, 8, 16} {
+		got := SimulateGrouped(42, k, testGroups())
+		if !reflect.DeepEqual(base, got) {
+			t.Fatalf("k=%d pricing diverged from k=1:\nk=1: %+v\nk=%d: %+v", k, base, k, got)
+		}
+	}
+	// A different seed draws different loss samples.
+	other := SimulateGrouped(43, 4, testGroups())
+	if reflect.DeepEqual(base, other) {
+		t.Fatal("seed 42 and 43 priced identically; per-group RNG streams not seeded")
+	}
+}
+
+// TestGroupHomeStableAndBounded: homes are a stable pure function of the
+// name, always in [0, k).
+func TestGroupHomeStableAndBounded(t *testing.T) {
+	for _, name := range []string{"a→b", "b→a", "", "kenwood→nu"} {
+		for _, k := range []int{1, 2, 8} {
+			h := GroupHome(name, k)
+			if h < 0 || h >= k {
+				t.Fatalf("GroupHome(%q, %d) = %d out of range", name, k, h)
+			}
+			if h2 := GroupHome(name, k); h2 != h {
+				t.Fatalf("GroupHome(%q, %d) unstable: %d then %d", name, k, h, h2)
+			}
+		}
+	}
+	// With several links and k=8 at least two distinct homes appear — the
+	// concurrency is real, not everything collapsing onto one shard.
+	homes := map[int]bool{}
+	for _, g := range testGroups() {
+		homes[GroupHome(g.Name, 8)] = true
+	}
+	if len(homes) < 2 {
+		t.Fatalf("all %d links homed to one shard", len(testGroups()))
+	}
+}

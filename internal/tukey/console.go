@@ -24,6 +24,7 @@ import (
 //	GET  /console/instances          aggregated multi-cloud server list
 //	POST /console/launch             {cloud, name, flavor} → server
 //	POST /console/terminate          {cloud, id}
+//	POST /console/stop               {cloud, id}: shut down, keep allocation
 //	GET  /console/usage              current-cycle usage (core-hours, GB-days)
 //	GET  /console/datasets           public dataset catalog (?q= to search)
 //	GET  /console/datasets/replicas  per-site dataset placement (?dataset= to filter)
@@ -95,6 +96,7 @@ const invalidSessionKey = "\x00invalid-session"
 var routeCosts = map[string]float64{
 	"POST /console/launch":         10,
 	"POST /console/terminate":      5,
+	"POST /console/stop":           5,
 	"POST /console/datasets/stage": 4,
 	"GET /console/instances":       2,
 }
@@ -128,6 +130,7 @@ func (c *Console) buildRoutes() {
 		"GET /console/instances":         session(c.handleInstances),
 		"POST /console/launch":           session(c.handleLaunch),
 		"POST /console/terminate":        session(c.handleTerminate),
+		"POST /console/stop":             session(c.handleStop),
 		"GET /console/usage":             session(c.handleUsage),
 		"GET /console/datasets":          session(c.handleDatasets),
 		"GET /console/datasets/replicas": session(c.handleDatasetReplicas),
@@ -191,6 +194,19 @@ func (c *Console) handleTerminate(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]string{"status": "terminated"})
+}
+
+func (c *Console) handleStop(w http.ResponseWriter, r *http.Request) {
+	var req struct{ Cloud, ID string }
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeJSON(w, http.StatusBadRequest, map[string]string{"error": err.Error()})
+		return
+	}
+	if err := c.MW.StopServer(r.Header.Get("X-Tukey-Session"), req.Cloud, req.ID); err != nil {
+		writeJSON(w, http.StatusConflict, map[string]string{"error": err.Error()})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "stopping"})
 }
 
 func (c *Console) handleUsage(w http.ResponseWriter, r *http.Request) {

@@ -23,6 +23,7 @@ func TestRouteCostTable(t *testing.T) {
 	want := map[string]float64{
 		"POST /console/launch":           10,
 		"POST /console/terminate":        5,
+		"POST /console/stop":             5,
 		"POST /console/datasets/stage":   4,
 		"GET /console/instances":         2,
 		"GET /console/status":            1,

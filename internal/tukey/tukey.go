@@ -541,3 +541,27 @@ func (m *Middleware) TerminateServer(token, cloud, id string) error {
 	}
 	return nil
 }
+
+// StopServer shuts one of the user's servers down on the named cloud
+// (OpenStack os-stop / EC2 StopInstances through the native dialect): it
+// reaches SHUTOFF after the cloud's stop delay and stops accruing usage,
+// keeping its allocation.
+func (m *Middleware) StopServer(token, cloud, id string) error {
+	ident, ok := m.identityFor(token)
+	if !ok {
+		return fmt.Errorf("tukey: invalid session")
+	}
+	cfg, ok := m.cloudConfigByName(cloud)
+	if !ok {
+		return fmt.Errorf("tukey: unknown cloud %q", cloud)
+	}
+	cred, ok := m.credsFor(ident, cloud)
+	if !ok {
+		return fmt.Errorf("tukey: no credentials on %s", cloud)
+	}
+	m.countTranslation()
+	if err := cfg.API.Stop(cred.AuthUser, id); err != nil {
+		return fmt.Errorf("tukey: %s: %w", cloud, err)
+	}
+	return nil
+}
