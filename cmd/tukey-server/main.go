@@ -391,6 +391,12 @@ func newServer(opt options) (*server, error) {
 		w.Header().Set("Content-Type", "application/json")
 		_ = json.NewEncoder(w).Encode(consoleClock.ClockStatus())
 	})
+	// /debug/pprof/ rides the same operator gate as the cloud servers:
+	// absent without -operator-secret, 403 without the matching
+	// X-OSDC-Operator header.
+	mux.HandleFunc("/debug/pprof/", func(w http.ResponseWriter, r *http.Request) {
+		cloudapi.ServePprof(opt.operatorSecret, w, r)
+	})
 	s.handler = mux
 
 	if opt.speedup > 0 {

@@ -375,3 +375,53 @@ func TestShardedLiveConsoleFlow(t *testing.T) {
 		time.Sleep(10 * time.Millisecond)
 	}
 }
+
+// TestPprofBehindOperatorGate is the profiling-plane smoke test: without
+// -operator-secret the endpoints do not exist, an unauthenticated fetch
+// against a gated server is 403, and the right X-OSDC-Operator header
+// serves the pprof index.
+func TestPprofBehindOperatorGate(t *testing.T) {
+	open, err := newServer(options{seed: 31})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer open.Close()
+	openSrv := httptest.NewServer(open.handler)
+	defer openSrv.Close()
+	resp, err := http.Get(openSrv.URL + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("pprof without a secret = %d, want 404", resp.StatusCode)
+	}
+
+	gated, err := newServer(options{seed: 32, operatorSecret: "op-secret"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer gated.Close()
+	gatedSrv := httptest.NewServer(gated.handler)
+	defer gatedSrv.Close()
+
+	resp, err = http.Get(gatedSrv.URL + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusForbidden {
+		t.Fatalf("unauthenticated pprof fetch = %d, want 403", resp.StatusCode)
+	}
+
+	req, _ := http.NewRequest(http.MethodGet, gatedSrv.URL+"/debug/pprof/", nil)
+	req.Header.Set("X-OSDC-Operator", "op-secret")
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("authenticated pprof fetch = %d, want 200", resp.StatusCode)
+	}
+}

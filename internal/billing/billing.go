@@ -119,6 +119,51 @@ type Biller struct {
 	// deadline bounds one cloud sample's wall time per poll; defaults to
 	// pollDeadline. Set during setup (SetPollDeadline).
 	deadline time.Duration
+
+	// The delta-poll machinery, built once at construction and reused
+	// every minute-tick (the per-poll slot/task allocations used to be the
+	// poller's only steady-state garbage). slots carry results across the
+	// fanout boundary; prior holds each cloud's maintained usage snapshot
+	// plus the revision to ask for next — touched only on the
+	// clock-driving goroutine. gen stamps each poll so a task abandoned by
+	// an earlier deadline cannot write a stale result into a later poll's
+	// slot.
+	slots []pollSlot
+	tasks []func()
+	prior []cloudUsageState
+	gen   uint64
+}
+
+// pollSlot is one cloud's result cell, reused across polls. The mutex
+// exists because an abandoned task may try to write late; gen matching
+// makes that write a no-op.
+type pollSlot struct {
+	mu    sync.Mutex
+	gen   uint64 // poll generation the task was armed for
+	since int64  // revision the task should poll with
+	d     cloudapi.UsageDelta
+	err   error
+}
+
+// cloudUsageState is one cloud's maintained per-user snapshot: the delta
+// poller's accumulator. Only the clock-driving goroutine touches it.
+type cloudUsageState struct {
+	since  int64
+	byUser map[string]cloudapi.UserUsage
+}
+
+// apply folds a delta into the snapshot.
+func (st *cloudUsageState) apply(d cloudapi.UsageDelta) {
+	if d.Reset || st.byUser == nil {
+		st.byUser = make(map[string]cloudapi.UserUsage, len(d.Changed))
+	}
+	for user, v := range d.Changed {
+		st.byUser[user] = v
+	}
+	for _, user := range d.Removed {
+		delete(st.byUser, user)
+	}
+	st.since = d.Rev
 }
 
 // DaysPerCycle is the billing month (30 days).
@@ -135,6 +180,24 @@ func New(e *sim.Engine, rates Rates, clouds []cloudapi.CloudAPI, storage Storage
 	b.errByCloud = make(map[string]*int64, len(clouds))
 	for _, c := range clouds {
 		b.errByCloud[c.Name()] = new(int64)
+	}
+	b.slots = make([]pollSlot, len(clouds))
+	b.prior = make([]cloudUsageState, len(clouds))
+	b.tasks = make([]func(), len(clouds))
+	for i, c := range clouds {
+		i, c := i, c
+		b.tasks[i] = func() {
+			s := &b.slots[i]
+			s.mu.Lock()
+			gen, since := s.gen, s.since
+			s.mu.Unlock()
+			d, err := c.UsageSince(since)
+			s.mu.Lock()
+			if s.gen == gen { // a later poll may have re-armed the slot
+				s.d, s.err = d, err
+			}
+			s.mu.Unlock()
+		}
 	}
 	b.pollMin = e.Every(sim.Minute, b.pollVMs)
 	b.pollDay = e.Every(sim.Day, b.pollStorage)
@@ -223,24 +286,26 @@ const pollDeadline = cloudapi.DefaultTimeout / 2
 // let one hung remote site (a network round trip) stall the simulation
 // clock for every site behind it. Accrual stays on this goroutine, in
 // cloud-attachment order, so the metered sums remain deterministic.
+//
+// Each cloud is polled incrementally: the task asks UsageSince(prior
+// rev), and the poll folds the returned churn into the cloud's maintained
+// snapshot before accruing from it — a steady-state tick over an
+// unchanged grid ships an empty delta instead of the full per-user map.
+// The first poll (since 0) and any rev reset arrive as full snapshots.
+// An errored or abandoned sample leaves the prior snapshot and rev
+// untouched and accrues nothing for that cloud, exactly as a failed full
+// fetch did: the missed churn is re-sent next poll because deltas carry
+// absolute values.
 func (b *Biller) pollVMs() {
-	type slot struct {
-		mu  sync.Mutex // an abandoned task may write its result late
-		u   cloudapi.Usage
-		err error
+	b.gen++
+	for i := range b.slots {
+		s := &b.slots[i]
+		s.mu.Lock()
+		s.gen, s.since = b.gen, b.prior[i].since
+		s.err = errPollAbandoned
+		s.mu.Unlock()
 	}
-	slots := make([]slot, len(b.clouds))
-	tasks := make([]func(), len(b.clouds))
-	for i, c := range b.clouds {
-		i, c := i, c
-		tasks[i] = func() {
-			u, err := c.Usage()
-			slots[i].mu.Lock()
-			slots[i].u, slots[i].err = u, err
-			slots[i].mu.Unlock()
-		}
-	}
-	completed := fanout.Each(pollWorkers, b.deadline, tasks)
+	completed := fanout.Each(pollWorkers, b.deadline, b.tasks)
 	atomic.AddInt64(&b.Polls, 1)
 	for i, c := range b.clouds {
 		if !completed[i] {
@@ -248,19 +313,27 @@ func (b *Biller) pollVMs() {
 			atomic.AddInt64(b.errByCloud[c.Name()], 1)
 			continue
 		}
-		slots[i].mu.Lock()
-		u, err := slots[i].u, slots[i].err
-		slots[i].mu.Unlock()
+		s := &b.slots[i]
+		s.mu.Lock()
+		d, err := s.d, s.err
+		s.mu.Unlock()
 		if err != nil {
 			atomic.AddInt64(&b.PollErrors, 1)
 			atomic.AddInt64(b.errByCloud[c.Name()], 1)
 			continue
 		}
-		for user, v := range u.ByUser {
+		st := &b.prior[i]
+		st.apply(d)
+		for user, v := range st.byUser {
 			b.accrueCores(user, v.Cores)
 		}
 	}
 }
+
+// errPollAbandoned pre-fills a slot each poll so a slot whose task never
+// ran (or wrote only in a previous generation) reads as a failure, never
+// as a stale success.
+var errPollAbandoned = fmt.Errorf("billing: poll abandoned before the sample returned")
 
 // pollStorage samples each user's stored GB once a day.
 func (b *Biller) pollStorage() {

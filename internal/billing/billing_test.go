@@ -155,6 +155,9 @@ func (f failingCloud) Name() string { return f.name }
 func (f failingCloud) Usage() (cloudapi.Usage, error) {
 	return cloudapi.Usage{}, fmt.Errorf("site %s unreachable", f.name)
 }
+func (f failingCloud) UsageSince(int64) (cloudapi.UsageDelta, error) {
+	return cloudapi.UsageDelta{}, fmt.Errorf("site %s unreachable", f.name)
+}
 
 func TestPollErrorsBrokenDownPerCloud(t *testing.T) {
 	e := sim.NewEngine(3)
@@ -200,6 +203,10 @@ func (h *hangingCloud) Usage() (cloudapi.Usage, error) {
 	<-h.release
 	return cloudapi.Usage{}, nil
 }
+func (h *hangingCloud) UsageSince(int64) (cloudapi.UsageDelta, error) {
+	<-h.release
+	return cloudapi.UsageDelta{}, nil
+}
 
 // TestAbandonedPollSurfacesAsPollError: a site whose Usage hangs past the
 // per-poll deadline is counted in PollErrorsByCloud while the healthy site
@@ -234,4 +241,32 @@ func TestAbandonedPollSurfacesAsPollError(t *testing.T) {
 	if u := b.CurrentUsage("alice"); u.Samples < 4 {
 		t.Fatalf("healthy accrual stalled behind the hung site: %d samples", u.Samples)
 	}
+}
+
+// TestTerminatedUserStopsAccruing is the delta-path regression: a user
+// whose last instance terminates must be *removed* from the poller's
+// maintained snapshot by the next delta — silently retaining the entry
+// would keep accruing core-minutes for a VM that no longer exists.
+func TestTerminatedUserStopsAccruing(t *testing.T) {
+	e, c, b := setup(t)
+	c.SetQuota("bob", iaas.Quota{MaxInstances: 4, MaxCores: 16})
+	inst, err := c.Launch("bob", "vm", "m1.large", "") // 4 cores
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.RunFor(1 * sim.Hour)
+	if err := c.Terminate("bob", inst.ID); err != nil {
+		t.Fatal(err)
+	}
+	at := b.CurrentUsage("bob")
+	e.RunFor(10 * sim.Hour)
+	after := b.CurrentUsage("bob")
+	if after.CoreMinutes != at.CoreMinutes {
+		t.Fatalf("bob kept accruing after terminate: %v → %v core-minutes",
+			at.CoreMinutes, after.CoreMinutes)
+	}
+	if math.Abs(after.CoreHours()-4) > 0.5 {
+		t.Fatalf("bob's hour of 4 cores = %v core-hours, want ~4", after.CoreHours())
+	}
+	b.Stop()
 }

@@ -61,8 +61,31 @@ type UserUsage struct {
 // Usage is the sample the billing and monitoring pollers take: per-user
 // footprints plus cloud-wide core occupancy (§6.4: "we poll every minute to
 // see the number and types of virtual machine a user has provisioned").
+//
+// Rev is the cloud's usage revision at (or just before) the moment the
+// sample was taken: feed it to UsageSince to receive only the churn after
+// this snapshot. Equal revs imply identical samples.
 type Usage struct {
+	Rev        int64                `json:"rev"`
 	ByUser     map[string]UserUsage `json:"by_user"`
+	UsedCores  int                  `json:"used_cores"`
+	TotalCores int                  `json:"total_cores"`
+}
+
+// UsageDelta is UsageSince's result: the cloud's per-user footprints
+// relative to a revision the caller already holds, shaped like the
+// datasets plane's Delta. Changed carries absolute values, not
+// increments, so applying a delta twice is harmless; Removed lists users
+// whose last running instance went away in the window, sorted; Reset
+// means Changed is the complete population and any carried-forward
+// snapshot must be discarded (fresh caller, or the cloud restarted under
+// the caller). Core occupancy rides along so a delta poller can maintain
+// a full Usage without a second round trip.
+type UsageDelta struct {
+	Rev        int64                `json:"rev"`
+	Changed    map[string]UserUsage `json:"changed,omitempty"`
+	Removed    []string             `json:"removed,omitempty"`
+	Reset      bool                 `json:"reset,omitempty"`
 	UsedCores  int                  `json:"used_cores"`
 	TotalCores int                  `json:"total_cores"`
 }
@@ -102,6 +125,12 @@ type CloudAPI interface {
 	SetQuota(user string, q iaas.Quota) error
 	// Usage samples the cloud's current running footprint.
 	Usage() (Usage, error)
+	// UsageSince returns the usage churn after revision since: pass a
+	// Usage's (or previous delta's) Rev and receive only the users whose
+	// footprint changed. since == 0 is a fresh caller and yields a Reset
+	// snapshot; since < 0 is rejected with an error through both
+	// backends.
+	UsageSince(since int64) (UsageDelta, error)
 }
 
 // IsQuota reports whether err is a quota rejection through either backend.

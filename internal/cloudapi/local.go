@@ -1,6 +1,8 @@
 package cloudapi
 
 import (
+	"fmt"
+
 	"osdc/internal/iaas"
 )
 
@@ -83,10 +85,15 @@ func (l *Local) SetQuota(user string, q iaas.Quota) error {
 	return nil
 }
 
-// Usage implements CloudAPI.
+// Usage implements CloudAPI. The rev is read before the footprint maps:
+// a transition landing mid-sample carries a higher rev than the returned
+// one, so a follow-up UsageSince(u.Rev) re-reports it instead of losing
+// it.
 func (l *Local) Usage() (Usage, error) {
+	rev := l.C.UsageRev()
 	byUser := l.C.RunningByUser()
 	u := Usage{
+		Rev:        rev,
 		ByUser:     make(map[string]UserUsage, len(byUser)),
 		UsedCores:  l.C.UsedCores(),
 		TotalCores: l.C.TotalCores(),
@@ -95,4 +102,26 @@ func (l *Local) Usage() (Usage, error) {
 		u.ByUser[user] = UserUsage{Instances: v[0], Cores: v[1]}
 	}
 	return u, nil
+}
+
+// UsageSince implements CloudAPI over the iaas counter index.
+func (l *Local) UsageSince(since int64) (UsageDelta, error) {
+	if since < 0 {
+		return UsageDelta{}, fmt.Errorf("cloudapi: bad usage since %d", since)
+	}
+	raw := l.C.UsageSince(since)
+	d := UsageDelta{
+		Rev:        raw.Rev,
+		Removed:    raw.Removed,
+		Reset:      raw.Reset,
+		UsedCores:  l.C.UsedCores(),
+		TotalCores: l.C.TotalCores(),
+	}
+	if raw.Changed != nil {
+		d.Changed = make(map[string]UserUsage, len(raw.Changed))
+		for user, v := range raw.Changed {
+			d.Changed[user] = UserUsage{Instances: v[0], Cores: v[1]}
+		}
+	}
+	return d, nil
 }

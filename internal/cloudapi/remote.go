@@ -3,11 +3,13 @@ package cloudapi
 import (
 	"encoding/json"
 	"encoding/xml"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
 	"net/url"
 	"strings"
+	"sync"
 	"time"
 
 	"osdc/internal/iaas"
@@ -31,6 +33,16 @@ type Remote struct {
 	endpoint string // base URL, no trailing slash
 	client   *http.Client
 	secret   string // X-OSDC-Operator header on operator-plane writes
+
+	// usageMu guards the delta-maintained usage snapshot: Usage() fetches
+	// the full sample once, then advances it with UsageSince(lastRev)
+	// round trips that carry only the churn — the wire-side half of the
+	// incremental accounting path. A Reset delta (site restarted) rebuilds
+	// the snapshot from the delta's full population.
+	usageMu   sync.Mutex
+	usageSnap map[string]UserUsage
+	usageRev  int64
+	haveUsage bool
 }
 
 // DefaultTimeout bounds every round trip of a Remote built with a nil
@@ -559,8 +571,26 @@ func (r *Remote) ClockSync(target sim.Time) error {
 	return fmt.Errorf("cloudapi: %s clock sync returned %d", r.name, resp.StatusCode)
 }
 
-// Usage implements CloudAPI via the operator plane.
+// Usage implements CloudAPI via the operator plane. The first call takes
+// a full snapshot; later calls advance it with ?since=rev deltas, so a
+// steady-state poll over an unchanged cloud ships an empty delta instead
+// of the whole per-user map. Any wire failure on the delta path falls
+// back to a fresh full fetch, so the result is always what a full GET
+// would have returned.
 func (r *Remote) Usage() (Usage, error) {
+	r.usageMu.Lock()
+	defer r.usageMu.Unlock()
+	if r.haveUsage {
+		if d, err := r.UsageSince(r.usageRev); err == nil {
+			r.applyDelta(d)
+			return r.snapshotUsage(d.UsedCores, d.TotalCores), nil
+		}
+		// The delta path failed (site unreachable, or it restarted with a
+		// rev behind ours and rejected the since) — drop the snapshot and
+		// resync in full below.
+		r.haveUsage = false
+		r.usageSnap = nil
+	}
 	var u Usage
 	status, err := r.operatorGet("/cloudapi/usage", &u)
 	if err != nil {
@@ -569,5 +599,67 @@ func (r *Remote) Usage() (Usage, error) {
 	if status != http.StatusOK {
 		return Usage{}, fmt.Errorf("cloudapi: %s usage returned %d", r.name, status)
 	}
+	r.usageRev = u.Rev
+	r.usageSnap = make(map[string]UserUsage, len(u.ByUser))
+	for user, v := range u.ByUser {
+		r.usageSnap[user] = v
+	}
+	r.haveUsage = true
 	return u, nil
+}
+
+// applyDelta folds one UsageSince result into the cached snapshot.
+// Callers hold usageMu.
+func (r *Remote) applyDelta(d UsageDelta) {
+	if d.Reset {
+		r.usageSnap = make(map[string]UserUsage, len(d.Changed))
+	}
+	for user, v := range d.Changed {
+		r.usageSnap[user] = v
+	}
+	for _, user := range d.Removed {
+		delete(r.usageSnap, user)
+	}
+	r.usageRev = d.Rev
+	r.haveUsage = true
+}
+
+// snapshotUsage copies the cached per-user map into a fresh Usage so
+// callers never alias the cache. Callers hold usageMu.
+func (r *Remote) snapshotUsage(usedCores, totalCores int) Usage {
+	u := Usage{
+		Rev:        r.usageRev,
+		ByUser:     make(map[string]UserUsage, len(r.usageSnap)),
+		UsedCores:  usedCores,
+		TotalCores: totalCores,
+	}
+	for user, v := range r.usageSnap {
+		u.ByUser[user] = v
+	}
+	return u
+}
+
+// UsageSince implements CloudAPI via the operator plane's ?since= form.
+// Server-reported rejections (a negative since) surface with the Local
+// backend's error text, verbatim.
+func (r *Remote) UsageSince(since int64) (UsageDelta, error) {
+	resp, err := r.client.Get(fmt.Sprintf("%s/cloudapi/usage?since=%d", r.endpoint, since))
+	if err != nil {
+		return UsageDelta{}, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		var fail struct {
+			Error string `json:"error"`
+		}
+		if json.NewDecoder(resp.Body).Decode(&fail) == nil && fail.Error != "" {
+			return UsageDelta{}, errors.New(fail.Error)
+		}
+		return UsageDelta{}, fmt.Errorf("cloudapi: %s usage delta returned %d", r.name, resp.StatusCode)
+	}
+	var d UsageDelta
+	if err := json.NewDecoder(resp.Body).Decode(&d); err != nil {
+		return UsageDelta{}, err
+	}
+	return d, nil
 }

@@ -1,10 +1,15 @@
 package cloudapi
 
 import (
+	"bytes"
 	"encoding/json"
 	"errors"
 	"net/http"
+	"net/http/pprof"
+	"strconv"
 	"strings"
+	"sync"
+	"sync/atomic"
 
 	"osdc/internal/datastore"
 	"osdc/internal/iaas"
@@ -37,7 +42,29 @@ type Server struct {
 	// request (POST/DELETE under /cloudapi/): callers must present it in
 	// the X-OSDC-Operator header or get 403. Reads stay open — the planes
 	// carry no tenant data — and the native tenant dialects are untouched.
+	// It also unlocks the /debug/pprof/ profiling plane (absent without a
+	// secret, 403 without the header).
 	OperatorSecret string
+
+	// UsageCacheHits counts usage requests answered from the coalescing
+	// cache: biller and monitor polling the same tick should pay for one
+	// snapshot encode, not two.
+	UsageCacheHits atomic.Int64
+
+	// usageMu serializes usage computation so concurrent same-rev readers
+	// coalesce: the second caller blocks until the first has encoded the
+	// response, then serves the cached bytes. usageCache maps the raw
+	// ?since value ("" for the full snapshot) to the encoded body, valid
+	// while the cloud's usage rev still equals the one it was computed at.
+	usageMu    sync.Mutex
+	usageCache map[string]usageCacheEntry
+}
+
+// usageCacheEntry is one coalesced usage response: the encoded JSON body
+// and the usage rev it was computed at.
+type usageCacheEntry struct {
+	rev  int64
+	body []byte
 }
 
 // NewServer builds the per-cloud server, picking the native dialect handler
@@ -85,9 +112,101 @@ func serveError(w http.ResponseWriter, code int, msg string) {
 	serveJSON(w, code, map[string]string{"error": msg})
 }
 
+// serveUsage answers GET /cloudapi/usage[?since=R]. Responses are
+// coalesced: the encoded body is cached under the raw since value and
+// served verbatim while the cloud's usage rev is unchanged, so the biller
+// and the monitor hitting the same tick cost one snapshot walk and one
+// encode. The mutex is held across the compute deliberately — a
+// concurrent same-rev reader waits and then hits the cache instead of
+// recomputing.
+func (s *Server) serveUsage(w http.ResponseWriter, r *http.Request) {
+	raw := r.URL.Query().Get("since")
+	var since int64
+	if raw != "" {
+		var err error
+		since, err = strconv.ParseInt(raw, 10, 64)
+		if err != nil {
+			serveError(w, http.StatusBadRequest, "cloudapi: bad usage since "+strconv.Quote(raw))
+			return
+		}
+	}
+	s.usageMu.Lock()
+	defer s.usageMu.Unlock()
+	rev := s.local.C.UsageRev()
+	if e, ok := s.usageCache[raw]; ok && e.rev == rev {
+		s.UsageCacheHits.Add(1)
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusOK)
+		_, _ = w.Write(e.body)
+		return
+	}
+	var buf bytes.Buffer
+	var computedAt int64
+	if raw == "" {
+		u, _ := s.local.Usage()
+		computedAt = u.Rev
+		_ = json.NewEncoder(&buf).Encode(u)
+	} else {
+		d, err := s.local.UsageSince(since)
+		if err != nil {
+			serveError(w, http.StatusBadRequest, err.Error())
+			return
+		}
+		computedAt = d.Rev
+		_ = json.NewEncoder(&buf).Encode(d)
+	}
+	if s.usageCache == nil {
+		s.usageCache = make(map[string]usageCacheEntry)
+	}
+	// Drop entries from older revs while we hold the lock: the cache only
+	// ever holds the handful of since values the current pollers use.
+	for k, e := range s.usageCache {
+		if e.rev != computedAt {
+			delete(s.usageCache, k)
+		}
+	}
+	s.usageCache[raw] = usageCacheEntry{rev: computedAt, body: buf.Bytes()}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write(buf.Bytes())
+}
+
+// pprofMux routes the runtime profiling endpoints; built once, shared by
+// every gated server.
+var pprofMux = func() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}()
+
+// ServePprof serves /debug/pprof/* behind the operator secret: with no
+// secret configured the profiling plane does not exist (404), and a
+// request without the matching X-OSDC-Operator header is refused (403).
+// Shared by cloudapi.Server and tukey-server so both binaries gate
+// profiling identically.
+func ServePprof(secret string, w http.ResponseWriter, r *http.Request) {
+	if secret == "" {
+		serveError(w, http.StatusNotFound, "profiling plane requires an operator secret")
+		return
+	}
+	if r.Header.Get("X-OSDC-Operator") != secret {
+		serveError(w, http.StatusForbidden, "profiling plane requires X-OSDC-Operator")
+		return
+	}
+	pprofMux.ServeHTTP(w, r)
+}
+
 // ServeHTTP implements http.Handler: /cloudapi/* is the operator plane,
 // everything else passes through to the native dialect.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if strings.HasPrefix(r.URL.Path, "/debug/pprof/") {
+		ServePprof(s.OperatorSecret, w, r)
+		return
+	}
 	if !strings.HasPrefix(r.URL.Path, "/cloudapi/") {
 		s.native.ServeHTTP(w, r)
 		return
@@ -113,8 +232,7 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		serveJSON(w, http.StatusOK, meta{Name: s.local.C.Name, Stack: s.local.C.Stack, Site: s.local.C.Site})
 
 	case r.URL.Path == "/cloudapi/usage" && r.Method == http.MethodGet:
-		u, _ := s.local.Usage()
-		serveJSON(w, http.StatusOK, u)
+		s.serveUsage(w, r)
 
 	case r.URL.Path == "/cloudapi/flavors" && r.Method == http.MethodGet:
 		fs, _ := s.local.Flavors()

@@ -148,6 +148,22 @@ type Quota struct {
 // FreeTierQuota is the default allocation for any researcher.
 func FreeTierQuota() Quota { return Quota{MaxInstances: 2, MaxCores: 4} }
 
+// userAccount is one user's shard-local accounting: the running footprint
+// (instances and cores over this bucket's BUILD/ACTIVE records), the
+// bucket-local instance index, and the usage revision of the user's last
+// footprint change in this bucket. Counters are maintained incrementally
+// at state transitions under the bucket lock, so a usage sample merges K
+// small per-user maps instead of walking every instance record, and
+// Instances(user) touches only the user's own index entries. An account
+// whose footprint has returned to zero is retained as a grave — its rev
+// is what lets UsageSince report the user as removed.
+type userAccount struct {
+	n     int
+	cores int
+	rev   int64
+	inst  map[string]*Instance
+}
+
 // instShard is one shard-local instance bucket. Every per-instance hot
 // path — boot completion, usage heartbeats, stop completion, state reads
 // from API handlers — goes through the bucket's own mutex, so callbacks
@@ -157,10 +173,24 @@ func FreeTierQuota() Quota { return Quota{MaxInstances: 2, MaxCores: 4} }
 type instShard struct {
 	mu   sync.Mutex
 	inst map[string]*Instance
+	// users holds this bucket's per-user accounts: incremental footprint
+	// counters plus the instance index, written only under mu.
+	users map[string]*userAccount
 	// beats counts usage heartbeats fired by this shard's instances. It is
 	// written only under mu by callbacks homed on this shard's engine and
 	// summed in shard order by Heartbeats().
 	beats uint64
+}
+
+// account returns user's bucket-local account, creating it. Callers hold
+// sh.mu.
+func (sh *instShard) account(user string) *userAccount {
+	a, ok := sh.users[user]
+	if !ok {
+		a = &userAccount{inst: make(map[string]*Instance)}
+		sh.users[user] = a
+	}
+	return a
 }
 
 // topology pins the instance population's shard fan-out: the ShardSet
@@ -180,6 +210,13 @@ func (t *topology) index(id string) int {
 }
 
 func (t *topology) bucket(id string) *instShard { return t.sh[t.index(id)] }
+
+func newInstShard() *instShard {
+	return &instShard{
+		inst:  make(map[string]*Instance),
+		users: make(map[string]*userAccount),
+	}
+}
 
 // footprint is one user's running allocation (ACTIVE + BUILD instances),
 // maintained incrementally so Launch's quota check is O(1) instead of a
@@ -218,6 +255,15 @@ type Cloud struct {
 	// firing on the instance's owning shard. Set during setup.
 	hbEvery sim.Duration
 
+	// usageRev is the cloud's monotonic usage revision: bumped on every
+	// change a usage sample could observe (a footprint transition, or a
+	// terminate releasing host occupancy). The bump and the matching
+	// per-user account write happen under the owning bucket's lock, so a
+	// reader that loads the counter and then walks the buckets sees every
+	// change at or below the value it read — the invariant UsageSince
+	// depends on.
+	usageRev atomic.Int64
+
 	Launches   int64
 	Rejections int64
 }
@@ -231,7 +277,7 @@ func NewCloud(e *sim.Engine, name, stack, site string) *Cloud {
 		quotas:  make(map[string]Quota),
 		foot:    make(map[string]footprint),
 	}
-	c.topo.Store(&topology{sh: []*instShard{{inst: make(map[string]*Instance)}}})
+	c.topo.Store(&topology{sh: []*instShard{newInstShard()}})
 	for _, f := range DefaultFlavors() {
 		c.flavors[f.Name] = f
 	}
@@ -256,13 +302,30 @@ func (c *Cloud) SetShards(set *sim.ShardSet) {
 	}
 	next := &topology{set: set, sh: make([]*instShard, k)}
 	for i := range next.sh {
-		next.sh[i] = &instShard{inst: make(map[string]*Instance)}
+		next.sh[i] = newInstShard()
 	}
 	prev := c.topo.Load()
 	for _, sh := range prev.sh {
 		sh.mu.Lock()
 		for id, inst := range sh.inst {
-			next.bucket(id).inst[id] = inst
+			nsh := next.bucket(id)
+			nsh.inst[id] = inst
+			// Rebuild the user accounts in the new buckets: the index
+			// follows the record, the footprint is recomputed from state.
+			a := nsh.account(inst.User)
+			a.inst[id] = inst
+			if inst.State == StateBuild || inst.State == StateActive {
+				a.n++
+				a.cores += inst.Flavor.VCPUs
+			}
+		}
+		// Carry each user's last-change revision (graves included) so a
+		// delta client holding a pre-rebucket rev still sees the churn.
+		for user, a := range sh.users {
+			na := next.sh[0].account(user)
+			if a.rev > na.rev {
+				na.rev = a.rev
+			}
 		}
 		next.sh[0].beats += sh.beats
 		sh.mu.Unlock()
@@ -498,6 +561,11 @@ func (c *Cloud) Launch(user, name, flavorName, imageID string) (*Instance, error
 	}
 	sh.mu.Lock()
 	sh.inst[inst.ID] = inst
+	acct := sh.account(user)
+	acct.inst[inst.ID] = inst
+	acct.n++
+	acct.cores += f.VCPUs
+	acct.rev = c.usageRev.Add(1)
 	c.Launches++
 	// VMs take ~90 s to boot. The callback fires on the owning shard's
 	// clock goroutine and takes only the bucket lock — never c.mu — so K
@@ -570,6 +638,10 @@ func (c *Cloud) Stop(user, id string) error {
 			inst.State = StateShutoff
 			inst.Stopped = eng.Now()
 			c.footDec(inst.User, inst.Flavor.VCPUs)
+			a := sh.account(inst.User)
+			a.n--
+			a.cores -= inst.Flavor.VCPUs
+			a.rev = c.usageRev.Add(1)
 		}
 		inst.stopPending = false
 		sh.mu.Unlock()
@@ -604,10 +676,20 @@ func (c *Cloud) Terminate(user, id string) error {
 	inst.stop.Cancel()
 	inst.stopPending = false
 	inst.State = StateTerminated
+	// The cloud's usage rev always moves on terminate: even for a SHUTOFF
+	// instance (no running-footprint change) the host occupancy a Usage
+	// sample reports just changed, so cached same-rev snapshots must not
+	// be served. The user's account rev moves only when the running
+	// footprint itself changed.
+	rev := c.usageRev.Add(1)
 	if wasRunning {
 		// A SHUTOFF instance keeps its earlier stop timestamp — billing
 		// must not re-open the accrual window.
 		inst.Stopped = eng.Now()
+		a := sh.account(inst.User)
+		a.n--
+		a.cores -= inst.Flavor.VCPUs
+		a.rev = rev
 	}
 	sh.mu.Unlock()
 	for _, h := range c.hosts {
@@ -628,15 +710,22 @@ func (c *Cloud) Terminate(user, id string) error {
 // returned records are point-in-time copies: the live instances keep
 // changing state (boot timers, terminations) on the shard goroutines, so
 // handing out the internal pointers would race with every caller that
-// renders them. The walk is shard-local: K short bucket locks, never
-// c.mu.
+// renders them. A named user's listing goes through the per-shard user
+// index — K short bucket locks touching only that user's own records —
+// so a console list stays O(the user's instances) even over a
+// 10⁵-instance population; only the ""-wildcard walks every record.
 func (c *Cloud) Instances(user string) []*Instance {
 	t := c.topo.Load()
 	var out []*Instance
 	for _, sh := range t.sh {
 		sh.mu.Lock()
-		for _, i := range sh.inst {
-			if user == "" || i.User == user {
+		if user == "" {
+			for _, i := range sh.inst {
+				cp := *i
+				out = append(out, &cp)
+			}
+		} else if a, ok := sh.users[user]; ok {
+			for _, i := range a.inst {
 				cp := *i
 				out = append(out, &cp)
 			}
@@ -662,10 +751,37 @@ func (c *Cloud) Instance(id string) (*Instance, bool) {
 
 // RunningByUser returns user → (instance count, cores) for active VMs: the
 // measurement the billing poller takes every minute (§6.4). The sample
-// walks shard-local snapshots — K bucket locks held one at a time — so a
-// poll never serializes against the control plane or against callbacks on
-// other shards.
+// merges the K per-shard account maps — O(active users), never an
+// instance walk — because every state transition maintains the counters
+// under the bucket lock it already holds. Accounts whose footprint has
+// drained to zero are graves kept only for delta bookkeeping and are
+// skipped here, so the result is key-identical to a full recount.
 func (c *Cloud) RunningByUser() map[string][2]int {
+	t := c.topo.Load()
+	out := make(map[string][2]int)
+	for _, sh := range t.sh {
+		sh.mu.Lock()
+		for user, a := range sh.users {
+			if a.n == 0 {
+				continue
+			}
+			v := out[user]
+			v[0] += a.n
+			v[1] += a.cores
+			out[user] = v
+		}
+		sh.mu.Unlock()
+	}
+	return out
+}
+
+// RunningByUserScan recomputes the usage sample the pre-counter way: a
+// full walk over every instance record in every bucket. It exists as the
+// ground truth the storm test recounts against (counters ≡ scan at every
+// join point) and as the baseline body behind the usage-sample-sharded
+// benchmarks, so the perf trajectory keeps its pre-incremental numbers
+// comparable across snapshots.
+func (c *Cloud) RunningByUserScan() map[string][2]int {
 	t := c.topo.Load()
 	out := make(map[string][2]int)
 	for _, sh := range t.sh {
@@ -681,4 +797,87 @@ func (c *Cloud) RunningByUser() map[string][2]int {
 		sh.mu.Unlock()
 	}
 	return out
+}
+
+// UsageRev returns the cloud's current usage revision: a counter bumped,
+// under the owning bucket's lock, by every footprint change. Equal revs
+// imply identical usage snapshots; the converse does not hold (a bump
+// with no net visible change — e.g. terminating a SHUTOFF instance
+// releases host cores — still advances the rev so caches stay honest).
+func (c *Cloud) UsageRev() int64 { return c.usageRev.Load() }
+
+// UsageDelta describes how per-user running footprints changed since an
+// earlier revision. Changed holds absolute (count, cores) values — not
+// increments — so applying a delta is idempotent and over-reporting a
+// user is harmless. Removed lists users whose footprint drained to zero
+// in the window. When Reset is true the receiver must drop its snapshot
+// and take Changed as the complete population (since predates what the
+// counters can answer, or the caller is ahead of this cloud's rev — a
+// restart).
+type UsageDelta struct {
+	Rev     int64
+	Changed map[string][2]int
+	Removed []string
+	Reset   bool
+}
+
+// UsageSince reports every user whose footprint changed after revision
+// since. The rev is loaded before the bucket walk: any transition that
+// lands mid-walk carries a rev greater than the returned one, so a
+// just-missed change is re-sent on the next poll rather than lost.
+// since <= 0 or since beyond the current rev yields a full snapshot with
+// Reset set.
+func (c *Cloud) UsageSince(since int64) UsageDelta {
+	rev := c.usageRev.Load()
+	if since <= 0 || since > rev {
+		full := c.RunningByUser()
+		if len(full) == 0 {
+			full = nil
+		}
+		return UsageDelta{Rev: rev, Changed: full, Reset: true}
+	}
+	t := c.topo.Load()
+	// First pass: collect per-shard contributions for every user touched
+	// after since. A user's merged footprint needs all K shards' accounts,
+	// not just the ones that changed, so note the names first and total
+	// them in a second pass.
+	touched := make(map[string]bool)
+	for _, sh := range t.sh {
+		sh.mu.Lock()
+		for user, a := range sh.users {
+			if a.rev > since {
+				touched[user] = true
+			}
+		}
+		sh.mu.Unlock()
+	}
+	if len(touched) == 0 {
+		return UsageDelta{Rev: rev}
+	}
+	merged := make(map[string][2]int, len(touched))
+	for _, sh := range t.sh {
+		sh.mu.Lock()
+		for user := range touched {
+			if a, ok := sh.users[user]; ok && a.n != 0 {
+				v := merged[user]
+				v[0] += a.n
+				v[1] += a.cores
+				merged[user] = v
+			}
+		}
+		sh.mu.Unlock()
+	}
+	d := UsageDelta{Rev: rev}
+	for user := range touched {
+		if v, ok := merged[user]; ok {
+			if d.Changed == nil {
+				d.Changed = make(map[string][2]int)
+			}
+			d.Changed[user] = v
+		} else {
+			d.Removed = append(d.Removed, user)
+		}
+	}
+	sort.Strings(d.Removed)
+	return d
 }

@@ -1,0 +1,264 @@
+package iaas
+
+// Incremental usage accounting: the per-shard per-user counters must
+// stay equal to a full instance-walk recount through every lifecycle
+// transition, the per-user index must list exactly what the full walk
+// lists, and UsageSince must report precisely the churn between two
+// revisions — including removing a user whose last instance terminated.
+
+import (
+	"fmt"
+	"reflect"
+	"sync"
+	"testing"
+)
+
+// assertCountersMatchScan requires the counter merge and the full-walk
+// recount to agree exactly.
+func assertCountersMatchScan(t *testing.T, c *Cloud, when string) {
+	t.Helper()
+	fast, slow := c.RunningByUser(), c.RunningByUserScan()
+	if !reflect.DeepEqual(fast, slow) {
+		t.Fatalf("%s: counters diverged from recount:\ncounters: %v\nscan    : %v", when, fast, slow)
+	}
+}
+
+func TestRunningByUserCountersMatchScan(t *testing.T) {
+	for _, k := range []int{1, 8} {
+		t.Run(fmt.Sprintf("k%d", k), func(t *testing.T) {
+			set, c := shardedCloud(k)
+			c.SetQuota("alice", Quota{MaxInstances: 64, MaxCores: 64})
+			c.SetQuota("bob", Quota{MaxInstances: 64, MaxCores: 64})
+			assertCountersMatchScan(t, c, "empty cloud")
+
+			var ids []string
+			for i := 0; i < 12; i++ {
+				user := "alice"
+				if i%3 == 0 {
+					user = "bob"
+				}
+				inst, err := c.Launch(user, fmt.Sprintf("vm%02d", i), "m1.small", "")
+				if err != nil {
+					t.Fatal(err)
+				}
+				ids = append(ids, inst.ID)
+			}
+			assertCountersMatchScan(t, c, "after launches (BUILD)")
+
+			set.RunFor(120) // boots complete
+			assertCountersMatchScan(t, c, "after boot")
+
+			// Stop a few: SHUTOFF leaves the running footprint.
+			for _, id := range ids[:4] {
+				inst, _ := c.Instance(id)
+				if err := c.Stop(inst.User, id); err != nil {
+					t.Fatal(err)
+				}
+			}
+			set.RunFor(float64(stopDelay) + 1)
+			assertCountersMatchScan(t, c, "after stops")
+
+			// Terminate a mix of SHUTOFF and ACTIVE instances.
+			for _, id := range ids[2:8] {
+				inst, _ := c.Instance(id)
+				if err := c.Terminate(inst.User, id); err != nil {
+					t.Fatal(err)
+				}
+			}
+			assertCountersMatchScan(t, c, "after terminates")
+
+			// Drain everything: both maps must go empty, not zero-valued.
+			for _, id := range ids {
+				inst, _ := c.Instance(id)
+				_ = c.Terminate(inst.User, id)
+			}
+			assertCountersMatchScan(t, c, "after full drain")
+			if n := len(c.RunningByUser()); n != 0 {
+				t.Fatalf("drained cloud still reports %d users", n)
+			}
+		})
+	}
+}
+
+func TestInstancesByUserIndex(t *testing.T) {
+	set, c := shardedCloud(8)
+	c.SetQuota("alice", Quota{MaxInstances: 32, MaxCores: 32})
+	c.SetQuota("bob", Quota{MaxInstances: 32, MaxCores: 32})
+	for i := 0; i < 10; i++ {
+		user := "alice"
+		if i%2 == 1 {
+			user = "bob"
+		}
+		if _, err := c.Launch(user, fmt.Sprintf("vm%02d", i), "m1.small", ""); err != nil {
+			t.Fatal(err)
+		}
+	}
+	set.RunFor(120)
+	// Terminate one of alice's: the terminated record must still list,
+	// exactly as the full walk lists it.
+	victim := c.Instances("alice")[0]
+	if err := c.Terminate("alice", victim.ID); err != nil {
+		t.Fatal(err)
+	}
+
+	for _, user := range []string{"alice", "bob", "nobody"} {
+		var want []*Instance
+		for _, i := range c.Instances("") {
+			if i.User == user {
+				want = append(want, i)
+			}
+		}
+		got := c.Instances(user)
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("Instances(%q) diverged from the full walk:\nindex: %+v\nwalk : %+v", user, got, want)
+		}
+	}
+}
+
+func TestUsageSinceDeltaSemantics(t *testing.T) {
+	set, c := shardedCloud(8)
+	c.SetQuota("alice", Quota{MaxInstances: 32, MaxCores: 32})
+	c.SetQuota("bob", Quota{MaxInstances: 32, MaxCores: 32})
+
+	// A fresh caller (since 0) gets a Reset snapshot, even when empty.
+	d := c.UsageSince(0)
+	if !d.Reset || len(d.Changed) != 0 {
+		t.Fatalf("empty-cloud UsageSince(0) = %+v, want empty Reset", d)
+	}
+
+	a1, err := c.Launch("alice", "a1", "m1.small", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Launch("bob", "b1", "m1.small", ""); err != nil {
+		t.Fatal(err)
+	}
+	d = c.UsageSince(0)
+	if !d.Reset || len(d.Changed) != 2 {
+		t.Fatalf("UsageSince(0) = %+v, want Reset with 2 users", d)
+	}
+	rev := d.Rev
+
+	// Nothing changed: the delta is empty at the same rev.
+	d = c.UsageSince(rev)
+	if d.Reset || len(d.Changed) != 0 || len(d.Removed) != 0 || d.Rev != rev {
+		t.Fatalf("quiescent UsageSince(%d) = %+v, want empty", rev, d)
+	}
+
+	// One more launch for alice: only alice appears, with her absolute
+	// footprint.
+	if _, err := c.Launch("alice", "a2", "m1.medium", ""); err != nil {
+		t.Fatal(err)
+	}
+	d = c.UsageSince(rev)
+	if d.Reset || len(d.Removed) != 0 {
+		t.Fatalf("UsageSince after launch = %+v", d)
+	}
+	if len(d.Changed) != 1 || d.Changed["alice"] != [2]int{2, 3} {
+		t.Fatalf("changed = %v, want alice with 2 instances / 3 cores", d.Changed)
+	}
+	rev = d.Rev
+
+	// Terminating bob's only instance removes him from the next delta —
+	// the regression this PR pins: a drained user must not be silently
+	// retained (he would keep accruing forever).
+	bobs := c.Instances("bob")
+	if err := c.Terminate("bob", bobs[0].ID); err != nil {
+		t.Fatal(err)
+	}
+	d = c.UsageSince(rev)
+	if len(d.Changed) != 0 || !reflect.DeepEqual(d.Removed, []string{"bob"}) {
+		t.Fatalf("delta after bob drains = %+v, want Removed=[bob]", d)
+	}
+	rev = d.Rev
+
+	// A SHUTOFF instance keeps its allocation but leaves the running
+	// footprint: stopping one of alice's reports her reduced absolute
+	// value.
+	if err := c.Stop("alice", a1.ID); err != nil {
+		t.Fatal(err)
+	}
+	set.RunFor(float64(stopDelay) + 1)
+	d = c.UsageSince(rev)
+	if len(d.Changed) != 1 || d.Changed["alice"] != [2]int{1, 2} {
+		t.Fatalf("delta after stop = %+v, want alice at 1 instance / 2 cores", d)
+	}
+	rev = d.Rev
+
+	// A caller ahead of the cloud (a restart under it) gets a Reset
+	// resync carrying the full population.
+	d = c.UsageSince(rev + 1000)
+	if !d.Reset || len(d.Changed) != 1 {
+		t.Fatalf("ahead-of-rev UsageSince = %+v, want Reset with alice", d)
+	}
+}
+
+// TestUsageCountersShardedStorm is the K=8 -race invariance check: full
+// lifecycles on every shard racing boot/stop timers on eight clock
+// goroutines and concurrent counter reads, with counter-vs-recount
+// equality demanded at the join.
+func TestUsageCountersShardedStorm(t *testing.T) {
+	set, c := shardedCloud(8)
+	set.Share() // API goroutines race the clock goroutines below
+	const workers = 6
+	for w := 0; w < workers; w++ {
+		c.SetQuota(fmt.Sprintf("u%d", w), Quota{MaxInstances: 64, MaxCores: 64})
+	}
+
+	stop := make(chan struct{})
+	var driver sync.WaitGroup
+	driver.Add(1)
+	go func() {
+		defer driver.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				set.RunFor(7)
+			}
+		}
+	}()
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			user := fmt.Sprintf("u%d", w)
+			for i := 0; i < 40; i++ {
+				inst, err := c.Launch(user, fmt.Sprintf("%s-vm%02d", user, i), "m1.small", "")
+				if err != nil {
+					continue // capacity contention is expected
+				}
+				switch i % 3 {
+				case 0:
+					_ = c.Stop(user, inst.ID)
+				case 1:
+					_ = c.Terminate(user, inst.ID)
+				}
+				// Race the read paths against the transitions.
+				_ = c.RunningByUser()
+				_ = c.UsageSince(0)
+				_ = c.Instances(user)
+			}
+		}()
+	}
+	wg.Wait()
+	close(stop)
+	driver.Wait()
+
+	// Settle pending boot/stop timers, then demand exact equality.
+	set.RunFor(200)
+	assertCountersMatchScan(t, c, "at join")
+	d := c.UsageSince(0)
+	want := c.RunningByUser()
+	if len(want) == 0 {
+		if len(d.Changed) != 0 {
+			t.Fatalf("full delta reports %v on a drained cloud", d.Changed)
+		}
+	} else if !reflect.DeepEqual(map[string][2]int(d.Changed), want) {
+		t.Fatalf("full delta diverged from counters:\ndelta   : %v\ncounters: %v", d.Changed, want)
+	}
+}

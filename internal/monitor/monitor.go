@@ -10,6 +10,7 @@
 package monitor
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 	"sync"
@@ -310,7 +311,52 @@ type UsageMonitor struct {
 	// deadline bounds one cloud sample's wall time; defaults to
 	// pollDeadline. Set during setup (SetPollDeadline).
 	deadline time.Duration
+
+	// The reused delta-sampling machinery, mirroring billing.Biller: slots
+	// and tasks are built once at construction (no per-tick allocation),
+	// prior holds each cloud's maintained per-user snapshot and next-poll
+	// revision (clock goroutine only), and gen stamps each sweep so an
+	// abandoned task cannot write a stale result into a later sweep.
+	slots []sampleSlot
+	tasks []func()
+	prior []cloudUsageState
+	gen   uint64
 }
+
+// sampleSlot is one cloud's reused result cell; the mutex guards against
+// a late write from an abandoned sample, the gen match discards it.
+type sampleSlot struct {
+	mu    sync.Mutex
+	gen   uint64
+	since int64
+	d     cloudapi.UsageDelta
+	err   error
+}
+
+// cloudUsageState is one cloud's maintained usage snapshot under delta
+// polling. Only the clock-driving goroutine touches it.
+type cloudUsageState struct {
+	since  int64
+	byUser map[string]cloudapi.UserUsage
+}
+
+// apply folds a delta into the snapshot.
+func (st *cloudUsageState) apply(d cloudapi.UsageDelta) {
+	if d.Reset || st.byUser == nil {
+		st.byUser = make(map[string]cloudapi.UserUsage, len(d.Changed))
+	}
+	for user, v := range d.Changed {
+		st.byUser[user] = v
+	}
+	for _, user := range d.Removed {
+		delete(st.byUser, user)
+	}
+	st.since = d.Rev
+}
+
+// errSampleAbandoned pre-fills a slot each sweep so a slot whose task
+// never ran reads as a failure, never as a stale success.
+var errSampleAbandoned = errors.New("monitor: sample abandoned before the cloud answered")
 
 // NewUsageMonitor starts sampling every interval.
 func NewUsageMonitor(e *sim.Engine, clouds []cloudapi.CloudAPI, interval sim.Duration) *UsageMonitor {
@@ -319,6 +365,24 @@ func NewUsageMonitor(e *sim.Engine, clouds []cloudapi.CloudAPI, interval sim.Dur
 	um.errByCloud = make(map[string]*int64, len(clouds))
 	for _, c := range clouds {
 		um.errByCloud[c.Name()] = new(int64)
+	}
+	um.slots = make([]sampleSlot, len(clouds))
+	um.prior = make([]cloudUsageState, len(clouds))
+	um.tasks = make([]func(), len(clouds))
+	for i, c := range clouds {
+		i, c := i, c
+		um.tasks[i] = func() {
+			s := &um.slots[i]
+			s.mu.Lock()
+			gen, since := s.gen, s.since
+			s.mu.Unlock()
+			d, err := c.UsageSince(since)
+			s.mu.Lock()
+			if s.gen == gen { // a later sweep may have re-armed the slot
+				s.d, s.err = d, err
+			}
+			s.mu.Unlock()
+		}
 	}
 	um.ticker = e.Every(interval, um.sample)
 	return um
@@ -343,45 +407,44 @@ func (um *UsageMonitor) SampleErrorsByCloud() map[string]int64 {
 // polled serially would stall the clock for every site behind it. A
 // sample that misses the per-poll deadline counts against that cloud in
 // SampleErrorsByCloud; its late result is discarded.
+// The sweep polls incrementally: each task asks UsageSince(prior rev)
+// and the clock goroutine folds the churn into the cloud's maintained
+// snapshot before summarizing it — the same delta path the biller uses,
+// so a steady-state sweep ships empty deltas, not full per-user maps.
 func (um *UsageMonitor) sample() {
 	now := um.engine.Now()
-	type slot struct {
-		mu  sync.Mutex // an abandoned sample may write late
-		u   cloudapi.Usage
-		err error
+	um.gen++
+	for i := range um.slots {
+		s := &um.slots[i]
+		s.mu.Lock()
+		s.gen, s.since = um.gen, um.prior[i].since
+		s.err = errSampleAbandoned
+		s.mu.Unlock()
 	}
-	slots := make([]slot, len(um.clouds))
-	tasks := make([]func(), len(um.clouds))
-	for i, c := range um.clouds {
-		i, c := i, c
-		tasks[i] = func() {
-			u, err := c.Usage()
-			slots[i].mu.Lock()
-			slots[i].u, slots[i].err = u, err
-			slots[i].mu.Unlock()
-		}
-	}
-	completed := fanout.Each(pollWorkers, um.deadline, tasks)
+	completed := fanout.Each(pollWorkers, um.deadline, um.tasks)
 	for i, c := range um.clouds {
 		if !completed[i] {
 			atomic.AddInt64(&um.SampleErrors, 1)
 			atomic.AddInt64(um.errByCloud[c.Name()], 1)
 			continue
 		}
-		slots[i].mu.Lock()
-		u, err := slots[i].u, slots[i].err
-		slots[i].mu.Unlock()
+		s := &um.slots[i]
+		s.mu.Lock()
+		d, err := s.d, s.err
+		s.mu.Unlock()
 		if err != nil {
 			atomic.AddInt64(&um.SampleErrors, 1)
 			atomic.AddInt64(um.errByCloud[c.Name()], 1)
 			continue
 		}
+		st := &um.prior[i]
+		st.apply(d)
 		snap := UsageSnapshot{
 			At: now, Cloud: c.Name(),
-			UsedCores: u.UsedCores, TotalCores: u.TotalCores,
-			ActiveUsers: len(u.ByUser),
+			UsedCores: d.UsedCores, TotalCores: d.TotalCores,
+			ActiveUsers: len(st.byUser),
 		}
-		for _, v := range u.ByUser {
+		for _, v := range st.byUser {
 			snap.RunningVMs += v.Instances
 		}
 		um.mu.Lock()

@@ -138,6 +138,10 @@ func (h *hangingCloud) Usage() (cloudapi.Usage, error) {
 	<-h.release
 	return cloudapi.Usage{}, nil
 }
+func (h *hangingCloud) UsageSince(int64) (cloudapi.UsageDelta, error) {
+	<-h.release
+	return cloudapi.UsageDelta{}, nil
+}
 
 // TestAbandonedSampleSurfacesPerCloud: a cloud whose Usage hangs past the
 // sample deadline lands in SampleErrorsByCloud while the healthy cloud's

@@ -77,6 +77,9 @@ func Collect(pr string) (Snapshot, error) {
 		{"biller-parallel-accrual", BillerParallelAccrual},
 		{"usage-sample-sharded-k1", UsageSampleSharded(1)},
 		{"usage-sample-sharded-k8", UsageSampleSharded(8)},
+		{"usage-sample-incremental-k1", UsageSampleIncremental(1)},
+		{"usage-sample-incremental-k8", UsageSampleIncremental(8)},
+		{"instances-by-user-grid100k", InstancesByUserGrid()},
 	} {
 		r := testing.Benchmark(tb.body)
 		snap.Metrics = append(snap.Metrics, Metric{
@@ -286,33 +289,80 @@ func BillerParallelAccrual(b *testing.B) {
 	})
 }
 
+// benchGrid builds the 10⁵-instance grid population the usage-sampling
+// benchmarks poll: one bulk tenant plus a small interactive tenant
+// ("alice", a handful of VMs) whose console listing the per-user index
+// benchmark measures against the full population.
+func benchGrid(b *testing.B, k int) *iaas.Cloud {
+	b.Helper()
+	const pop = 100_000
+	const hostCores = 512
+	set := sim.NewShardSet(2012, k)
+	c := iaas.NewCloud(set.Anchor(), "bench", "openstack", "bench-site")
+	if k > 1 {
+		c.SetShards(set)
+	}
+	for i := 0; i*hostCores < pop+hostCores; i++ {
+		c.AddHost(iaas.NewHost(fmt.Sprintf("bench-%03d", i), hostCores, hostCores*4096, hostCores*100))
+	}
+	c.SetQuota("grid", iaas.Quota{MaxInstances: pop + 1, MaxCores: pop + 1})
+	for i := 0; i < pop; i++ {
+		if _, err := c.Launch("grid", fmt.Sprintf("bg-%06d", i), "m1.small", ""); err != nil {
+			b.Fatal(err)
+		}
+	}
+	c.SetQuota("alice", iaas.Quota{MaxInstances: 8, MaxCores: 32})
+	for i := 0; i < 5; i++ {
+		if _, err := c.Launch("alice", fmt.Sprintf("alice-%02d", i), "m1.small", ""); err != nil {
+			b.Fatal(err)
+		}
+	}
+	return c
+}
+
 // UsageSampleSharded returns a benchmark body measuring one usage-monitor
-// sampling sweep — RunningByUser over a large live population — with the
-// instance records bucketed across k shards. It is the poll-side cost the
-// biller and usage monitor pay every simulated minute; sharding bounds the
-// time any one bucket lock is held against timer callbacks.
+// sampling sweep as a full instance walk (RunningByUserScan) over the
+// grid with the records bucketed across k shards. Since PR 9 this is the
+// *baseline* the incremental counters are read against: the body is the
+// pre-counter RunningByUser verbatim, so the usage-sample-sharded-k*
+// series stays continuous across snapshots.
 func UsageSampleSharded(k int) func(*testing.B) {
 	return func(b *testing.B) {
 		b.ReportAllocs()
-		const pop = 100_000
-		const hostCores = 512
-		set := sim.NewShardSet(2012, k)
-		c := iaas.NewCloud(set.Anchor(), "bench", "openstack", "bench-site")
-		if k > 1 {
-			c.SetShards(set)
+		c := benchGrid(b, k)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			_ = c.RunningByUserScan()
 		}
-		for i := 0; i*hostCores < pop+hostCores; i++ {
-			c.AddHost(iaas.NewHost(fmt.Sprintf("bench-%03d", i), hostCores, hostCores*4096, hostCores*100))
-		}
-		c.SetQuota("grid", iaas.Quota{MaxInstances: pop + 1, MaxCores: pop + 1})
-		for i := 0; i < pop; i++ {
-			if _, err := c.Launch("grid", fmt.Sprintf("bg-%06d", i), "m1.small", ""); err != nil {
-				b.Fatal(err)
-			}
-		}
+	}
+}
+
+// UsageSampleIncremental returns a benchmark body measuring the same
+// sampling sweep through the per-shard per-user counters — the
+// RunningByUser the pollers actually call now: a merge of K tiny account
+// maps, O(active users) instead of O(population).
+func UsageSampleIncremental(k int) func(*testing.B) {
+	return func(b *testing.B) {
+		b.ReportAllocs()
+		c := benchGrid(b, k)
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
 			_ = c.RunningByUser()
+		}
+	}
+}
+
+// InstancesByUserGrid measures one console listing for a small tenant
+// against the 10⁵-instance background: the per-user index touches only
+// that tenant's records, where the pre-index walk scanned every bucket
+// entry on the cloud.
+func InstancesByUserGrid() func(*testing.B) {
+	return func(b *testing.B) {
+		b.ReportAllocs()
+		c := benchGrid(b, 8)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			_ = c.Instances("alice")
 		}
 	}
 }

@@ -23,6 +23,8 @@ func TestCollectSnapshot(t *testing.T) {
 		"engine-churn", "engine-churn-pooled", "sharded-churn",
 		"same-tick-batch", "biller-parallel-accrual",
 		"usage-sample-sharded-k1", "usage-sample-sharded-k8",
+		"usage-sample-incremental-k1", "usage-sample-incremental-k8",
+		"instances-by-user-grid100k",
 		"console-load-p95",
 		"console-load-p95-grid100k-k1", "console-load-p95-grid100k-k8",
 		"console-knee-p95-1024u-1r", "console-knee-p95-1024u-4r",
@@ -48,5 +50,14 @@ func TestCollectSnapshot(t *testing.T) {
 	}
 	if byName["console-load-p95"].Unit != "ms" {
 		t.Fatalf("console-load-p95 unit = %q, want ms", byName["console-load-p95"].Unit)
+	}
+	// The incremental counter merge must beat the full scan by at least
+	// 10× on the 10⁵-instance grid — the algorithmic O(users) vs
+	// O(instances) gap, far larger in practice (~10⁴×), so 10× holds on
+	// any box.
+	scan, inc := byName["usage-sample-sharded-k1"].NsPerOp, byName["usage-sample-incremental-k1"].NsPerOp
+	if inc*10 > scan {
+		t.Fatalf("incremental usage sample is only %.1f× the scan (scan %.0f ns, incremental %.0f ns), want >= 10×",
+			scan/inc, scan, inc)
 	}
 }
