@@ -28,7 +28,9 @@
 //
 // Auth: -operator-secret gates every mutating operator-plane request
 // (clock targets, quotas, dataset replicas) behind a shared-secret header;
-// the attaching tukey-server passes the same value.
+// the attaching tukey-server passes the same value. The same secret gates
+// GET /metrics — the site's kernel and usage-cache series in Prometheus
+// text form, what a console-side telemetry collector scrapes.
 //
 // Usage:
 //

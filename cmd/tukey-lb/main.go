@@ -10,10 +10,14 @@
 // losing one loses nothing — the balancer only has to stop sending
 // traffic at the corpse.
 //
+// With -operator-secret the balancer serves its own health accounting —
+// retries, mark-downs, evictions, live backend counts — at GET /metrics
+// behind the federation's operator gate.
+//
 // Usage:
 //
 //	tukey-lb -backend http://host1:8080 -backend http://host2:8080
-//	         [-addr :8000] [-probe 2s] [-evict-after 5]
+//	         [-addr :8000] [-probe 2s] [-evict-after 5] [-operator-secret S]
 package main
 
 import (
@@ -24,6 +28,7 @@ import (
 	"time"
 
 	"osdc/internal/lb"
+	"osdc/internal/telemetry"
 )
 
 // backendList collects repeated -backend flags.
@@ -40,6 +45,7 @@ func main() {
 	addr := flag.String("addr", ":8000", "balancer listen address")
 	probe := flag.Duration("probe", 2*time.Second, "health-probe interval (0 = passive mark-down only)")
 	evictAfter := flag.Int("evict-after", 5, "evict a backend after this many consecutive failed probes (0 = never)")
+	operatorSecret := flag.String("operator-secret", "", "serve GET /metrics behind this operator secret (\"\" = no metrics plane)")
 	var backends backendList
 	flag.Var(&backends, "backend", "console replica base URL (repeatable)")
 	flag.Parse()
@@ -51,7 +57,14 @@ func main() {
 	if *probe > 0 {
 		go pool.ProbeLoop(*probe, *evictAfter, make(chan struct{}))
 	}
+	reg := telemetry.NewRegistry()
+	pool.RegisterMetrics(reg)
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		telemetry.ServeMetrics(*operatorSecret, reg, w, r)
+	})
+	mux.Handle("/", pool)
 	log.Printf("tukey-lb on %s over %d replicas (probe %v, evict after %d)",
 		*addr, len(backends), *probe, *evictAfter)
-	log.Fatal(http.ListenAndServe(*addr, pool))
+	log.Fatal(http.ListenAndServe(*addr, mux))
 }

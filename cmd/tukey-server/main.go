@@ -76,6 +76,7 @@ import (
 	"osdc/internal/datastore"
 	"osdc/internal/iaas"
 	"osdc/internal/sim"
+	"osdc/internal/telemetry"
 	"osdc/internal/tukey"
 	"osdc/internal/tukeystate"
 )
@@ -141,18 +142,28 @@ type options struct {
 	// replicas sharing a state plane never mint colliding tokens. Required
 	// when stateURL is set.
 	replica string
+	// telemetryScrape starts the cross-site collector: every interval the
+	// console scrapes each attached cloud's /metrics and folds the series
+	// (member-labelled) into its own plane. 0 = no collector.
+	telemetryScrape time.Duration
+	// streamPeriod is the /console/stream cadence in simulated seconds
+	// (virtual clock, so frames land deterministically); 0 = 1s.
+	streamPeriod float64
 }
 
 // server is the assembled service: the federation, its console handler,
 // the clock drivers keeping the simulation(s) live, and every listener to
 // shut down.
 type server struct {
-	fed     *core.Federation
-	console *tukey.Console
-	handler http.Handler     // console plus the /clock coordinator endpoint
-	driver  *sim.Driver      // console-side clock; nil when frozen
-	sites   []*cloudapi.Site // per-cloud worlds in -remote-clouds mode
-	close   func()           // shuts the native-API listeners down
+	fed       *core.Federation
+	console   *tukey.Console
+	handler   http.Handler     // console plus the /clock coordinator endpoint
+	driver    *sim.Driver      // console-side clock; nil when frozen
+	sites     []*cloudapi.Site // per-cloud worlds in -remote-clouds mode
+	metrics   *telemetry.Registry
+	collector *telemetry.Collector // cross-site scraper; nil without -telemetry-scrape
+	stream    *telemetry.Streamer
+	close     func() // shuts the native-API listeners down
 }
 
 // newServer builds the federation in the requested topology, enrolls the
@@ -202,6 +213,15 @@ func newServer(opt options) (*server, error) {
 	// dataSites are the dataset planes the replication coordinator
 	// places replicas across; OSDC-Root always anchors the master copies.
 	dataSites := []datastore.API{f.Stores[core.ClusterRoot]}
+	// cloudServers are the in-process per-cloud HTTP servers, kept so the
+	// console can read their usage-cache counters directly.
+	cloudServers := map[string]*cloudapi.Server{}
+	// usageRemotes are the delta-capable usage clients whose cache health
+	// the telemetry plane reports.
+	var usageRemotes []*cloudapi.Remote
+	// members are every attached cloud's /metrics endpoint — what the
+	// cross-site collector scrapes.
+	var members []telemetry.Member
 
 	external := map[string]string{}
 	for _, p := range opt.sites {
@@ -245,6 +265,9 @@ func newServer(opt options) (*server, error) {
 			remote := site.RemoteWithClient(siteClient)
 			apis[site.Cloud.Name] = remote
 			pollAPIs = append(pollAPIs, remote)
+			cloudServers[site.Cloud.Name] = site.Server()
+			usageRemotes = append(usageRemotes, remote)
+			members = append(members, telemetry.Member{Name: site.Cloud.Name, URL: site.URL})
 			if clockMode == cloudapi.ClockFollow {
 				syncTargets = append(syncTargets, remote)
 			}
@@ -273,6 +296,8 @@ func newServer(opt options) (*server, error) {
 			}
 			prev := s.close
 			s.close = func() { prev(); ln.Close() }
+			cloudServers[name] = srv
+			members = append(members, telemetry.Member{Name: name, URL: url})
 			f.Tukey.AttachCloud(tukey.CloudConfig{Name: c.Name, Stack: c.Stack, Endpoint: url})
 			api := f.AdlerAPI
 			if name == core.ClusterSullivan {
@@ -310,6 +335,8 @@ func newServer(opt options) (*server, error) {
 		}
 		apis[p.name] = remote
 		pollAPIs = append(pollAPIs, remote)
+		usageRemotes = append(usageRemotes, remote)
+		members = append(members, telemetry.Member{Name: p.name, URL: p.url})
 		mode := "unknown"
 		st, clockErr := remote.Clock()
 		if clockErr == nil {
@@ -375,6 +402,45 @@ func newServer(opt options) (*server, error) {
 		}
 		s.console.Limiter = tukey.NewRateLimiter(opt.rateLimit, burst)
 	}
+
+	// --- telemetry plane: one registry fed by every in-process source,
+	// the collector folding in member-labelled remote series, the streamer
+	// framing deltas on the virtual clock for /console/stream ---
+	reg := telemetry.NewRegistry()
+	s.metrics = reg
+	f.RegisterTelemetry(reg)
+	s.console.RegisterMetrics(reg)
+	cloudapi.RegisterUsageDeltaClients(reg, usageRemotes...)
+	s.console.UsageCacheHits = func() map[string]int64 {
+		out := make(map[string]int64, len(cloudServers))
+		for name, srv := range cloudServers {
+			out[name] = srv.UsageCacheHits.Load()
+		}
+		return out
+	}
+	if opt.telemetryScrape > 0 && len(members) > 0 {
+		s.collector = telemetry.NewCollector(opt.operatorSecret, siteClient, members...)
+		s.collector.RegisterMetrics(reg)
+		s.collector.Start(opt.telemetryScrape)
+		log.Printf("telemetry collector: scraping %d member(s) every %v", len(members), opt.telemetryScrape)
+	}
+	col := s.collector
+	s.stream = telemetry.NewStreamer(func() map[string]float64 {
+		snap := reg.Snapshot()
+		if col != nil {
+			for k, v := range col.Snapshot() {
+				snap[k] = v
+			}
+		}
+		return snap
+	})
+	streamPeriod := opt.streamPeriod
+	if streamPeriod <= 0 {
+		streamPeriod = 1
+	}
+	s.stream.Start(f.Engine, sim.Duration(streamPeriod))
+	s.console.Stream = s.stream
+
 	mux := http.NewServeMux()
 	mux.Handle("/", s.console)
 	// GET /healthz is what tukey-lb probes: 200 means this replica is
@@ -397,6 +463,11 @@ func newServer(opt options) (*server, error) {
 	mux.HandleFunc("/debug/pprof/", func(w http.ResponseWriter, r *http.Request) {
 		cloudapi.ServePprof(opt.operatorSecret, w, r)
 	})
+	// GET /metrics rides the same operator gate: the console's own plane
+	// plus everything the collector folded in from member clouds.
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		telemetry.ServeMetrics(opt.operatorSecret, reg, w, r)
+	})
 	s.handler = mux
 
 	if opt.speedup > 0 {
@@ -411,6 +482,7 @@ func newServer(opt options) (*server, error) {
 	}
 	if opt.clockSync > 0 && len(syncTargets) > 0 {
 		f.StartClockSync(opt.clockSync, syncTargets...)
+		s.console.ClockSync = f.ClockSync
 	}
 	return s, nil
 }
@@ -419,6 +491,12 @@ func newServer(opt options) (*server, error) {
 func (s *server) Close() {
 	s.fed.StopReplication()
 	s.fed.StopClockSync()
+	if s.collector != nil {
+		s.collector.Stop()
+	}
+	if s.stream != nil {
+		s.stream.Close()
+	}
 	if s.driver != nil {
 		s.driver.Stop()
 	}
@@ -444,6 +522,8 @@ func main() {
 	operatorSecret := flag.String("operator-secret", "", "shared secret gating operator-plane writes on cloud servers")
 	stateURL := flag.String("state-url", "", "tukey-state service URL; makes this a stateless replica (requires -replica)")
 	replica := flag.String("replica", "", "replica name; prefixes session tokens so replicas sharing a state plane never collide")
+	telemetryScrape := flag.Duration("telemetry-scrape", 0, "scrape every attached cloud's /metrics this often into the console plane (0 = off)")
+	streamPeriod := flag.Float64("stream-period", 1, "/console/stream frame cadence in simulated seconds")
 	var sites siteList
 	flag.Var(&sites, "site", "attach an externally running cloud-site as name=url (repeatable)")
 	flag.Parse()
@@ -454,6 +534,7 @@ func main() {
 		rateLimit: *rateLimit, rateBurst: *rateBurst,
 		replicationFactor: *replicationFactor, replicationInterval: *replicationInterval,
 		operatorSecret: *operatorSecret, stateURL: *stateURL, replica: *replica,
+		telemetryScrape: *telemetryScrape, streamPeriod: *streamPeriod,
 	})
 	if err != nil {
 		log.Fatal(err)

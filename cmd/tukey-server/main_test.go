@@ -2,6 +2,7 @@ package main
 
 import (
 	"encoding/json"
+	"io"
 	"net/http"
 	"net/http/httptest"
 	"strings"
@@ -9,6 +10,7 @@ import (
 	"time"
 
 	"osdc/internal/core"
+	"osdc/internal/telemetry"
 	"osdc/internal/tukey"
 )
 
@@ -423,5 +425,87 @@ func TestPprofBehindOperatorGate(t *testing.T) {
 	resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
 		t.Fatalf("authenticated pprof fetch = %d, want 200", resp.StatusCode)
+	}
+}
+
+// TestMetricsBehindOperatorGate: the telemetry plane shares the pprof
+// gate contract exactly — 404 without a secret, 403 without (or with the
+// wrong) X-OSDC-Operator header, exposition text with it — and the
+// console-side registry carries the kernel, billing, and console series.
+func TestMetricsBehindOperatorGate(t *testing.T) {
+	open, err := newServer(options{seed: 41})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer open.Close()
+	openSrv := httptest.NewServer(open.handler)
+	defer openSrv.Close()
+	resp, err := http.Get(openSrv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("metrics without a secret = %d, want 404", resp.StatusCode)
+	}
+
+	gated, err := newServer(options{seed: 42, operatorSecret: "op-secret"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer gated.Close()
+	gatedSrv := httptest.NewServer(gated.handler)
+	defer gatedSrv.Close()
+
+	resp, err = http.Get(gatedSrv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusForbidden {
+		t.Fatalf("unauthenticated metrics fetch = %d, want 403", resp.StatusCode)
+	}
+
+	req, _ := http.NewRequest(http.MethodGet, gatedSrv.URL+"/metrics", nil)
+	req.Header.Set("X-OSDC-Operator", "not-the-secret")
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusForbidden {
+		t.Fatalf("wrong-secret metrics fetch = %d, want 403", resp.StatusCode)
+	}
+
+	// One console request so the per-route counters exist before scraping.
+	tok := login(t, gatedSrv.URL)
+	consoleDo(t, gatedSrv.URL, "GET", "/console/status", tok, "").Body.Close()
+
+	req.Header.Set("X-OSDC-Operator", "op-secret")
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("authenticated metrics fetch = %d, want 200", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain; version=0.0.4") {
+		t.Fatalf("metrics content type = %q", ct)
+	}
+	parsed, err := telemetry.ParseText(body)
+	if err != nil {
+		t.Fatalf("exposition body does not parse: %v", err)
+	}
+	for _, want := range []string{
+		`osdc_engine_fired_total{shard="0"}`,
+		"osdc_billing_polls_total",
+		`osdc_console_requests_total{route="GET /console/status"}`,
+		"osdc_console_throttled_total",
+	} {
+		if _, ok := parsed[want]; !ok {
+			t.Errorf("series %s missing from tukey-server exposition", want)
+		}
 	}
 }

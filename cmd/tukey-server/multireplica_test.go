@@ -1,6 +1,8 @@
 package main
 
 import (
+	"io"
+	"net/http"
 	"net/http/httptest"
 	"strings"
 	"testing"
@@ -9,6 +11,7 @@ import (
 	"osdc/internal/core"
 	"osdc/internal/lb"
 	"osdc/internal/sim"
+	"osdc/internal/telemetry"
 	"osdc/internal/tukey"
 	"osdc/internal/tukeystate"
 )
@@ -40,9 +43,14 @@ func TestMultiReplicaSmoke(t *testing.T) {
 
 	// The state plane: shared sessions plus a shared limiter. Rate 0 means
 	// buckets never refill, so the 429 arithmetic below is deterministic.
+	// Every binary in this deployment carries the same operator secret, so
+	// the telemetry sweep below can scrape all of them.
 	const burst = 30
-	stateSrv := httptest.NewServer(tukeystate.NewServer(
-		tukey.NewMemorySessionStore(), tukey.NewRateLimiter(0, burst)))
+	const opSecret = "smoke-op-secret"
+	statePlane := tukeystate.NewServer(
+		tukey.NewMemorySessionStore(), tukey.NewRateLimiter(0, burst))
+	statePlane.OperatorSecret = opSecret
+	stateSrv := httptest.NewServer(statePlane)
 	defer stateSrv.Close()
 
 	shared := siteList{
@@ -50,7 +58,8 @@ func TestMultiReplicaSmoke(t *testing.T) {
 		{name: core.ClusterSullivan, url: siteS.URL},
 	}
 	mkReplica := func(name string, seed uint64) (*httptest.Server, func()) {
-		s, err := newServer(options{seed: seed, stateURL: stateSrv.URL, replica: name, sites: shared})
+		s, err := newServer(options{seed: seed, stateURL: stateSrv.URL, replica: name,
+			sites: shared, operatorSecret: opSecret})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -62,8 +71,17 @@ func TestMultiReplicaSmoke(t *testing.T) {
 	r2, kill2 := mkReplica("r2", 23)
 	defer kill2()
 
+	// Front the pool the way cmd/tukey-lb does: the balancer's own gated
+	// /metrics on the same listener, everything else proxied.
 	pool := lb.NewPool([]string{r1.URL, r2.URL}, nil)
-	front := httptest.NewServer(pool)
+	lbReg := telemetry.NewRegistry()
+	pool.RegisterMetrics(lbReg)
+	lbMux := http.NewServeMux()
+	lbMux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		telemetry.ServeMetrics(opSecret, lbReg, w, r)
+	})
+	lbMux.Handle("/", pool)
+	front := httptest.NewServer(lbMux)
 	defer front.Close()
 
 	// Login through the balancer. The token carries whichever replica's
@@ -87,6 +105,49 @@ func TestMultiReplicaSmoke(t *testing.T) {
 	resp.Body.Close()
 	if resp.StatusCode != 200 {
 		t.Fatalf("instances through lb: %d", resp.StatusCode)
+	}
+
+	// The telemetry sweep: every binary in the deployment — both replicas,
+	// the balancer, and the state plane — serves gated exposition text with
+	// its own characteristic series. Scrapes ride outside the admission
+	// budget, so the 429 arithmetic below is untouched.
+	scrape := func(base string) map[string]float64 {
+		t.Helper()
+		req, _ := http.NewRequest("GET", base+"/metrics", nil)
+		req.Header.Set("X-OSDC-Operator", opSecret)
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != 200 {
+			t.Fatalf("scrape %s/metrics: status %d", base, resp.StatusCode)
+		}
+		parsed, err := telemetry.ParseText(body)
+		if err != nil {
+			t.Fatalf("scrape %s/metrics: %v", base, err)
+		}
+		return parsed
+	}
+	for _, base := range []string{r1.URL, r2.URL} {
+		parsed := scrape(base)
+		for _, want := range []string{
+			`osdc_engine_fired_total{shard="0"}`, "osdc_billing_polls_total",
+			"osdc_console_throttled_total",
+		} {
+			if _, ok := parsed[want]; !ok {
+				t.Errorf("replica %s exposition missing %s", base, want)
+			}
+		}
+	}
+	if parsed := scrape(front.URL); parsed["osdc_lb_backends"] != 2 ||
+		parsed["osdc_lb_backends_healthy"] != 2 {
+		t.Errorf("balancer gauges = %v/%v, want 2/2",
+			parsed["osdc_lb_backends"], parsed["osdc_lb_backends_healthy"])
+	}
+	if parsed := scrape(stateSrv.URL); parsed["osdc_state_requests_total"] <= 0 {
+		t.Errorf("state plane served %v requests, want > 0", parsed["osdc_state_requests_total"])
 	}
 
 	// Kill the exact replica this session is pinned to, mid-run. The next

@@ -11,7 +11,10 @@
 // Usage:
 //
 //	tukey-state [-addr :9200] [-session-file sessions.json]
-//	            [-rate-limit N] [-rate-burst M]
+//	            [-rate-limit N] [-rate-burst M] [-operator-secret S]
+//
+// With -operator-secret the state plane serves GET /metrics behind the
+// federation's operator gate.
 package main
 
 import (
@@ -28,6 +31,7 @@ func main() {
 	sessionFile := flag.String("session-file", "", "persist sessions to this append-only log (\"\" = in-memory)")
 	rateLimit := flag.Float64("rate-limit", 0, "per-user console requests/second shared across replicas (0 = unlimited)")
 	rateBurst := flag.Float64("rate-burst", 0, "per-user burst size (0 = 2× -rate-limit)")
+	operatorSecret := flag.String("operator-secret", "", "serve GET /metrics behind this operator secret (\"\" = metrics plane absent)")
 	flag.Parse()
 
 	var store tukey.SessionStore = tukey.NewMemorySessionStore()
@@ -50,6 +54,8 @@ func main() {
 		limiter = tukey.NewRateLimiter(*rateLimit, burst)
 		log.Printf("shared rate limiter: %g req/s per user, burst %g", *rateLimit, burst)
 	}
+	srv := tukeystate.NewServer(store, limiter)
+	srv.OperatorSecret = *operatorSecret
 	log.Printf("tukey-state on %s", *addr)
-	log.Fatal(http.ListenAndServe(*addr, tukeystate.NewServer(store, limiter)))
+	log.Fatal(http.ListenAndServe(*addr, srv))
 }

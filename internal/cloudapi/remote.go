@@ -10,6 +10,7 @@ import (
 	"net/url"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"osdc/internal/iaas"
@@ -43,6 +44,12 @@ type Remote struct {
 	usageSnap map[string]UserUsage
 	usageRev  int64
 	haveUsage bool
+
+	// deltaHits counts Usage() calls advanced by a since-rev delta;
+	// deltaResets counts cache drops that forced a full resync — the
+	// client-side usage-delta health the telemetry plane surfaces.
+	deltaHits   atomic.Int64
+	deltaResets atomic.Int64
 }
 
 // DefaultTimeout bounds every round trip of a Remote built with a nil
@@ -582,12 +589,14 @@ func (r *Remote) Usage() (Usage, error) {
 	defer r.usageMu.Unlock()
 	if r.haveUsage {
 		if d, err := r.UsageSince(r.usageRev); err == nil {
+			r.deltaHits.Add(1)
 			r.applyDelta(d)
 			return r.snapshotUsage(d.UsedCores, d.TotalCores), nil
 		}
 		// The delta path failed (site unreachable, or it restarted with a
 		// rev behind ours and rejected the since) — drop the snapshot and
 		// resync in full below.
+		r.deltaResets.Add(1)
 		r.haveUsage = false
 		r.usageSnap = nil
 	}
@@ -637,6 +646,12 @@ func (r *Remote) snapshotUsage(usedCores, totalCores int) Usage {
 		u.ByUser[user] = v
 	}
 	return u
+}
+
+// UsageDeltaStats reports the delta-maintained usage cache's health:
+// polls advanced by a delta versus cache drops that forced a full resync.
+func (r *Remote) UsageDeltaStats() (hits, resets int64) {
+	return r.deltaHits.Load(), r.deltaResets.Load()
 }
 
 // UsageSince implements CloudAPI via the operator plane's ?since= form.

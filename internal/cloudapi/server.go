@@ -14,6 +14,7 @@ import (
 	"osdc/internal/datastore"
 	"osdc/internal/iaas"
 	"osdc/internal/sim"
+	"osdc/internal/telemetry"
 )
 
 // Server exposes one cloud over HTTP the way a real OSDC site does: the
@@ -42,14 +43,22 @@ type Server struct {
 	// request (POST/DELETE under /cloudapi/): callers must present it in
 	// the X-OSDC-Operator header or get 403. Reads stay open — the planes
 	// carry no tenant data — and the native tenant dialects are untouched.
-	// It also unlocks the /debug/pprof/ profiling plane (absent without a
-	// secret, 403 without the header).
+	// It also unlocks the /debug/pprof/ profiling plane and the /metrics
+	// telemetry plane (absent without a secret, 403 without the header).
 	OperatorSecret string
+
+	// Metrics is the server's telemetry registry, served at GET /metrics
+	// behind the operator secret. NewServer seeds it with the server's own
+	// series; site wiring adds engine and kernel metrics.
+	Metrics *telemetry.Registry
 
 	// UsageCacheHits counts usage requests answered from the coalescing
 	// cache: biller and monitor polling the same tick should pay for one
 	// snapshot encode, not two.
 	UsageCacheHits atomic.Int64
+	// UsageCacheResets counts recomputes that invalidated stale cache
+	// entries — how often the usage rev moved between polls.
+	UsageCacheResets atomic.Int64
 
 	// usageMu serializes usage computation so concurrent same-rev readers
 	// coalesce: the second caller blocks until the first has encoded the
@@ -70,7 +79,7 @@ type usageCacheEntry struct {
 // NewServer builds the per-cloud server, picking the native dialect handler
 // from the cloud's stack.
 func NewServer(c *iaas.Cloud) *Server {
-	s := &Server{local: NewLocal(c)}
+	s := &Server{local: NewLocal(c), Metrics: telemetry.NewRegistry()}
 	switch c.Stack {
 	case "openstack":
 		s.native = &iaas.NovaAPI{Cloud: c}
@@ -79,6 +88,13 @@ func NewServer(c *iaas.Cloud) *Server {
 	default:
 		panic("cloudapi: unsupported stack " + c.Stack)
 	}
+	cloud := telemetry.Label{Key: "cloud", Value: c.Name}
+	s.Metrics.CounterFunc("osdc_usage_cache_hits_total",
+		"Usage responses served from the coalescing cache.",
+		func() float64 { return float64(s.UsageCacheHits.Load()) }, cloud)
+	s.Metrics.CounterFunc("osdc_usage_cache_resets_total",
+		"Usage cache invalidations (rev moved between polls).",
+		func() float64 { return float64(s.UsageCacheResets.Load()) }, cloud)
 	return s
 }
 
@@ -160,10 +176,15 @@ func (s *Server) serveUsage(w http.ResponseWriter, r *http.Request) {
 	}
 	// Drop entries from older revs while we hold the lock: the cache only
 	// ever holds the handful of since values the current pollers use.
+	dropped := false
 	for k, e := range s.usageCache {
 		if e.rev != computedAt {
 			delete(s.usageCache, k)
+			dropped = true
 		}
+	}
+	if dropped {
+		s.UsageCacheResets.Add(1)
 	}
 	s.usageCache[raw] = usageCacheEntry{rev: computedAt, body: buf.Bytes()}
 	w.Header().Set("Content-Type", "application/json")
@@ -205,6 +226,10 @@ func ServePprof(secret string, w http.ResponseWriter, r *http.Request) {
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	if strings.HasPrefix(r.URL.Path, "/debug/pprof/") {
 		ServePprof(s.OperatorSecret, w, r)
+		return
+	}
+	if r.URL.Path == "/metrics" {
+		telemetry.ServeMetrics(s.OperatorSecret, s.Metrics, w, r)
 		return
 	}
 	if !strings.HasPrefix(r.URL.Path, "/cloudapi/") {

@@ -39,6 +39,7 @@ type Site struct {
 	follower *sim.Follower // non-nil in follow mode
 	secret   string
 	ln       net.Listener
+	srv      *Server
 }
 
 // SiteOptions tune how StartSiteWithOptions stands a site up.
@@ -108,6 +109,14 @@ func StartSiteWithOptions(e *sim.Engine, c *iaas.Cloud, opt SiteOptions) (*Site,
 	srv := NewServer(c)
 	srv.Datasets = opt.Datasets
 	srv.OperatorSecret = opt.OperatorSecret
+	s.srv = srv
+	// The site's kernel is its own: its engine series belong on the site's
+	// /metrics, where the federation collector picks them up per member.
+	if opt.Set != nil {
+		RegisterKernel(srv.Metrics, opt.Set)
+	} else {
+		RegisterEngine(srv.Metrics, "0", e)
+	}
 	switch opt.Clock {
 	case ClockFollow:
 		if opt.Set != nil {
@@ -164,6 +173,10 @@ func (s *Site) DatasetsRemote(client *http.Client) *datastore.Remote {
 // Follower returns the follower driving this site's clock, or nil in
 // free-run mode.
 func (s *Site) Follower() *sim.Follower { return s.follower }
+
+// Server returns the site's HTTP server — the handle services use to
+// reach its telemetry registry or usage-cache counters in-process.
+func (s *Site) Server() *Server { return s.srv }
 
 // Close stops the clock source (if any) and the listener.
 func (s *Site) Close() {

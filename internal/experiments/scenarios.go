@@ -225,4 +225,8 @@ func init() {
 	// on virtual clocks, so every metric is seed-deterministic.
 	scenario.Register(scenario.New("replication-sweep", replicationSweepDesc, ReplicationSweep))
 	scenario.Register(scenario.New("stage-and-compute", stageAndComputeDesc, StageAndCompute))
+
+	// The telemetry plane end to end, on virtual clocks only: the full
+	// /console/stream SSE transcript is golden-pinned byte for byte.
+	scenario.Register(scenario.New("telemetry-stream", telemetryStreamDesc, TelemetryStream))
 }

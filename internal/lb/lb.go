@@ -26,6 +26,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"osdc/internal/telemetry"
 )
 
 // vnodes is how many ring points each backend gets. 64 points per backend
@@ -58,6 +60,12 @@ type Pool struct {
 	// Rejected counts requests that ran out of healthy backends.
 	Retries  int64
 	Rejected int64
+	// MarkDowns counts passive mark-downs (a proxied request failed at
+	// the transport layer); ProbeFails counts failed health probes;
+	// Evictions counts backends removed from the pool for good.
+	MarkDowns  int64
+	ProbeFails int64
+	Evictions  int64
 }
 
 type ringPoint struct {
@@ -241,7 +249,9 @@ func (p *Pool) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		if err != nil {
 			// Transport failure: the replica is gone or wedged. Mark it
 			// down (the prober will revive or evict it) and try the next.
-			b.down.Store(true)
+			if !b.down.Swap(true) {
+				atomic.AddInt64(&p.MarkDowns, 1)
+			}
 			continue
 		}
 		// Any HTTP response — including 4xx/5xx — is the console speaking;
@@ -286,11 +296,13 @@ func (p *Pool) Probe(evictAfter int) int {
 			b.fails = 0
 			b.down.Store(false)
 		} else {
+			atomic.AddInt64(&p.ProbeFails, 1)
 			b.fails++
 			b.down.Store(true)
 			if evictAfter > 0 && b.fails >= evictAfter {
 				p.mu.Unlock()
 				if p.Evict(b.url) {
+					atomic.AddInt64(&p.Evictions, 1)
 					evicted++
 				}
 				p.mu.Lock()
@@ -299,6 +311,29 @@ func (p *Pool) Probe(evictAfter int) int {
 		p.mu.Unlock()
 	}
 	return evicted
+}
+
+// RegisterMetrics contributes the balancer's health accounting to reg:
+// retry/rejection/mark-down/probe/eviction counters plus live backend
+// gauges — everything an operator needs to see a replica die and the
+// pool absorb it.
+func (p *Pool) RegisterMetrics(reg *telemetry.Registry) {
+	ctr := func(name, help string, v *int64) {
+		reg.CounterFunc(name, help, func() float64 { return float64(atomic.LoadInt64(v)) })
+	}
+	ctr("osdc_lb_retries_total", "Requests retried on a second (or third) backend.", &p.Retries)
+	ctr("osdc_lb_rejected_total", "Requests that ran out of reachable backends (502).", &p.Rejected)
+	ctr("osdc_lb_markdowns_total", "Passive backend mark-downs from transport failures.", &p.MarkDowns)
+	ctr("osdc_lb_probe_failures_total", "Failed /healthz probes.", &p.ProbeFails)
+	ctr("osdc_lb_evictions_total", "Backends evicted from the pool.", &p.Evictions)
+	reg.GaugeFunc("osdc_lb_backends", "Backends in the pool, healthy or not.",
+		func() float64 {
+			p.mu.Lock()
+			defer p.mu.Unlock()
+			return float64(len(p.backends))
+		})
+	reg.GaugeFunc("osdc_lb_backends_healthy", "Backends currently marked up.",
+		func() float64 { return float64(p.Healthy()) })
 }
 
 // ProbeLoop runs Probe every interval until stop is closed.

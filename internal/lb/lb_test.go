@@ -8,6 +8,8 @@ import (
 	"strings"
 	"sync/atomic"
 	"testing"
+
+	"osdc/internal/telemetry"
 )
 
 // echoBackend is a fake console replica that reports its own name, so
@@ -209,5 +211,61 @@ func TestNoBackends(t *testing.T) {
 	}
 	if pool.Rejected != 1 {
 		t.Fatalf("rejected = %d, want 1", pool.Rejected)
+	}
+}
+
+// TestMetricsThroughReplicaDeath pins the balancer's health accounting
+// through the registry: kill a replica, and the retry, mark-down, probe
+// and eviction counters plus the backend gauges all tell the story at
+// /metrics.
+func TestMetricsThroughReplicaDeath(t *testing.T) {
+	a, _ := echoBackend(t, "a")
+	b, _ := echoBackend(t, "b")
+	pool := NewPool([]string{a.URL, b.URL}, nil)
+	reg := telemetry.NewRegistry()
+	pool.RegisterMetrics(reg)
+
+	snap := reg.Snapshot()
+	if snap["osdc_lb_backends"] != 2 || snap["osdc_lb_backends_healthy"] != 2 {
+		t.Fatalf("fresh pool gauges = %v", snap)
+	}
+
+	// Find a token pinned to a, then kill a: the proxied request must
+	// retry onto b, marking a down exactly once.
+	var tok string
+	for i := 0; ; i++ {
+		tok = fmt.Sprintf("tukey-sess-%06d", i)
+		if pool.PickBackend(tok) == a.URL {
+			break
+		}
+	}
+	a.Close()
+	front := httptest.NewServer(pool)
+	defer front.Close()
+	if code, body := get(t, front, "/x", tok); code != http.StatusOK || !strings.HasPrefix(body, "b:") {
+		t.Fatalf("failover request: code=%d body=%q", code, body)
+	}
+	snap = reg.Snapshot()
+	if snap["osdc_lb_retries_total"] != 1 || snap["osdc_lb_markdowns_total"] != 1 {
+		t.Fatalf("post-failover counters = retries %v, markdowns %v",
+			snap["osdc_lb_retries_total"], snap["osdc_lb_markdowns_total"])
+	}
+	if snap["osdc_lb_backends_healthy"] != 1 {
+		t.Fatalf("healthy gauge after mark-down = %v", snap["osdc_lb_backends_healthy"])
+	}
+
+	// Two failed probes evict the corpse for good.
+	pool.Probe(2)
+	pool.Probe(2)
+	snap = reg.Snapshot()
+	if snap["osdc_lb_probe_failures_total"] != 2 {
+		t.Fatalf("probe failures = %v, want 2", snap["osdc_lb_probe_failures_total"])
+	}
+	if snap["osdc_lb_evictions_total"] != 1 || snap["osdc_lb_backends"] != 1 {
+		t.Fatalf("post-eviction: evictions %v, backends %v",
+			snap["osdc_lb_evictions_total"], snap["osdc_lb_backends"])
+	}
+	if snap["osdc_lb_rejected_total"] != 0 {
+		t.Fatalf("rejected = %v, want 0 (b absorbed everything)", snap["osdc_lb_rejected_total"])
 	}
 }

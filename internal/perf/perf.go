@@ -19,6 +19,7 @@ import (
 	"osdc/internal/iaas"
 	"osdc/internal/scenario"
 	"osdc/internal/sim"
+	"osdc/internal/telemetry"
 )
 
 // gridInstances is the background population the sharded console-load
@@ -80,6 +81,9 @@ func Collect(pr string) (Snapshot, error) {
 		{"usage-sample-incremental-k1", UsageSampleIncremental(1)},
 		{"usage-sample-incremental-k8", UsageSampleIncremental(8)},
 		{"instances-by-user-grid100k", InstancesByUserGrid()},
+		{"telemetry-counter-inc", TelemetryCounterInc},
+		{"telemetry-histogram-observe", TelemetryHistogramObserve},
+		{"telemetry-snapshot-200series", TelemetrySnapshot},
 	} {
 		r := testing.Benchmark(tb.body)
 		snap.Metrics = append(snap.Metrics, Metric{
@@ -364,6 +368,48 @@ func InstancesByUserGrid() func(*testing.B) {
 		for i := 0; i < b.N; i++ {
 			_ = c.Instances("alice")
 		}
+	}
+}
+
+// TelemetryCounterInc is the telemetry registry's hot path — the counter
+// every instrumented handler bumps per request (BenchmarkCounterInc): one
+// atomic add, zero allocations. The 0-alloc invariant is what lets the
+// plane sit on the console's request path without touching its p95.
+func TelemetryCounterInc(b *testing.B) {
+	b.ReportAllocs()
+	reg := telemetry.NewRegistry()
+	c := reg.Counter("bench_total", "bench", telemetry.Label{Key: "route", Value: "GET /bench"})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Inc()
+	}
+}
+
+// TelemetryHistogramObserve tracks the latency-observation path
+// (BenchmarkHistogramObserve): one bucket walk plus three atomics.
+func TelemetryHistogramObserve(b *testing.B) {
+	b.ReportAllocs()
+	reg := telemetry.NewRegistry()
+	h := reg.Histogram("bench_seconds", "bench", telemetry.LatencyBuckets)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.Observe(0.003)
+	}
+}
+
+// TelemetrySnapshot measures one Snapshot() sweep over a 200-series
+// registry — the cold path the streamer walks once per frame and the
+// exposition handler walks once per scrape.
+func TelemetrySnapshot(b *testing.B) {
+	b.ReportAllocs()
+	reg := telemetry.NewRegistry()
+	for i := 0; i < 200; i++ {
+		reg.Counter(fmt.Sprintf("bench_series_%03d_total", i), "bench",
+			telemetry.Label{Key: "shard", Value: fmt.Sprint(i % 8)}).Add(int64(i))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = reg.Snapshot()
 	}
 }
 

@@ -25,6 +25,8 @@ func TestCollectSnapshot(t *testing.T) {
 		"usage-sample-sharded-k1", "usage-sample-sharded-k8",
 		"usage-sample-incremental-k1", "usage-sample-incremental-k8",
 		"instances-by-user-grid100k",
+		"telemetry-counter-inc", "telemetry-histogram-observe",
+		"telemetry-snapshot-200series",
 		"console-load-p95",
 		"console-load-p95-grid100k-k1", "console-load-p95-grid100k-k8",
 		"console-knee-p95-1024u-1r", "console-knee-p95-1024u-4r",
@@ -47,6 +49,13 @@ func TestCollectSnapshot(t *testing.T) {
 	}
 	if a := byName["engine-churn-pooled"].AllocsPerOp; a > 1 {
 		t.Fatalf("pooled churn allocates %d/op, want <= 1", a)
+	}
+	// The telemetry registry hot paths must stay allocation-free: they sit
+	// on every instrumented console request.
+	for _, name := range []string{"telemetry-counter-inc", "telemetry-histogram-observe"} {
+		if a := byName[name].AllocsPerOp; a != 0 {
+			t.Fatalf("%s allocates %d/op, want 0", name, a)
+		}
 	}
 	if byName["console-load-p95"].Unit != "ms" {
 		t.Fatalf("console-load-p95 unit = %q, want ms", byName["console-load-p95"].Unit)

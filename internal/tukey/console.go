@@ -5,11 +5,15 @@ import (
 	"net/http"
 	"strings"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"osdc/internal/billing"
+	"osdc/internal/cloudapi"
 	"osdc/internal/datasets"
 	"osdc/internal/datastore"
 	"osdc/internal/monitor"
+	"osdc/internal/telemetry"
 )
 
 // Console is the Tukey Console web application (§5.1): "The core
@@ -29,7 +33,8 @@ import (
 //	GET  /console/datasets           public dataset catalog (?q= to search)
 //	GET  /console/datasets/replicas  per-site dataset placement (?dataset= to filter)
 //	POST /console/datasets/stage     {dataset, cloud}: place a replica on a cloud's site
-//	GET  /console/status             attached clouds
+//	GET  /console/status             attached clouds, poller and clock health
+//	GET  /console/stream             SSE telemetry feed (when a Streamer is wired)
 //
 // Each route is served through an interceptor chain (interceptor.go):
 // auth/session resolution, then rate-limit admission, then the handler.
@@ -56,6 +61,20 @@ type Console struct {
 	// UserFor maps a federated identity to the local username the biller
 	// and catalog know. Defaults to the identifier's local part.
 	UserFor func(Identity) string
+	// ClockSync, when set, contributes federation clock-skew health to
+	// /console/status.
+	ClockSync *cloudapi.ClockCoordinator
+	// UsageCacheHits, when set, reports per-cloud usage-delta cache hits
+	// for /console/status. A closure (not a map) because the counters
+	// live on the per-cloud servers and tick between requests.
+	UsageCacheHits func() map[string]int64
+
+	// Metrics, when set via RegisterMetrics, receives per-route request
+	// counts and latency histograms; nil leaves routes uninstrumented.
+	Metrics *telemetry.Registry
+	// Stream, when set, serves GET /console/stream: the deterministic
+	// SSE telemetry feed (telemetry.Streamer).
+	Stream *telemetry.Streamer
 
 	// RateLimited counts requests rejected with 429.
 	RateLimited int64
@@ -136,7 +155,55 @@ func (c *Console) buildRoutes() {
 		"GET /console/datasets/replicas": session(c.handleDatasetReplicas),
 		"POST /console/datasets/stage":   session(c.handleDatasetStage),
 		"GET /console/status":            session(c.handleStatus),
+		"GET /console/stream":            session(c.handleStream),
 	}
+	if c.Metrics != nil {
+		for key, h := range c.routes {
+			c.routes[key] = c.instrument(key, h)
+		}
+	}
+}
+
+// instrument wraps one route with its request counter and wall-latency
+// histogram. The wrapper sits outside the interceptor chain so throttled
+// and unauthenticated requests are measured too.
+func (c *Console) instrument(key string, h http.Handler) http.Handler {
+	requests := c.Metrics.Counter("osdc_console_requests_total",
+		"Console requests served, by route.",
+		telemetry.Label{Key: "route", Value: key})
+	latency := c.Metrics.Histogram("osdc_console_request_seconds",
+		"Console request wall latency, by route.", telemetry.LatencyBuckets,
+		telemetry.Label{Key: "route", Value: key})
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		h.ServeHTTP(&consoleWriter{ResponseWriter: w}, r)
+		requests.Inc()
+		latency.Observe(time.Since(start).Seconds())
+	})
+}
+
+// consoleWriter is the instrumented response writer. It always
+// implements http.Flusher — delegating when the underlying writer can
+// flush — so the SSE stream route works through the wrapper.
+type consoleWriter struct {
+	http.ResponseWriter
+}
+
+func (w *consoleWriter) Flush() {
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// RegisterMetrics attaches reg as the console's registry: per-route
+// series are created when the routing table is built, plus the global
+// throttle counter here. Call before the first request (route
+// instrumentation is latched by routesOnce).
+func (c *Console) RegisterMetrics(reg *telemetry.Registry) {
+	c.Metrics = reg
+	reg.CounterFunc("osdc_console_throttled_total",
+		"Console requests rejected with 429 by admission control.",
+		func() float64 { return float64(atomic.LoadInt64(&c.RateLimited)) })
 }
 
 // ServeHTTP implements http.Handler: pure routing — every other concern
@@ -291,5 +358,27 @@ func (c *Console) handleStatus(w http.ResponseWriter, r *http.Request) {
 	if c.UsageMon != nil {
 		status["sample_errors"] = c.UsageMon.SampleErrorsByCloud()
 	}
+	// Usage-delta cache health (which clouds answer polls incrementally)
+	// and federation clock skew round out the operator view: one request
+	// answers "are the pollers, the usage path, and the clocks healthy?".
+	if c.UsageCacheHits != nil {
+		status["usage_cache_hits"] = c.UsageCacheHits()
+	}
+	if c.ClockSync != nil {
+		status["clock"] = map[string]interface{}{
+			"max_skew": c.ClockSync.MaxSkew(),
+			"syncs":    c.ClockSync.Syncs(),
+		}
+	}
 	writeJSON(w, http.StatusOK, status)
+}
+
+// handleStream serves the SSE telemetry feed: aggregated metric deltas
+// framed by the streamer on its virtual-clock cadence.
+func (c *Console) handleStream(w http.ResponseWriter, r *http.Request) {
+	if c.Stream == nil {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"error": "telemetry stream not configured"})
+		return
+	}
+	c.Stream.ServeStream(w, r)
 }

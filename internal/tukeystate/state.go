@@ -15,8 +15,10 @@ package tukeystate
 import (
 	"encoding/json"
 	"net/http"
+	"sync/atomic"
 	"time"
 
+	"osdc/internal/telemetry"
 	"osdc/internal/tukey"
 )
 
@@ -54,6 +56,16 @@ type Server struct {
 	store   tukey.SessionStore
 	limiter tukey.Limiter
 	mux     *http.ServeMux
+
+	// OperatorSecret gates GET /metrics exactly like the other planes'
+	// operator surfaces: 404 when empty, 403 without the header. Assign
+	// it any time before the first /metrics request.
+	OperatorSecret string
+	// Metrics is the server's telemetry registry, created by NewServer;
+	// callers may register more series onto it before serving.
+	Metrics *telemetry.Registry
+
+	requests atomic.Int64
 }
 
 // NewServer wraps store and limiter (either may be nil: a nil limiter
@@ -61,6 +73,10 @@ type Server struct {
 // session routes).
 func NewServer(store tukey.SessionStore, limiter tukey.Limiter) *Server {
 	s := &Server{store: store, limiter: limiter, mux: http.NewServeMux()}
+	s.Metrics = telemetry.NewRegistry()
+	s.Metrics.CounterFunc("osdc_state_requests_total",
+		"State-plane requests served (sessions, rate limits, health).",
+		func() float64 { return float64(s.requests.Load()) })
 	if store != nil {
 		s.mux.HandleFunc("/state/sessions/get", s.handleGet)
 		s.mux.HandleFunc("/state/sessions/put", s.handlePut)
@@ -72,10 +88,16 @@ func NewServer(store tukey.SessionStore, limiter tukey.Limiter) *Server {
 	s.mux.HandleFunc("/state/health", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 	})
+	s.mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		telemetry.ServeMetrics(s.OperatorSecret, s.Metrics, w, r)
+	})
 	return s
 }
 
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Path != "/metrics" {
+		s.requests.Add(1)
+	}
 	s.mux.ServeHTTP(w, r)
 }
 
