@@ -2,6 +2,7 @@ package cloudapi
 
 import (
 	"bytes"
+	"crypto/subtle"
 	"encoding/json"
 	"errors"
 	"net/http"
@@ -214,7 +215,7 @@ func ServePprof(secret string, w http.ResponseWriter, r *http.Request) {
 		serveError(w, http.StatusNotFound, "profiling plane requires an operator secret")
 		return
 	}
-	if r.Header.Get("X-OSDC-Operator") != secret {
+	if subtle.ConstantTimeCompare([]byte(r.Header.Get("X-OSDC-Operator")), []byte(secret)) != 1 {
 		serveError(w, http.StatusForbidden, "profiling plane requires X-OSDC-Operator")
 		return
 	}
@@ -240,7 +241,7 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	// dataset replicas) is an operator action; with a shared secret
 	// configured, unauthenticated writes get 403 before any route runs.
 	if s.OperatorSecret != "" && r.Method != http.MethodGet &&
-		r.Header.Get("X-OSDC-Operator") != s.OperatorSecret {
+		subtle.ConstantTimeCompare([]byte(r.Header.Get("X-OSDC-Operator")), []byte(s.OperatorSecret)) != 1 {
 		serveError(w, http.StatusForbidden, "operator plane requires X-OSDC-Operator")
 		return
 	}

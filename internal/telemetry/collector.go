@@ -35,15 +35,15 @@ type MemberStats struct {
 // ClockCoordinator's round shape: one hung site may miss a round (and
 // count an error), never stall the sweep.
 type Collector struct {
-	members  []Member
-	secret   string
-	client   *http.Client
-	workers  int
-	deadline time.Duration // per-scrape wall budget for manual Rounds; <= 0 waits
+	members []Member
+	secret  string
+	client  *http.Client
+	workers int
 
-	mu    sync.Mutex
-	stats map[string]*MemberStats
-	data  map[string]map[string]float64 // member → series → value
+	mu       sync.Mutex
+	deadline time.Duration // per-scrape wall budget; <= 0 waits. Written by Start, read by Round.
+	stats    map[string]*MemberStats
+	data     map[string]map[string]float64 // member → series → value
 
 	stopOnce sync.Once
 	stop     chan struct{}
@@ -75,19 +75,31 @@ func NewCollector(secret string, client *http.Client, members ...Member) *Collec
 	return c
 }
 
-// Round runs one synchronous scrape sweep over every member.
+// Round runs one synchronous scrape sweep over every member. Each scrape
+// settles exactly once per round: a goroutine still running when the
+// fanout deadline passes is counted as an error here, and if it later
+// finishes anyway its result is discarded — never one error plus one
+// success for the same member in the same round. Both sides settle under
+// c.mu, so whichever gets there first wins.
 func (c *Collector) Round() {
+	c.mu.Lock()
+	deadline := c.deadline
+	c.mu.Unlock()
+	settled := make([]bool, len(c.members)) // guarded by c.mu
 	tasks := make([]func(), len(c.members))
 	for i, m := range c.members {
-		m := m
-		tasks[i] = func() { c.scrapeOne(m) }
+		i, m := i, m
+		tasks[i] = func() { c.scrapeOne(m, &settled[i]) }
 	}
-	completed := fanout.Each(c.workers, c.deadline, tasks)
+	completed := fanout.Each(c.workers, deadline, tasks)
+	c.mu.Lock()
 	for i, ok := range completed {
-		if !ok {
-			c.countError(c.members[i].Name)
+		if !ok && !settled[i] {
+			settled[i] = true
+			c.stats[c.members[i].Name].Errors++
 		}
 	}
+	c.mu.Unlock()
 }
 
 // Start begins scraping every interval of wall time (<= 0 means 1 s)
@@ -139,10 +151,13 @@ func (c *Collector) Stop() {
 }
 
 // scrapeOne GETs one member's /metrics and folds the parse into the view.
-func (c *Collector) scrapeOne(m Member) {
+// settled is this scrape's per-round token (see Round); every outcome is
+// recorded through it so an abandoned scrape that limps in late is a
+// no-op rather than a second count.
+func (c *Collector) scrapeOne(m Member, settled *bool) {
 	req, err := http.NewRequest(http.MethodGet, m.URL+"/metrics", nil)
 	if err != nil {
-		c.countError(m.Name)
+		c.countError(m.Name, settled)
 		return
 	}
 	if c.secret != "" {
@@ -150,37 +165,45 @@ func (c *Collector) scrapeOne(m Member) {
 	}
 	resp, err := c.client.Do(req)
 	if err != nil {
-		c.countError(m.Name)
+		c.countError(m.Name, settled)
 		return
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
 		_, _ = io.Copy(io.Discard, resp.Body)
-		c.countError(m.Name)
+		c.countError(m.Name, settled)
 		return
 	}
 	body, err := io.ReadAll(resp.Body)
 	if err != nil {
-		c.countError(m.Name)
+		c.countError(m.Name, settled)
 		return
 	}
 	parsed, err := ParseText(body)
 	if err != nil {
-		c.countError(m.Name)
+		c.countError(m.Name, settled)
 		return
 	}
 	c.mu.Lock()
+	defer c.mu.Unlock()
+	if *settled {
+		return
+	}
+	*settled = true
 	c.data[m.Name] = parsed
 	st := c.stats[m.Name]
 	st.Scrapes++
 	st.Series = len(parsed)
-	c.mu.Unlock()
 }
 
-func (c *Collector) countError(name string) {
+func (c *Collector) countError(name string, settled *bool) {
 	c.mu.Lock()
+	defer c.mu.Unlock()
+	if *settled {
+		return
+	}
+	*settled = true
 	c.stats[name].Errors++
-	c.mu.Unlock()
 }
 
 // Snapshot returns the aggregated federation view: every member's series

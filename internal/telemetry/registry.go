@@ -18,6 +18,7 @@ package telemetry
 import (
 	"bufio"
 	"bytes"
+	"crypto/subtle"
 	"fmt"
 	"io"
 	"math"
@@ -300,21 +301,49 @@ func formatValue(v float64) string {
 	return strconv.FormatFloat(v, 'g', -1, 64)
 }
 
+// familySnapshot is a render-stable copy of one family taken under the
+// registry lock. The series pointers themselves are safe to read without
+// it (their values live behind atomics), but the family's series map is
+// not: register() grows it under r.mu, so iterating the live map while a
+// lazy registration runs (console per-route series on the first request)
+// would be a concurrent map read/write — a runtime throw, not a race the
+// values could tolerate.
+type familySnapshot struct {
+	name, help, typ string
+	sampleFn        func() []Sample
+	series          []*series // sorted by label block
+}
+
+// snapshotFamilies copies every family — and each static family's series,
+// sorted — under r.mu, returning families sorted by name. SampleFunc and
+// value callbacks are invoked by the caller after the lock is released,
+// so external sources may themselves register metrics without deadlock.
+func (r *Registry) snapshotFamilies() []familySnapshot {
+	r.mu.Lock()
+	fams := make([]familySnapshot, 0, len(r.families))
+	for _, f := range r.families {
+		fs := familySnapshot{name: f.name, help: f.help, typ: f.typ, sampleFn: f.sampleFn}
+		if f.sampleFn == nil {
+			fs.series = make([]*series, 0, len(f.series))
+			for _, s := range f.series {
+				fs.series = append(fs.series, s)
+			}
+			sort.Slice(fs.series, func(i, j int) bool { return fs.series[i].labels < fs.series[j].labels })
+		}
+		fams = append(fams, fs)
+	}
+	r.mu.Unlock()
+	sort.Slice(fams, func(i, j int) bool { return fams[i].name < fams[j].name })
+	return fams
+}
+
 // WriteTo renders the registry in the Prometheus text exposition format:
 // families sorted by name, series within a family sorted by label block,
 // histogram buckets in bound order. Deterministic for a fixed registry
 // state — two renders with no observations in between are byte-identical.
 func (r *Registry) WriteTo(w io.Writer) (int64, error) {
-	r.mu.Lock()
-	fams := make([]*family, 0, len(r.families))
-	for _, f := range r.families {
-		fams = append(fams, f)
-	}
-	r.mu.Unlock()
-	sort.Slice(fams, func(i, j int) bool { return fams[i].name < fams[j].name })
-
 	cw := &countingWriter{w: bufio.NewWriter(w)}
-	for _, f := range fams {
+	for _, f := range r.snapshotFamilies() {
 		fmt.Fprintf(cw, "# HELP %s %s\n", f.name, f.help)
 		fmt.Fprintf(cw, "# TYPE %s %s\n", f.name, f.typ)
 		if f.sampleFn != nil {
@@ -328,13 +357,7 @@ func (r *Registry) WriteTo(w io.Writer) (int64, error) {
 			}
 			continue
 		}
-		keys := make([]string, 0, len(f.series))
-		for k := range f.series {
-			keys = append(keys, k)
-		}
-		sort.Strings(keys)
-		for _, k := range keys {
-			s := f.series[k]
+		for _, s := range f.series {
 			if s.hist != nil {
 				writeHistogram(cw, f.name, s)
 				continue
@@ -392,13 +415,7 @@ func (r *Registry) Render() []byte {
 // diffs and the Collector aggregates.
 func (r *Registry) Snapshot() map[string]float64 {
 	out := make(map[string]float64)
-	r.mu.Lock()
-	fams := make([]*family, 0, len(r.families))
-	for _, f := range r.families {
-		fams = append(fams, f)
-	}
-	r.mu.Unlock()
-	for _, f := range fams {
+	for _, f := range r.snapshotFamilies() {
 		if f.sampleFn != nil {
 			for _, smp := range f.sampleFn() {
 				out[f.name+labelBlock(smp.Labels, "")] = smp.Value
@@ -465,7 +482,7 @@ func ServeMetrics(secret string, reg *Registry, w http.ResponseWriter, r *http.R
 		serveError(w, http.StatusNotFound, "metrics plane requires an operator secret")
 		return
 	}
-	if r.Header.Get("X-OSDC-Operator") != secret {
+	if subtle.ConstantTimeCompare([]byte(r.Header.Get("X-OSDC-Operator")), []byte(secret)) != 1 {
 		serveError(w, http.StatusForbidden, "metrics plane requires X-OSDC-Operator")
 		return
 	}

@@ -6,6 +6,7 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"sort"
+	"strconv"
 	"strings"
 	"testing"
 )
@@ -215,4 +216,29 @@ func BenchmarkHistogramObserve(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		h.Observe(0.003)
 	}
+}
+
+// TestConcurrentRegisterAndRender pins the registry's central concurrency
+// contract: lazy registration (console routes instrumented on the first
+// request) may race a render (/metrics scrape, Streamer tick) without the
+// renderer iterating a family map another goroutine is growing — which
+// would be an unrecoverable runtime throw, not just a flaky value. Run
+// with -race this also proves the snapshot path takes the lock.
+func TestConcurrentRegisterAndRender(t *testing.T) {
+	reg := NewRegistry()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 500; i++ {
+			reg.Counter("osdc_requests_total", "Requests served.",
+				Label{"route", "GET /r" + strconv.Itoa(i)}).Inc()
+			reg.Histogram("osdc_latency_seconds", "Latency.", LatencyBuckets,
+				Label{"route", "GET /r" + strconv.Itoa(i)}).Observe(0.002)
+		}
+	}()
+	for i := 0; i < 200; i++ {
+		_ = reg.Render()
+		_ = reg.Snapshot()
+	}
+	<-done
 }

@@ -166,7 +166,11 @@ func (c *Console) buildRoutes() {
 
 // instrument wraps one route with its request counter and wall-latency
 // histogram. The wrapper sits outside the interceptor chain so throttled
-// and unauthenticated requests are measured too.
+// and unauthenticated requests are measured too. The ResponseWriter is
+// passed through unwrapped so it advertises exactly the optional
+// interfaces it supports — the SSE stream route's http.Flusher check must
+// fail fast on a writer that cannot actually flush, not buffer forever
+// behind a no-op Flush.
 func (c *Console) instrument(key string, h http.Handler) http.Handler {
 	requests := c.Metrics.Counter("osdc_console_requests_total",
 		"Console requests served, by route.",
@@ -176,23 +180,10 @@ func (c *Console) instrument(key string, h http.Handler) http.Handler {
 		telemetry.Label{Key: "route", Value: key})
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
-		h.ServeHTTP(&consoleWriter{ResponseWriter: w}, r)
+		h.ServeHTTP(w, r)
 		requests.Inc()
 		latency.Observe(time.Since(start).Seconds())
 	})
-}
-
-// consoleWriter is the instrumented response writer. It always
-// implements http.Flusher — delegating when the underlying writer can
-// flush — so the SSE stream route works through the wrapper.
-type consoleWriter struct {
-	http.ResponseWriter
-}
-
-func (w *consoleWriter) Flush() {
-	if f, ok := w.ResponseWriter.(http.Flusher); ok {
-		f.Flush()
-	}
 }
 
 // RegisterMetrics attaches reg as the console's registry: per-route
